@@ -1,0 +1,101 @@
+//! Extension study (the paper's §7 future work): how adaptive-mesh load
+//! imbalance interacts with the alltoallw schedule.
+//!
+//! A moving refinement hotspot gives a few ranks `2^(2·level)` times the
+//! compute and boundary volume of the rest. We sweep the refinement depth
+//! and the machine size; the round-robin schedule globalizes the hotspot's
+//! delay through its zero-byte synchronizations, the binned schedule
+//! confines it to the hotspot's neighbourhood.
+
+use ncd_bench::{improvement_pct, report, Series};
+use ncd_core::{Comm, MpiConfig, WPeer};
+use ncd_datatype::Datatype;
+use ncd_simnet::{Cluster, ClusterConfig, SimTime};
+
+const STEPS: usize = 10;
+const BASE_CELLS: u64 = 2_000;
+
+fn level(rank: usize, spot: usize, n: usize, depth: u32) -> u32 {
+    let d = rank.abs_diff(spot).min(n - rank.abs_diff(spot));
+    depth.saturating_sub(d as u32)
+}
+
+fn run(nranks: usize, depth: u32, cfg: MpiConfig) -> SimTime {
+    let out = Cluster::new(ClusterConfig::paper_testbed(nranks)).run(|rank| {
+        let mut comm = Comm::new(rank, cfg.clone());
+        let me = comm.rank();
+        let n = comm.size();
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        for step in 0..STEPS {
+            let spot = (step * 5) % n;
+            let my_level = level(me, spot, n, depth);
+            comm.rank_mut().compute_flops(BASE_CELLS << (2 * my_level));
+
+            let succ = (me + 1) % n;
+            let pred = (me + n - 1) % n;
+            let cells = 16usize << (2 * my_level);
+            let dt = Datatype::contiguous(cells, &Datatype::double()).expect("boundary");
+            let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
+            let mut sends: Vec<WPeer> = (0..n).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+            let mut recvs = sends.clone();
+            sends[succ] = WPeer::new(0, 1, dt.clone());
+            sends[pred] = WPeer::new(0, 1, dt.clone());
+            let sc = 16usize << (2 * level(succ, spot, n, depth));
+            let pc = 16usize << (2 * level(pred, spot, n, depth));
+            recvs[succ] = WPeer::new(
+                0,
+                1,
+                Datatype::contiguous(sc, &Datatype::double()).expect("succ"),
+            );
+            recvs[pred] = WPeer::new(
+                sc * 8,
+                1,
+                Datatype::contiguous(pc, &Datatype::double()).expect("pred"),
+            );
+            let sendbuf = vec![me as u8; cells * 8];
+            let mut recvbuf = vec![0u8; (sc + pc) * 8];
+            comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+        }
+        comm.rank_ref().now()
+    });
+    out.into_iter().max().expect("nonempty")
+}
+
+fn main() {
+    // (a) Refinement-depth sweep at 64 ranks.
+    let mut base = Series::new("round-robin");
+    let mut binned = Series::new("three-bin");
+    let mut imp = Series::new("improvement-%");
+    for depth in 0..=4u32 {
+        let tb = run(64, depth, MpiConfig::baseline());
+        let tn = run(64, depth, MpiConfig::optimized());
+        base.push(depth.to_string(), tb.as_ms());
+        binned.push(depth.to_string(), tn.as_ms());
+        imp.push(depth.to_string(), improvement_pct(tb, tn));
+    }
+    report(
+        "ext_amr_depth",
+        "refinement depth",
+        "time per run (msec), 64 ranks",
+        &[base, binned, imp],
+    );
+
+    // (b) Scaling sweep at depth 2.
+    let mut base = Series::new("round-robin");
+    let mut binned = Series::new("three-bin");
+    let mut imp = Series::new("improvement-%");
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let tb = run(n, 2, MpiConfig::baseline());
+        let tn = run(n, 2, MpiConfig::optimized());
+        base.push(n.to_string(), tb.as_ms());
+        binned.push(n.to_string(), tn.as_ms());
+        imp.push(n.to_string(), improvement_pct(tb, tn));
+    }
+    report(
+        "ext_amr_scaling",
+        "processes",
+        "time per run (msec), depth 2",
+        &[base, binned, imp],
+    );
+}

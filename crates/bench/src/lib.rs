@@ -1,0 +1,183 @@
+//! Shared harness utilities for the figure-reproduction benchmarks.
+//!
+//! Every evaluation figure of the paper (Figures 12–17) has a bench target
+//! in `benches/` that prints the same series the paper plots and writes a
+//! CSV next to it. The helpers here standardize how a timed phase runs:
+//! synchronize (barrier), reset the simulated clocks, run the operation
+//! `reps` times, and report the **maximum per-rank simulated time divided
+//! by reps** — the way MPI benchmarks report collective latency.
+
+use ncd_core::{Comm, MpiConfig};
+use ncd_simnet::{Cluster, ClusterConfig, SimTime, Stats};
+
+/// Run `body` on a cluster and return the per-iteration completion time
+/// (max over ranks), plus each rank's stats for breakdown reporting.
+///
+/// `body` receives the communicator and the iteration index; one warmup
+/// iteration (index `usize::MAX`) runs before the clocks reset.
+pub fn time_phase<F>(
+    cluster_cfg: ClusterConfig,
+    mpi_cfg: MpiConfig,
+    reps: usize,
+    body: F,
+) -> (SimTime, Vec<Stats>)
+where
+    F: Fn(&mut Comm, usize) + Send + Sync,
+{
+    assert!(reps > 0);
+    let out = Cluster::new(cluster_cfg).run(|rank| {
+        let mut comm = Comm::new(rank, mpi_cfg.clone());
+        body(&mut comm, usize::MAX); // warmup
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        let _ = comm.rank_mut().take_stats();
+        for it in 0..reps {
+            body(&mut comm, it);
+        }
+        let t = comm.rank_ref().now();
+        let stats = comm.rank_ref().stats().clone();
+        (t, stats)
+    });
+    let tmax = out.iter().map(|(t, _)| *t).max().expect("nonempty cluster");
+    let stats = out.into_iter().map(|(_, s)| s).collect();
+    (SimTime::from_ns(tmax.as_ns() / reps as u64), stats)
+}
+
+/// Aggregate per-rank stats into one cluster-wide breakdown.
+pub fn aggregate(stats: &[Stats]) -> Stats {
+    let mut total = Stats::new();
+    for s in stats {
+        total.merge(s);
+    }
+    total
+}
+
+/// Percentage improvement of `new` over `old` (positive = new is faster).
+pub fn improvement_pct(old: SimTime, new: SimTime) -> f64 {
+    if old.as_ns() == 0 {
+        return 0.0;
+    }
+    100.0 * (old.as_ns() as f64 - new.as_ns() as f64) / old.as_ns() as f64
+}
+
+/// A labelled series of (x, y) points for table/CSV output.
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+}
+
+/// Print an aligned table of several series sharing the x axis, and write
+/// the same data as CSV under `target/figures/<name>.csv`.
+pub fn report(name: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    println!("\n=== {name} ({y_label}) ===");
+    print!("{:>14}", x_label);
+    for s in series {
+        print!("{:>22}", s.label);
+    }
+    println!();
+    let npoints = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..npoints {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|(x, _)| x.clone()))
+            .unwrap_or_default();
+        print!("{x:>14}");
+        for s in series {
+            match s.points.get(i) {
+                Some((_, y)) => print!("{y:>22.3}"),
+                None => print!("{:>22}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // CSV alongside (best effort; benches may run in read-only setups).
+    let dir = std::path::Path::new("target").join("figures");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let mut csv = String::new();
+        csv.push_str(x_label);
+        for s in series {
+            csv.push(',');
+            csv.push_str(&s.label);
+        }
+        csv.push('\n');
+        for i in 0..npoints {
+            let x = series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|(x, _)| x.clone()))
+                .unwrap_or_default();
+            csv.push_str(&x);
+            for s in series {
+                csv.push(',');
+                if let Some((_, y)) = s.points.get(i) {
+                    csv.push_str(&format!("{y}"));
+                }
+            }
+            csv.push('\n');
+        }
+        let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncd_simnet::Tag;
+
+    #[test]
+    fn time_phase_measures_per_iteration() {
+        let ping = |comm: &mut Comm, _it: usize| {
+            if comm.rank() == 0 {
+                comm.rank_mut().send_bytes(1, Tag(0), vec![0; 1200]);
+            } else {
+                let _ = comm.rank_mut().recv_bytes(Some(0), Tag(0));
+            }
+        };
+        let (t1, _) = time_phase(ClusterConfig::uniform(2), MpiConfig::optimized(), 1, ping);
+        let (t4, _) = time_phase(ClusterConfig::uniform(2), MpiConfig::optimized(), 4, ping);
+        // Per-iteration time should be roughly rep-count independent.
+        let ratio = t1.as_ns() as f64 / t4.as_ns() as f64;
+        assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert_eq!(improvement_pct(SimTime(100), SimTime(50)), 50.0);
+        assert_eq!(improvement_pct(SimTime(100), SimTime(100)), 0.0);
+        assert!(improvement_pct(SimTime(50), SimTime(100)) < 0.0);
+        assert_eq!(improvement_pct(SimTime(0), SimTime(10)), 0.0);
+    }
+
+    #[test]
+    fn series_and_report_do_not_panic() {
+        let mut s = Series::new("test");
+        s.push("1", 2.0);
+        s.push("2", 4.0);
+        report("unit_test_fig", "x", "y", &[s]);
+    }
+
+    #[test]
+    fn aggregate_merges_all_ranks() {
+        let (_, stats) = time_phase(
+            ClusterConfig::uniform(3),
+            MpiConfig::optimized(),
+            1,
+            |comm, _| comm.barrier(),
+        );
+        let total = aggregate(&stats);
+        assert!(total.msgs_sent >= 3);
+    }
+}

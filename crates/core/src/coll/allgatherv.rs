@@ -1,0 +1,368 @@
+//! `MPI_Allgatherv` — gathering *nonuniform* per-rank contributions to all
+//! ranks — with the baseline and the paper's optimized algorithm selection
+//! (§4.2.1).
+//!
+//! The baseline (MPICH2-style) picks its algorithm from the **total**
+//! volume: large totals use the ring, which is optimal for uniform volumes
+//! but serializes a single outlier message into O(N) sequential hops
+//! (paper Figure 8). The optimized path first runs the linear-time
+//! outlier-ratio test (two Floyd–Rivest selections, [`crate::select`]);
+//! when the volume set contains outliers it switches to a binomial-pattern
+//! algorithm — recursive doubling for power-of-two process counts (paper
+//! Figure 10), the dissemination variant otherwise (paper Figure 11) — so
+//! the outlier reaches everyone in O(log N) rounds moved by many senders
+//! simultaneously.
+
+use ncd_simnet::CostKind;
+
+use crate::comm::Comm;
+use crate::coll::{coll_tag, CollOp};
+use crate::config::MpiFlavor;
+use crate::select::{detect_outliers, VolumeShape};
+
+/// Which data-movement pattern an allgatherv uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllgathervAlgorithm {
+    /// N-1 neighbour-to-neighbour steps; each block travels the whole ring.
+    Ring,
+    /// log2(N) pairwise exchange phases; requires a power-of-two N.
+    RecursiveDoubling,
+    /// ceil(log2 N) phases of send-to-(i+2^p); works for any N.
+    Dissemination,
+}
+
+fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+impl Comm<'_> {
+    /// Gather each rank's `send` bytes (of length `counts[rank]`) into
+    /// `recvbuf`, which must hold `counts.iter().sum()` bytes, blocks laid
+    /// out consecutively in rank order. Every rank must pass the same
+    /// `counts` (as in MPI, where the count/displacement arrays are
+    /// replicated).
+    ///
+    /// The algorithm is chosen per the communicator's flavor; see
+    /// [`Comm::allgatherv_choose`].
+    pub fn allgatherv(&mut self, send: &[u8], counts: &[usize], recvbuf: &mut [u8]) {
+        // Algorithm selection cost: the baseline scans the volume set once
+        // (for the total); the optimized path adds the two Floyd–Rivest
+        // selections of the outlier test — also linear, with a larger
+        // constant (the paper: "we are increasing the coefficient of the
+        // linear time taken, but not its computational complexity").
+        let passes = match self.config().flavor {
+            MpiFlavor::Baseline => 1,
+            MpiFlavor::Optimized => 3,
+        };
+        let ns = passes as f64 * counts.len() as f64 * 2.0;
+        self.rank_mut().charge_cpu(CostKind::Comm, ns);
+        let algo = self.allgatherv_choose(counts);
+        self.allgatherv_with(algo, send, counts, recvbuf);
+    }
+
+    /// The algorithm-selection policy under the current flavor.
+    pub fn allgatherv_choose(&self, counts: &[usize]) -> AllgathervAlgorithm {
+        let total: usize = counts.iter().sum();
+        let pow2 = is_pow2(self.size());
+        let cfg = self.config();
+        match cfg.flavor {
+            MpiFlavor::Baseline => {
+                if total >= cfg.allgatherv_long_threshold {
+                    AllgathervAlgorithm::Ring
+                } else if pow2 {
+                    AllgathervAlgorithm::RecursiveDoubling
+                } else {
+                    AllgathervAlgorithm::Dissemination
+                }
+            }
+            MpiFlavor::Optimized => {
+                let shape = detect_outliers(counts, cfg.outlier_fraction, cfg.outlier_ratio);
+                // Charge the two linear-time k_select passes: comparable to
+                // the total-volume scan the baseline already performs.
+                match (shape, total >= cfg.allgatherv_long_threshold) {
+                    (VolumeShape::Outliers, _) | (VolumeShape::Uniform, false) => {
+                        if pow2 {
+                            AllgathervAlgorithm::RecursiveDoubling
+                        } else {
+                            AllgathervAlgorithm::Dissemination
+                        }
+                    }
+                    (VolumeShape::Uniform, true) => AllgathervAlgorithm::Ring,
+                }
+            }
+        }
+    }
+
+    /// Run allgatherv with an explicit algorithm (exposed for the
+    /// benchmarks and tests; [`Comm::allgatherv`] chooses automatically).
+    pub fn allgatherv_with(
+        &mut self,
+        algo: AllgathervAlgorithm,
+        send: &[u8],
+        counts: &[usize],
+        recvbuf: &mut [u8],
+    ) {
+        let size = self.size();
+        let rank = self.rank();
+        assert_eq!(counts.len(), size, "one count per rank");
+        let total: usize = counts.iter().sum();
+        assert_eq!(recvbuf.len(), total, "recvbuf must hold all blocks");
+        assert_eq!(send.len(), counts[rank], "send buffer size mismatch");
+
+        let displs: Vec<usize> = counts
+            .iter()
+            .scan(0usize, |acc, &c| {
+                let d = *acc;
+                *acc += c;
+                Some(d)
+            })
+            .collect();
+
+        // Place own contribution.
+        recvbuf[displs[rank]..displs[rank] + counts[rank]].copy_from_slice(send);
+
+        if size == 1 {
+            return;
+        }
+        match algo {
+            AllgathervAlgorithm::Ring => self.agv_ring(counts, &displs, recvbuf),
+            AllgathervAlgorithm::RecursiveDoubling => {
+                assert!(is_pow2(size), "recursive doubling needs power-of-two N");
+                self.agv_recursive_doubling(counts, &displs, recvbuf)
+            }
+            AllgathervAlgorithm::Dissemination => self.agv_dissemination(counts, &displs, recvbuf),
+        }
+    }
+
+    /// Ring: at step s, forward block (rank - s) to the right neighbour.
+    fn agv_ring(&mut self, counts: &[usize], displs: &[usize], recvbuf: &mut [u8]) {
+        let size = self.size();
+        let rank = self.rank();
+        let right = (rank + 1) % size;
+        let left = (rank + size - 1) % size;
+        for step in 0..size - 1 {
+            let send_idx = (rank + size - step) % size;
+            let recv_idx = (rank + size - step - 1) % size;
+            let tag = coll_tag(CollOp::Allgatherv, step as u32);
+            let chunk = recvbuf[displs[send_idx]..displs[send_idx] + counts[send_idx]].to_vec();
+            self.rank_mut().charge_copy(CostKind::Pack, chunk.len(), 1);
+            self.send_grp(right, tag, chunk);
+            let (data, _) = self.recv_grp(Some(left), tag);
+            assert_eq!(data.len(), counts[recv_idx]);
+            self.rank_mut().charge_copy(CostKind::Pack, data.len(), 1);
+            recvbuf[displs[recv_idx]..displs[recv_idx] + counts[recv_idx]].copy_from_slice(&data);
+        }
+    }
+
+    /// Recursive doubling: phase p exchanges the aligned group of 2^p
+    /// blocks with partner rank ^ 2^p; the outlier block is re-sent by a
+    /// doubling set of ranks in parallel (binomial movement).
+    fn agv_recursive_doubling(&mut self, counts: &[usize], displs: &[usize], recvbuf: &mut [u8]) {
+        let size = self.size();
+        let rank = self.rank();
+        let mut mask = 1usize;
+        let mut phase = 0u32;
+        while mask < size {
+            let partner = rank ^ mask;
+            let my_group_start = (rank / mask) * mask;
+            let their_group_start = (partner / mask) * mask;
+            let tag = coll_tag(CollOp::Allgatherv, 1000 + phase);
+
+            let mut payload = Vec::new();
+            for idx in my_group_start..my_group_start + mask {
+                payload.extend_from_slice(&recvbuf[displs[idx]..displs[idx] + counts[idx]]);
+            }
+            self.rank_mut()
+                .charge_copy(CostKind::Pack, payload.len(), mask as u64);
+            self.send_grp(partner, tag, payload);
+            let (data, _) = self.recv_grp(Some(partner), tag);
+
+            self.rank_mut()
+                .charge_copy(CostKind::Pack, data.len(), mask as u64);
+            let mut off = 0usize;
+            for idx in their_group_start..their_group_start + mask {
+                recvbuf[displs[idx]..displs[idx] + counts[idx]]
+                    .copy_from_slice(&data[off..off + counts[idx]]);
+                off += counts[idx];
+            }
+            assert_eq!(off, data.len());
+            mask <<= 1;
+            phase += 1;
+        }
+    }
+
+    /// Dissemination: phase p sends the min(2^p, N - 2^p) most recently
+    /// completed blocks (ending at own rank, wrapping) to rank + 2^p.
+    fn agv_dissemination(&mut self, counts: &[usize], displs: &[usize], recvbuf: &mut [u8]) {
+        let size = self.size();
+        let rank = self.rank();
+        let mut owned = 1usize; // blocks (rank - j) % size for j < owned
+        let mut phase = 0u32;
+        while owned < size {
+            let delta = owned; // 2^phase, capped by ownership growth
+            let send_cnt = owned.min(size - owned);
+            let dst = (rank + delta) % size;
+            let src = (rank + size - delta) % size;
+            let tag = coll_tag(CollOp::Allgatherv, 2000 + phase);
+
+            let mut payload = Vec::new();
+            for j in 0..send_cnt {
+                let idx = (rank + size - j) % size;
+                payload.extend_from_slice(&recvbuf[displs[idx]..displs[idx] + counts[idx]]);
+            }
+            self.rank_mut()
+                .charge_copy(CostKind::Pack, payload.len(), send_cnt as u64);
+            self.send_grp(dst, tag, payload);
+            let (data, _) = self.recv_grp(Some(src), tag);
+
+            self.rank_mut()
+                .charge_copy(CostKind::Pack, data.len(), send_cnt as u64);
+            let mut off = 0usize;
+            for j in 0..send_cnt {
+                let idx = (src + size - j) % size;
+                recvbuf[displs[idx]..displs[idx] + counts[idx]]
+                    .copy_from_slice(&data[off..off + counts[idx]]);
+                off += counts[idx];
+            }
+            assert_eq!(off, data.len());
+            owned += send_cnt;
+            phase += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig, SimTime};
+
+    fn pattern(rank: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((rank * 31 + i) % 251) as u8).collect()
+    }
+
+    fn expected_gather(counts: &[usize]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (r, &c) in counts.iter().enumerate() {
+            out.extend_from_slice(&pattern(r, c));
+        }
+        out
+    }
+
+    fn run_algo(algo: AllgathervAlgorithm, counts: Vec<usize>) -> Vec<Vec<u8>> {
+        let n = counts.len();
+        Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let me = comm.rank();
+            let send = pattern(me, counts[me]);
+            let mut recv = vec![0u8; counts.iter().sum()];
+            comm.allgatherv_with(algo, &send, &counts, &mut recv);
+            recv
+        })
+    }
+
+    #[test]
+    fn ring_correct_on_nonuniform_counts() {
+        let counts = vec![5, 0, 17, 3, 9];
+        let expected = expected_gather(&counts);
+        for r in run_algo(AllgathervAlgorithm::Ring, counts) {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_correct_on_pow2() {
+        for n in [2usize, 4, 8, 16] {
+            let counts: Vec<usize> = (0..n).map(|i| (i * 7) % 23 + 1).collect();
+            let expected = expected_gather(&counts);
+            for r in run_algo(AllgathervAlgorithm::RecursiveDoubling, counts) {
+                assert_eq!(r, expected, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_correct_on_any_n() {
+        for n in [2usize, 3, 5, 6, 7, 9, 12] {
+            let counts: Vec<usize> = (0..n).map(|i| (i * 13) % 31 + 1).collect();
+            let expected = expected_gather(&counts);
+            for r in run_algo(AllgathervAlgorithm::Dissemination, counts) {
+                assert_eq!(r, expected, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_with_outlier_and_zeros() {
+        let mut counts = vec![1usize; 7];
+        counts[3] = 4096;
+        counts[5] = 0;
+        let expected = expected_gather(&counts);
+        for r in run_algo(AllgathervAlgorithm::Dissemination, counts) {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn single_rank_allgatherv() {
+        let out = run_algo(AllgathervAlgorithm::Dissemination, vec![9]);
+        assert_eq!(out[0], pattern(0, 9));
+    }
+
+    #[test]
+    fn automatic_choice_baseline_vs_optimized() {
+        // One 64 KB outlier, 8-byte others, 16 ranks: total is "large".
+        let mut counts = vec![8usize; 16];
+        counts[0] = 64 * 1024;
+        let run = |cfg: MpiConfig| {
+            let counts = counts.clone();
+            Cluster::new(ClusterConfig::uniform(16)).run(move |rank| {
+                let mut comm = Comm::new(rank, cfg.clone());
+                let algo = comm.allgatherv_choose(&counts);
+                let me = comm.rank();
+                let send = pattern(me, counts[me]);
+                let mut recv = vec![0u8; counts.iter().sum()];
+                comm.allgatherv(&send, &counts, &mut recv);
+                comm.barrier();
+                (algo, recv, comm.rank_ref().now())
+            })
+        };
+        let base = run(MpiConfig::baseline());
+        let opt = run(MpiConfig::optimized());
+        assert_eq!(base[0].0, AllgathervAlgorithm::Ring);
+        assert_eq!(opt[0].0, AllgathervAlgorithm::RecursiveDoubling);
+        let expected = expected_gather(&counts);
+        assert_eq!(base[3].1, expected);
+        assert_eq!(opt[3].1, expected);
+        // The binomial movement of the outlier should beat the ring.
+        let tmax = |v: &[(AllgathervAlgorithm, Vec<u8>, SimTime)]| {
+            v.iter().map(|x| x.2).max().unwrap()
+        };
+        assert!(
+            tmax(&opt) < tmax(&base),
+            "optimized {:?} should beat baseline {:?}",
+            tmax(&opt),
+            tmax(&base)
+        );
+    }
+
+    #[test]
+    fn uniform_large_still_uses_ring_in_optimized() {
+        let counts = vec![8192usize; 8];
+        let out = Cluster::new(ClusterConfig::uniform(8)).run(move |rank| {
+            let comm = Comm::new(rank, MpiConfig::optimized());
+            comm.allgatherv_choose(&counts)
+        });
+        assert!(out.iter().all(|&a| a == AllgathervAlgorithm::Ring));
+    }
+
+    #[test]
+    fn small_uniform_uses_logarithmic_algorithms() {
+        let counts = vec![16usize; 6];
+        let out = Cluster::new(ClusterConfig::uniform(6)).run(move |rank| {
+            let comm = Comm::new(rank, MpiConfig::baseline());
+            comm.allgatherv_choose(&counts)
+        });
+        assert!(out.iter().all(|&a| a == AllgathervAlgorithm::Dissemination));
+    }
+}

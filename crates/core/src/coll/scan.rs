@@ -1,0 +1,152 @@
+//! Prefix reductions (`MPI_Scan` / `MPI_Exscan`) and
+//! `MPI_Reduce_scatter_block`, completing the collective set PETSc-style
+//! libraries lean on (ownership-range computation, distributed dot
+//! products over sub-communicators, diagonal assembly).
+
+use crate::comm::{bytes_to_f64s, f64s_to_bytes, Comm};
+use crate::coll::{coll_tag, CollOp};
+
+impl Comm<'_> {
+    /// Inclusive prefix sum: rank r returns `sum(data of ranks 0..=r)`,
+    /// elementwise. Hillis–Steele pattern: ceil(log2 N) rounds.
+    pub fn scan_sum_f64(&mut self, data: &[f64]) -> Vec<f64> {
+        let size = self.size();
+        let rank = self.rank();
+        let mut acc = data.to_vec();
+        let mut delta = 1usize;
+        let mut phase = 0u32;
+        while delta < size {
+            let tag = coll_tag(CollOp::Reduce, 100 + phase);
+            // Send my running prefix to rank + delta, receive from
+            // rank - delta; both conditional on existence.
+            if rank + delta < size {
+                self.send_f64s(&acc, rank + delta, tag);
+            }
+            if rank >= delta {
+                let (other, _) = self.recv_f64s(Some(rank - delta), tag);
+                assert_eq!(other.len(), acc.len(), "scan length mismatch");
+                for (a, b) in acc.iter_mut().zip(&other) {
+                    *a += b;
+                }
+            }
+            delta <<= 1;
+            phase += 1;
+        }
+        acc
+    }
+
+    /// Exclusive prefix sum: rank r returns `sum(data of ranks 0..r)`;
+    /// rank 0 returns zeros. Implemented as a shifted inclusive scan.
+    pub fn exscan_sum_f64(&mut self, data: &[f64]) -> Vec<f64> {
+        let inclusive = self.scan_sum_f64(data);
+        let size = self.size();
+        let rank = self.rank();
+        let tag = coll_tag(CollOp::Reduce, 200);
+        // Shift the inclusive result one rank to the right.
+        if rank + 1 < size {
+            self.send_f64s(&inclusive, rank + 1, tag);
+        }
+        if rank > 0 {
+            let (prev, _) = self.recv_f64s(Some(rank - 1), tag);
+            prev
+        } else {
+            vec![0.0; data.len()]
+        }
+    }
+
+    /// Scalar exclusive prefix sum — the idiom for computing ownership
+    /// offsets from local sizes.
+    pub fn exscan_scalar(&mut self, x: f64) -> f64 {
+        self.exscan_sum_f64(&[x])[0]
+    }
+
+    /// Reduce-scatter with uniform blocks: the elementwise sum of all
+    /// ranks' `data` (length `block * size`) is computed and rank r
+    /// receives block r. Implemented as binomial reduce + scatter, which
+    /// is bandwidth-suboptimal but exercised only on small vectors here.
+    pub fn reduce_scatter_block(&mut self, data: &[f64], block: usize) -> Vec<f64> {
+        let size = self.size();
+        assert_eq!(data.len(), block * size, "reduce_scatter_block size");
+        let reduced = self.reduce_sum_f64(data, 0);
+        let parts: Option<Vec<Vec<u8>>> = reduced.map(|full| {
+            full.chunks(block)
+                .map(f64s_to_bytes)
+                .collect()
+        });
+        let mine = self.scatterv(parts.as_deref(), 0);
+        bytes_to_f64s(&mine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::Comm;
+    use crate::config::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    fn with_n<R: Send>(n: usize, f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+        Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            f(&mut comm)
+        })
+    }
+
+    #[test]
+    fn inclusive_scan_matches_prefix_sums() {
+        for n in [1usize, 2, 3, 5, 8, 9] {
+            let out = with_n(n, |c| c.scan_sum_f64(&[(c.rank() + 1) as f64, 1.0]));
+            for (r, v) in out.iter().enumerate() {
+                let expect: f64 = (0..=r).map(|i| (i + 1) as f64).sum();
+                assert_eq!(v[0], expect, "n={n} r={r}");
+                assert_eq!(v[1], (r + 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_shifts() {
+        let out = with_n(5, |c| c.exscan_scalar((c.rank() + 1) as f64));
+        assert_eq!(out, vec![0.0, 1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn exscan_computes_ownership_offsets() {
+        // The classic use: local sizes -> global starting offsets.
+        let sizes = [3.0f64, 0.0, 5.0, 2.0];
+        let out = with_n(4, move |c| c.exscan_scalar(sizes[c.rank()]));
+        assert_eq!(out, vec![0.0, 3.0, 3.0, 8.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_block_distributes_sums() {
+        let n = 4;
+        let block = 2;
+        let out = with_n(n, move |c| {
+            // data[j] = rank + j, so sum over ranks = n*j + n(n-1)/2.
+            let data: Vec<f64> = (0..block * n).map(|j| (c.rank() + j) as f64).collect();
+            c.reduce_scatter_block(&data, block)
+        });
+        for (r, mine) in out.iter().enumerate() {
+            assert_eq!(mine.len(), block);
+            for (k, &v) in mine.iter().enumerate() {
+                let j = r * block + k;
+                let expect = (n * j) as f64 + (n * (n - 1) / 2) as f64;
+                assert_eq!(v, expect, "rank {r} slot {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_scans_are_identity() {
+        let out = with_n(1, |c| {
+            (
+                c.scan_sum_f64(&[7.0]),
+                c.exscan_scalar(7.0),
+                c.reduce_scatter_block(&[1.0, 2.0], 2),
+            )
+        });
+        assert_eq!(out[0].0, vec![7.0]);
+        assert_eq!(out[0].1, 0.0);
+        assert_eq!(out[0].2, vec![1.0, 2.0]);
+    }
+}

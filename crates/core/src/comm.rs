@@ -1,0 +1,490 @@
+//! The communicator: typed point-to-point communication over a simulated
+//! rank, with pipelined derived-datatype processing.
+//!
+//! [`Comm`] wraps a mutable borrow of a [`Rank`] plus an [`MpiConfig`]. All
+//! collective operations (in [`crate::coll`]) are built on the typed
+//! send/receive implemented here. A send with a noncontiguous datatype runs
+//! the configured pack engine (single- or dual-context — the heart of the
+//! paper's §4.1 comparison); the executed operation counts are converted to
+//! simulated time under the cluster's cost model:
+//!
+//! * re-search segments → `CostKind::Search` at the signature-walk rate,
+//! * look-ahead segments → `CostKind::Pack` at the signature-walk rate,
+//! * packed segments/bytes → `CostKind::Pack` (copy bandwidth + per-segment
+//!   loop cost),
+//! * direct (writev-style) segments → `CostKind::Pack` per-segment only —
+//!   no copy, the bytes go straight from user memory to the wire.
+
+use std::sync::Arc;
+
+use ncd_datatype::{Datatype, OpCounts, Unpacker};
+use ncd_simnet::{CostKind, Rank, Tag};
+
+use crate::config::MpiConfig;
+
+/// A subset of the world's ranks forming a communicator group (the result
+/// of [`Comm::split`], MPI's `MPI_Comm_split`). The group records each
+/// member's *global* rank in group-rank order plus the context id that
+/// keeps its traffic apart from every other communicator's.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommGroup {
+    members: Arc<Vec<usize>>,
+    context: u32,
+}
+
+impl CommGroup {
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global rank of group member `i`.
+    pub fn global_rank(&self, i: usize) -> usize {
+        self.members[i]
+    }
+
+    /// Group rank of a global rank, if it is a member.
+    pub fn group_rank(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&g| g == global)
+    }
+
+    pub fn contains(&self, global: usize) -> bool {
+        self.group_rank(global).is_some()
+    }
+}
+
+/// A communicator: a rank handle plus an implementation personality, and
+/// optionally a sub-group of the world (see [`Comm::split`]).
+pub struct Comm<'a> {
+    rank: &'a mut Rank,
+    cfg: MpiConfig,
+    group: Option<CommGroup>,
+    /// Per-communicator split counter, so consecutive splits derive
+    /// distinct contexts deterministically.
+    split_seq: u32,
+}
+
+impl<'a> Comm<'a> {
+    pub fn new(rank: &'a mut Rank, cfg: MpiConfig) -> Self {
+        Comm {
+            rank,
+            cfg,
+            group: None,
+            split_seq: 0,
+        }
+    }
+
+    /// Rank within this communicator (group rank for sub-communicators).
+    pub fn rank(&self) -> usize {
+        match &self.group {
+            None => self.rank.rank(),
+            Some(g) => g
+                .group_rank(self.rank.rank())
+                .expect("rank not in its own communicator group"),
+        }
+    }
+
+    /// Size of this communicator.
+    pub fn size(&self) -> usize {
+        match &self.group {
+            None => self.rank.size(),
+            Some(g) => g.size(),
+        }
+    }
+
+    /// This rank's global (world) rank, regardless of the group.
+    pub fn global_rank(&self) -> usize {
+        self.rank.rank()
+    }
+
+    /// The communicator context id (0 = world).
+    pub fn context(&self) -> u32 {
+        self.group.as_ref().map_or(0, |g| g.context)
+    }
+
+    /// Send raw bytes to communicator rank `dst` (group-relative) within
+    /// this communicator's context. All higher layers route through this.
+    pub fn send_grp(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
+        let (global, ctx) = match &self.group {
+            None => (dst, 0),
+            Some(g) => (g.global_rank(dst), g.context),
+        };
+        self.rank.send_bytes_ctx(global, tag, ctx, data);
+    }
+
+    /// Receive raw bytes from communicator rank `src` (None = any member)
+    /// within this communicator's context. Returns the payload and the
+    /// source's communicator rank.
+    pub fn recv_grp(&mut self, src: Option<usize>, tag: Tag) -> (Vec<u8>, usize) {
+        match &self.group {
+            None => self.rank.recv_bytes_ctx(src, tag, 0),
+            Some(g) => {
+                let ctx = g.context;
+                let global_src = src.map(|s| g.global_rank(s));
+                let g2 = g.clone();
+                let (data, actual_global) = self.rank.recv_bytes_ctx(global_src, tag, ctx);
+                let grp_src = g2
+                    .group_rank(actual_global)
+                    .expect("message from outside the group matched its context");
+                (data, grp_src)
+            }
+        }
+    }
+
+    /// Collectively split this communicator (MPI_Comm_split): ranks with
+    /// the same `color` form a new group, ordered by (`key`, current
+    /// rank). Returns the group this rank belongs to; run code inside it
+    /// with [`Comm::with_sub`].
+    pub fn split(&mut self, color: usize, key: usize) -> CommGroup {
+        // Gather (color, key, global_rank) from every member.
+        let mut triple = Vec::with_capacity(24);
+        triple.extend_from_slice(&(color as u64).to_le_bytes());
+        triple.extend_from_slice(&(key as u64).to_le_bytes());
+        triple.extend_from_slice(&(self.global_rank() as u64).to_le_bytes());
+        let mut all = vec![0u8; 24 * self.size()];
+        self.allgather(&triple, &mut all);
+        let mut mine: Vec<(u64, u64)> = Vec::new(); // (key, global) of my color
+        for t in all.chunks_exact(24) {
+            let c = u64::from_le_bytes(t[..8].try_into().expect("8"));
+            let k = u64::from_le_bytes(t[8..16].try_into().expect("8"));
+            let g = u64::from_le_bytes(t[16..].try_into().expect("8"));
+            if c == color as u64 {
+                mine.push((k, g));
+            }
+        }
+        mine.sort_unstable();
+        let members: Vec<usize> = mine.into_iter().map(|(_, g)| g as usize).collect();
+        // Derive a context deterministically from (parent context, split
+        // sequence number, color): FNV-1a over the three words.
+        self.split_seq += 1;
+        let mut h: u32 = 0x811c_9dc5;
+        for w in [self.context(), self.split_seq, color as u32] {
+            for b in w.to_le_bytes() {
+                h ^= b as u32;
+                h = h.wrapping_mul(0x0100_0193);
+            }
+        }
+        // Never collide with the world context.
+        let context = h | 1;
+        CommGroup {
+            members: Arc::new(members),
+            context,
+        }
+    }
+
+    /// Run `f` with a communicator scoped to `group`. Returns `None`
+    /// without running `f` if this rank is not a member.
+    pub fn with_sub<R>(&mut self, group: &CommGroup, f: impl FnOnce(&mut Comm) -> R) -> Option<R> {
+        if !group.contains(self.rank.rank()) {
+            return None;
+        }
+        let mut sub = Comm {
+            rank: self.rank,
+            cfg: self.cfg.clone(),
+            group: Some(group.clone()),
+            split_seq: 0,
+        };
+        Some(f(&mut sub))
+    }
+
+    pub fn config(&self) -> &MpiConfig {
+        &self.cfg
+    }
+
+    /// Escape hatch to the underlying simulated rank (clock, stats, raw
+    /// byte messaging).
+    pub fn rank_mut(&mut self) -> &mut Rank {
+        self.rank
+    }
+
+    pub fn rank_ref(&self) -> &Rank {
+        self.rank
+    }
+
+    /// Charge the time cost of executed datatype-engine operations.
+    pub(crate) fn charge_op_counts(&mut self, c: &OpCounts) {
+        let model = self.rank.cost_model().clone();
+        if c.searched_segments > 0 {
+            self.rank.charge_search(c.searched_segments);
+        }
+        if c.lookahead_segments > 0 {
+            let ns = model.search_segments_ns(c.lookahead_segments);
+            self.rank.charge_cpu(CostKind::Pack, ns);
+        }
+        if c.packed_bytes > 0 || c.packed_segments > 0 {
+            self.rank
+                .charge_copy(CostKind::Pack, c.packed_bytes as usize, c.packed_segments);
+        }
+        if c.direct_segments > 0 {
+            let ns = model.pack_segments_ns(c.direct_segments);
+            self.rank.charge_cpu(CostKind::Pack, ns);
+        }
+    }
+
+    /// Send `count` instances of `dt` taken from `buf` to `dst`.
+    ///
+    /// Contiguous datatypes take the fast path (no engine, no extra cost —
+    /// the bytes are handed to the transport directly). Noncontiguous sends
+    /// run the configured pack engine and charge its op counts.
+    pub fn send(&mut self, buf: &[u8], dt: &Datatype, count: usize, dst: usize, tag: Tag) {
+        let payload = self.prepare_send(buf, dt, count);
+        self.send_grp(dst, tag, payload);
+    }
+
+    /// Produce the wire bytes for a typed message, charging pack costs.
+    pub(crate) fn prepare_send(&mut self, buf: &[u8], dt: &Datatype, count: usize) -> Vec<u8> {
+        let total = dt.size() * count;
+        if total == 0 {
+            return Vec::new();
+        }
+        if dt.is_contiguous() {
+            return buf[..total].to_vec();
+        }
+        let mut engine = self.cfg.engine_kind().build(dt, count, self.cfg.engine.clone());
+        let mut counts = OpCounts::default();
+        let payload = engine
+            .pack_all(buf, &mut counts)
+            .expect("datatype out of bounds during send");
+        self.charge_op_counts(&counts);
+        payload
+    }
+
+    /// Receive `count` instances of `dt` into `buf` from `src` (None = any
+    /// source). Returns the actual source rank.
+    pub fn recv(
+        &mut self,
+        buf: &mut [u8],
+        dt: &Datatype,
+        count: usize,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> usize {
+        let (bytes, actual_src) = self.recv_grp(src, tag);
+        self.deliver_recv(buf, dt, count, &bytes);
+        actual_src
+    }
+
+    /// Scatter received wire bytes into the typed receive buffer, charging
+    /// unpack costs.
+    pub(crate) fn deliver_recv(&mut self, buf: &mut [u8], dt: &Datatype, count: usize, bytes: &[u8]) {
+        let total = dt.size() * count;
+        assert!(
+            bytes.len() <= total,
+            "message of {} bytes overflows receive type of {} bytes",
+            bytes.len(),
+            total
+        );
+        if bytes.is_empty() {
+            return;
+        }
+        if dt.is_contiguous() {
+            buf[..bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        let mut unpacker = Unpacker::new(dt, count);
+        let counts = unpacker
+            .unpack(buf, bytes)
+            .expect("datatype out of bounds during receive");
+        self.charge_op_counts(&counts);
+    }
+
+    /// Combined send-then-receive (safe under the transport's eager sends).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        sendbuf: &[u8],
+        sdt: &Datatype,
+        scount: usize,
+        dst: usize,
+        recvbuf: &mut [u8],
+        rdt: &Datatype,
+        rcount: usize,
+        src: usize,
+        tag: Tag,
+    ) {
+        self.send(sendbuf, sdt, scount, dst, tag);
+        self.recv(recvbuf, rdt, rcount, Some(src), tag);
+    }
+
+    /// Convenience: send a contiguous `f64` slice.
+    pub fn send_f64s(&mut self, data: &[f64], dst: usize, tag: Tag) {
+        let bytes = f64s_to_bytes(data);
+        self.send_grp(dst, tag, bytes);
+    }
+
+    /// Convenience: receive a contiguous `f64` vector.
+    pub fn recv_f64s(&mut self, src: Option<usize>, tag: Tag) -> (Vec<f64>, usize) {
+        let (bytes, actual) = self.recv_grp(src, tag);
+        (bytes_to_f64s(&bytes), actual)
+    }
+}
+
+/// Reinterpret f64s as little-endian bytes (portable, explicit).
+pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Reinterpret little-endian bytes as f64s. Panics on ragged lengths.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "byte stream is not a whole number of f64s");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncd_datatype::matrix_column_type;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    fn two_ranks<R: Send>(f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+        Cluster::new(ClusterConfig::uniform(2)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            f(&mut comm)
+        })
+    }
+
+    #[test]
+    fn f64_byte_round_trip() {
+        let v = vec![1.5, -2.25, 0.0, f64::MAX];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_bytes_panic() {
+        bytes_to_f64s(&[0u8; 7]);
+    }
+
+    #[test]
+    fn contiguous_typed_send_recv() {
+        let out = two_ranks(|comm| {
+            let dt = Datatype::double();
+            if comm.rank() == 0 {
+                let data = f64s_to_bytes(&[1.0, 2.0, 3.0]);
+                comm.send(&data, &dt, 3, 1, Tag(0));
+                None
+            } else {
+                let mut buf = vec![0u8; 24];
+                comm.recv(&mut buf, &dt, 3, Some(0), Tag(0));
+                Some(bytes_to_f64s(&buf))
+            }
+        });
+        assert_eq!(out[1].as_ref().unwrap(), &vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn noncontiguous_transpose_send() {
+        // The §5.2 pattern in miniature: send columns, receive rows.
+        let (rows, cols) = (8, 8);
+        let out = two_ranks(move |comm| {
+            let col = matrix_column_type(rows, cols, 3).unwrap();
+            let n = rows * cols * 24;
+            if comm.rank() == 0 {
+                let src: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+                comm.send(&src, &col, cols, 1, Tag(1));
+                Some(src)
+            } else {
+                let row = Datatype::contiguous(n / 8, &Datatype::double()).unwrap();
+                let mut dst = vec![0u8; n];
+                comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
+                Some(dst)
+            }
+        });
+        let src = out[0].as_ref().unwrap();
+        let dst = out[1].as_ref().unwrap();
+        // dst holds the matrix transposed (column-major pack order).
+        let col = matrix_column_type(rows, cols, 3).unwrap();
+        let expected = ncd_datatype::pack_all(&col, cols, src).unwrap();
+        assert_eq!(dst, &expected);
+    }
+
+    #[test]
+    fn baseline_charges_search_optimized_does_not() {
+        let run = |cfg: MpiConfig| {
+            Cluster::new(ClusterConfig::uniform(2)).run(move |rank| {
+                let mut comm = Comm::new(rank, cfg.clone());
+                let col = matrix_column_type(64, 64, 3).unwrap();
+                let n = 64 * 64 * 24;
+                if comm.rank() == 0 {
+                    let src = vec![3u8; n];
+                    comm.send(&src, &col, 64, 1, Tag(0));
+                    comm.rank_ref().stats().search.as_ns()
+                } else {
+                    let mut dst = vec![0u8; n];
+                    let row = Datatype::contiguous(n, &Datatype::byte()).unwrap();
+                    comm.recv(&mut dst, &row, 1, Some(0), Tag(0));
+                    0
+                }
+            })
+        };
+        // Force multiple pipeline blocks over the sparse type.
+        let mut base = MpiConfig::baseline();
+        base.engine.block_size = 4096;
+        let mut opt = MpiConfig::optimized();
+        opt.engine.block_size = 4096;
+        assert!(run(base)[0] > 0, "baseline should charge search time");
+        assert_eq!(run(opt)[0], 0, "optimized must never search");
+    }
+
+    #[test]
+    fn noncontiguous_recv_unpacks() {
+        let out = two_ranks(|comm| {
+            let col = matrix_column_type(4, 4, 1).unwrap();
+            let n = 4 * 4 * 8;
+            if comm.rank() == 0 {
+                // Send 4 contiguous doubles...
+                let data = f64s_to_bytes(&[10.0, 11.0, 12.0, 13.0]);
+                comm.send(&data, &Datatype::double(), 4, 1, Tag(9));
+                None
+            } else {
+                // ...receive them into the first column of a 4x4 matrix.
+                let mut buf = vec![0u8; n];
+                comm.recv(&mut buf, &col, 1, Some(0), Tag(9));
+                Some(bytes_to_f64s(&buf))
+            }
+        });
+        let m = out[1].as_ref().unwrap();
+        assert_eq!(m[0], 10.0);
+        assert_eq!(m[4], 11.0);
+        assert_eq!(m[8], 12.0);
+        assert_eq!(m[12], 13.0);
+        assert_eq!(m[1], 0.0);
+    }
+
+    #[test]
+    fn zero_count_messages_work() {
+        let out = two_ranks(|comm| {
+            let dt = Datatype::double();
+            if comm.rank() == 0 {
+                comm.send(&[], &dt, 0, 1, Tag(0));
+                true
+            } else {
+                let mut buf = [];
+                comm.recv(&mut buf, &dt, 0, Some(0), Tag(0));
+                true
+            }
+        });
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_pair() {
+        let out = two_ranks(|comm| {
+            let dt = Datatype::double();
+            let me = comm.rank();
+            let peer = 1 - me;
+            let send = f64s_to_bytes(&[me as f64 + 1.0]);
+            let mut recv = vec![0u8; 8];
+            comm.sendrecv(&send, &dt, 1, peer, &mut recv, &dt, 1, peer, Tag(5));
+            bytes_to_f64s(&recv)[0]
+        });
+        assert_eq!(out, vec![2.0, 1.0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Configuration selecting between the baseline MPI behaviour
+//! ("MVAPICH2-0.9.5" in the paper's figures) and the optimized framework
+//! ("MVAPICH2-New").
+
+use ncd_datatype::{EngineKind, EngineParams};
+
+/// Which implementation personality a communicator runs with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpiFlavor {
+    /// The behaviour the paper measures against: single-context datatype
+    /// processing, ring allgatherv for large totals, round-robin alltoallw
+    /// including zero-byte exchanges.
+    Baseline,
+    /// The paper's integrated framework: dual-context look-ahead datatype
+    /// processing, outlier-aware allgatherv, binned alltoallw.
+    Optimized,
+}
+
+impl MpiFlavor {
+    pub fn label(self) -> &'static str {
+        match self {
+            MpiFlavor::Baseline => "MVAPICH2-0.9.5",
+            MpiFlavor::Optimized => "MVAPICH2-New",
+        }
+    }
+}
+
+/// Tunables of the communication stack. Defaults follow the constants the
+/// paper reports (15-element look-ahead window, three alltoallw bins) and
+/// MPICH2-era collective switchover points.
+#[derive(Clone, Debug)]
+pub struct MpiConfig {
+    pub flavor: MpiFlavor,
+    /// Pipelined pack engine parameters (block size, look-ahead window,
+    /// density threshold).
+    pub engine: EngineParams,
+    /// Total-volume threshold (bytes) above which allgatherv considers the
+    /// message "large" and the baseline switches to the ring algorithm.
+    pub allgatherv_long_threshold: usize,
+    /// OUTLIER_FRACT of the paper's equation 1.
+    pub outlier_fraction: f64,
+    /// Ratio above which the volume set is declared to contain outliers.
+    pub outlier_ratio: f64,
+    /// Alltoallw bin boundary: messages up to this many bytes are "small"
+    /// and processed first.
+    pub small_msg_threshold: usize,
+}
+
+impl MpiConfig {
+    pub fn baseline() -> Self {
+        MpiConfig {
+            flavor: MpiFlavor::Baseline,
+            engine: EngineParams::default(),
+            allgatherv_long_threshold: 32 * 1024,
+            outlier_fraction: 0.9,
+            outlier_ratio: 8.0,
+            small_msg_threshold: 1024,
+        }
+    }
+
+    pub fn optimized() -> Self {
+        MpiConfig {
+            flavor: MpiFlavor::Optimized,
+            ..Self::baseline()
+        }
+    }
+
+    pub fn engine_kind(&self) -> EngineKind {
+        match self.flavor {
+            MpiFlavor::Baseline => EngineKind::SingleContext,
+            MpiFlavor::Optimized => EngineKind::DualContext,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flavors_map_to_engines() {
+        assert_eq!(MpiConfig::baseline().engine_kind(), EngineKind::SingleContext);
+        assert_eq!(MpiConfig::optimized().engine_kind(), EngineKind::DualContext);
+    }
+
+    #[test]
+    fn labels_match_paper_series() {
+        assert_eq!(MpiFlavor::Baseline.label(), "MVAPICH2-0.9.5");
+        assert_eq!(MpiFlavor::Optimized.label(), "MVAPICH2-New");
+    }
+}

@@ -1,0 +1,43 @@
+//! # ncd-core — the message-passing core
+//!
+//! The MPI-analogue layer of the workspace: a [`Comm`] communicator over a
+//! simulated [`ncd_simnet`] rank, with
+//!
+//! * typed point-to-point send/receive running the configured derived-
+//!   datatype pack engine (single-context baseline vs the paper's
+//!   dual-context look-ahead design);
+//! * nonuniform-volume collectives: [`Comm::allgatherv`] with outlier-aware
+//!   algorithm selection backed by Floyd–Rivest [`select::k_select`]
+//!   (paper §4.2.1), and [`Comm::alltoallw`] with the three-bin schedule
+//!   (paper §4.2.2);
+//! * the supporting collectives (barrier, bcast, gather/scatter, reduce,
+//!   allreduce, allgather, alltoall) higher layers need.
+//!
+//! The [`MpiFlavor`] switch reproduces the paper's two measured
+//! configurations: `Baseline` behaves like MVAPICH2-0.9.5, `Optimized` is
+//! the paper's integrated framework.
+//!
+//! ```
+//! use ncd_core::{Comm, MpiConfig};
+//! use ncd_simnet::{Cluster, ClusterConfig};
+//!
+//! let sums = Cluster::new(ClusterConfig::uniform(4)).run(|rank| {
+//!     let mut comm = Comm::new(rank, MpiConfig::optimized());
+//!     comm.allreduce_scalar(comm.rank() as f64)
+//! });
+//! assert!(sums.iter().all(|&s| s == 6.0));
+//! ```
+
+pub mod coll;
+pub mod comm;
+pub mod config;
+pub mod select;
+
+pub use coll::{AllgathervAlgorithm, AlltoallwSchedule, NeighborExchange, WPeer};
+pub use comm::{bytes_to_f64s, f64s_to_bytes, Comm, CommGroup};
+pub use config::{MpiConfig, MpiFlavor};
+pub use select::{detect_outliers, k_select, VolumeShape};
+
+// Re-export the layers below for convenience of downstream crates.
+pub use ncd_datatype as datatype;
+pub use ncd_simnet as simnet;

@@ -1,0 +1,238 @@
+//! Linear-time selection (Floyd–Rivest) and the paper's outlier-ratio
+//! detector for nonuniform communication-volume sets (§4.2.1).
+//!
+//! The optimized `MPI_Allgatherv` must decide — in time no worse than the
+//! linear scan the existing implementation already performs to compute the
+//! total volume — whether the communication-volume set contains outliers.
+//! The paper formulates this as computing
+//!
+//! ```text
+//!            k_select(VOLS, N)
+//! ratio = ------------------------------------ ,   outliers ⇔ ratio > threshold
+//!          k_select(VOLS, N * OUTLIER_FRACT)
+//! ```
+//!
+//! where `k_select(S, k)` is the k-th smallest element of `S`, evaluated
+//! with the Floyd–Rivest SELECT algorithm in linear expected time.
+
+/// Return the `k`-th smallest element (0-indexed) of `data`, partially
+/// reordering it in place. Expected linear time (Floyd–Rivest SELECT).
+///
+/// Panics if `data` is empty or `k >= data.len()`.
+pub fn k_select(data: &mut [u64], k: usize) -> u64 {
+    assert!(!data.is_empty(), "k_select on empty set");
+    assert!(k < data.len(), "k={} out of range {}", k, data.len());
+    fr_select(data, 0, data.len() as i64 - 1, k as i64);
+    data[k]
+}
+
+/// Floyd–Rivest SELECT over `data[left..=right]`, placing the `k`-th
+/// smallest element of the whole array at index `k`. Signed indices follow
+/// the original algorithm's formulation and avoid unsigned underflow.
+fn fr_select(data: &mut [u64], mut left: i64, mut right: i64, k: i64) {
+    while right > left {
+        // On large ranges, first narrow [left, right] around position k by
+        // selecting within a sample — the bound-tightening step that gives
+        // the algorithm its near-optimal comparison count.
+        if right - left > 600 {
+            let n = (right - left + 1) as f64;
+            let i = (k - left + 1) as f64;
+            let z = n.ln();
+            let s = 0.5 * (2.0 * z / 3.0).exp();
+            let sign = if i - n / 2.0 < 0.0 { -1.0 } else { 1.0 };
+            let sd = 0.5 * (z * s * (n - s) / n).sqrt() * sign;
+            let new_left = left.max((k as f64 - i * s / n + sd).floor() as i64);
+            let new_right = right.min((k as f64 + (n - i) * s / n + sd).floor() as i64);
+            fr_select(data, new_left, new_right, k);
+        }
+        // Partition around t = data[k].
+        let t = data[k as usize];
+        let mut i = left;
+        let mut j = right;
+        data.swap(left as usize, k as usize);
+        if data[right as usize] > t {
+            data.swap(right as usize, left as usize);
+        }
+        while i < j {
+            data.swap(i as usize, j as usize);
+            i += 1;
+            j -= 1;
+            while data[i as usize] < t {
+                i += 1;
+            }
+            while data[j as usize] > t {
+                j -= 1;
+            }
+        }
+        if data[left as usize] == t {
+            data.swap(left as usize, j as usize);
+        } else {
+            j += 1;
+            data.swap(j as usize, right as usize);
+        }
+        // Continue in the part that contains the k-th element.
+        if j <= k {
+            left = j + 1;
+        }
+        if k <= j {
+            right = j - 1;
+        }
+    }
+}
+
+/// Decision produced by [`detect_outliers`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VolumeShape {
+    /// Volumes are roughly uniform — the classic algorithms apply.
+    Uniform,
+    /// A small subset of the volumes is far outside the bulk — use the
+    /// binomial-pattern algorithms.
+    Outliers,
+}
+
+/// The paper's outlier-ratio test (equation 1) over a communication-volume
+/// set.
+///
+/// * `fraction` — `OUTLIER_FRACT`: the quantile encompassing "the bulk" of
+///   the messages (e.g. 0.9).
+/// * `ratio_threshold` — how far the maximum must sit above the bulk
+///   quantile to count as an outlier.
+///
+/// Degenerate sets are handled conservatively: an all-zero set is Uniform;
+/// a set whose bulk quantile is zero but whose maximum is not is Outliers
+/// (division by zero means "infinitely skewed").
+pub fn detect_outliers(volumes: &[usize], fraction: f64, ratio_threshold: f64) -> VolumeShape {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    if volumes.len() < 2 {
+        return VolumeShape::Uniform;
+    }
+    let mut set: Vec<u64> = volumes.iter().map(|&v| v as u64).collect();
+    let n = set.len();
+    let max = k_select(&mut set, n - 1);
+    if max == 0 {
+        return VolumeShape::Uniform;
+    }
+    let k_bulk = (((n as f64) * fraction).ceil() as usize).clamp(1, n) - 1;
+    let bulk = k_select(&mut set, k_bulk);
+    if bulk == 0 {
+        return VolumeShape::Outliers;
+    }
+    if max as f64 / bulk as f64 > ratio_threshold {
+        VolumeShape::Outliers
+    } else {
+        VolumeShape::Uniform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_select(v: &[u64]) {
+        let mut sorted = v.to_vec();
+        sorted.sort_unstable();
+        for (k, &expect) in sorted.iter().enumerate() {
+            let mut work = v.to_vec();
+            assert_eq!(
+                k_select(&mut work, k),
+                expect,
+                "k={k} on {:?}",
+                &v[..v.len().min(20)]
+            );
+        }
+    }
+
+    #[test]
+    fn selects_on_small_sets() {
+        check_select(&[5]);
+        check_select(&[2, 1]);
+        check_select(&[3, 1, 2]);
+        check_select(&[9, 9, 9, 9]);
+        check_select(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        check_select(&[8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn selects_with_duplicates() {
+        check_select(&[4, 4, 1, 1, 3, 3, 2, 2, 4, 1]);
+        check_select(&[0, 0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn selects_on_large_pseudorandom_set() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut x = 0x1234_5678u64;
+        let v: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x >> 33
+            })
+            .collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        for k in [0, 1, 17, 2499, 2500, 4998, 4999] {
+            let mut work = v.clone();
+            assert_eq!(k_select(&mut work, k), sorted[k], "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_panics() {
+        k_select(&mut [], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_k_panics() {
+        k_select(&mut [1, 2, 3], 3);
+    }
+
+    #[test]
+    fn uniform_volumes_are_uniform() {
+        let vols = vec![1024usize; 64];
+        assert_eq!(detect_outliers(&vols, 0.9, 8.0), VolumeShape::Uniform);
+    }
+
+    #[test]
+    fn single_huge_sender_is_outlier() {
+        // Figure 14's workload: one rank sends 32 KB, the rest one double.
+        let mut vols = vec![8usize; 64];
+        vols[0] = 32 * 1024;
+        assert_eq!(detect_outliers(&vols, 0.9, 8.0), VolumeShape::Outliers);
+    }
+
+    #[test]
+    fn mild_spread_is_uniform() {
+        let vols: Vec<usize> = (0..64).map(|i| 1000 + i * 10).collect();
+        assert_eq!(detect_outliers(&vols, 0.9, 8.0), VolumeShape::Uniform);
+    }
+
+    #[test]
+    fn zero_bulk_with_nonzero_max_is_outlier() {
+        // Nearest-neighbour-style set: mostly zeros.
+        let mut vols = vec![0usize; 64];
+        vols[1] = 800;
+        vols[63] = 800;
+        assert_eq!(detect_outliers(&vols, 0.9, 8.0), VolumeShape::Outliers);
+    }
+
+    #[test]
+    fn all_zero_is_uniform() {
+        assert_eq!(detect_outliers(&[0, 0, 0, 0], 0.9, 8.0), VolumeShape::Uniform);
+    }
+
+    #[test]
+    fn tiny_sets_are_uniform() {
+        assert_eq!(detect_outliers(&[], 0.9, 8.0), VolumeShape::Uniform);
+        assert_eq!(detect_outliers(&[123], 0.9, 8.0), VolumeShape::Uniform);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let mut vols = vec![100usize; 10];
+        vols[0] = 500; // 5x the bulk
+        assert_eq!(detect_outliers(&vols, 0.9, 8.0), VolumeShape::Uniform);
+        assert_eq!(detect_outliers(&vols, 0.9, 4.0), VolumeShape::Outliers);
+    }
+}

@@ -1,0 +1,316 @@
+//! Datatype *contexts*: resumable positions inside a (type, count) stream.
+//!
+//! A [`TypeCursor`] is what the paper calls a **context** — a snapshot of
+//! how far a derived datatype (replicated `count` times, as in an MPI send
+//! with a count argument) has been processed, measured in *packed bytes*.
+//! The cursor yields contiguous memory ranges in pack order, can *peek*
+//! ahead without committing, can be cheaply cloned (a snapshot — this is
+//! what makes the dual-context design O(1)), and can be *searched*: reset
+//! to the beginning and walked forward segment by segment until a target
+//! packed offset is reached, counting the segments visited. The search walk
+//! is exactly the baseline engine's recovery path whose cost grows linearly
+//! per block and therefore quadratically per message.
+
+use crate::desc::Datatype;
+
+/// A contiguous range of user-buffer memory produced by cursor traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRange {
+    /// Byte offset from the start of the user buffer.
+    pub offset: i64,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+/// A resumable position within `count` replicas of a datatype.
+#[derive(Clone, Debug)]
+pub struct TypeCursor {
+    dt: Datatype,
+    count: usize,
+    /// Which replica we are in.
+    rep: usize,
+    /// Which segment of the replica.
+    seg: usize,
+    /// Byte offset within that segment.
+    seg_off: usize,
+    /// Total packed bytes already consumed.
+    packed: usize,
+}
+
+impl TypeCursor {
+    pub fn new(dt: &Datatype, count: usize) -> Self {
+        TypeCursor {
+            dt: dt.clone(),
+            count,
+            rep: 0,
+            seg: 0,
+            seg_off: 0,
+            packed: 0,
+        }
+    }
+
+    /// Total packed bytes the full (type, count) stream contains.
+    pub fn total_bytes(&self) -> usize {
+        self.dt.size() * self.count
+    }
+
+    /// Packed bytes consumed so far — the cursor's position.
+    pub fn packed_offset(&self) -> usize {
+        self.packed
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.total_bytes() - self.packed
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.dt.size() == 0 || self.count == 0 || self.packed >= self.total_bytes()
+    }
+
+    pub fn datatype(&self) -> &Datatype {
+        &self.dt
+    }
+
+    fn current_segment(&self) -> Option<MemRange> {
+        if self.is_done() {
+            return None;
+        }
+        let seg = self.dt.segments()[self.seg];
+        let base = self.rep as i64 * self.dt.extent();
+        Some(MemRange {
+            offset: base + seg.offset + self.seg_off as i64,
+            len: seg.len - self.seg_off,
+        })
+    }
+
+    fn step_segment(&mut self) {
+        self.seg_off = 0;
+        self.seg += 1;
+        if self.seg == self.dt.num_segments() {
+            self.seg = 0;
+            self.rep += 1;
+        }
+    }
+
+    /// Consume and return the next contiguous range, limited to `max_len`
+    /// bytes. Returns `None` when the stream is exhausted.
+    pub fn next_range(&mut self, max_len: usize) -> Option<MemRange> {
+        if max_len == 0 {
+            return None;
+        }
+        let cur = self.current_segment()?;
+        let take = cur.len.min(max_len);
+        self.seg_off += take;
+        self.packed += take;
+        if self.seg_off == self.dt.segments()[self.seg].len {
+            self.step_segment();
+        }
+        Some(MemRange {
+            offset: cur.offset,
+            len: take,
+        })
+    }
+
+    /// Peek at up to `max_segments` upcoming ranges, visiting at most
+    /// `max_bytes`, without moving the cursor. Returns the ranges and the
+    /// number of *segments visited* (the signature-parse work a look-ahead
+    /// pays for).
+    pub fn peek(&self, max_segments: usize, max_bytes: usize) -> (Vec<MemRange>, u64) {
+        let mut probe = self.clone();
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        while out.len() < max_segments && bytes < max_bytes {
+            match probe.next_range(max_bytes - bytes) {
+                Some(r) => {
+                    bytes += r.len;
+                    out.push(r);
+                }
+                None => break,
+            }
+        }
+        let visited = out.len() as u64;
+        (out, visited)
+    }
+
+    /// Rewind to the beginning of the stream.
+    pub fn rewind(&mut self) {
+        self.rep = 0;
+        self.seg = 0;
+        self.seg_off = 0;
+        self.packed = 0;
+    }
+
+    /// Walk forward from the current position until `target` packed bytes
+    /// have been consumed, counting segments visited. Only the signature is
+    /// walked (no data is touched); the count is what a cost model charges
+    /// per visited segment.
+    ///
+    /// Panics if `target` is behind the current position or beyond the end.
+    pub fn advance_to(&mut self, target: usize) -> u64 {
+        assert!(
+            target >= self.packed,
+            "advance_to goes forward only ({} -> {target})",
+            self.packed
+        );
+        assert!(target <= self.total_bytes(), "target beyond stream end");
+        let mut visited = 0u64;
+        while self.packed < target {
+            let cur = self
+                .current_segment()
+                .expect("stream ended before target despite bound check");
+            visited += 1;
+            let take = cur.len.min(target - self.packed);
+            self.seg_off += take;
+            self.packed += take;
+            if self.seg_off == self.dt.segments()[self.seg].len {
+                self.step_segment();
+            }
+        }
+        visited
+    }
+
+    /// The baseline engine's recovery path: rewind and re-search the whole
+    /// datatype from the start until `target` packed bytes. Returns segments
+    /// visited — a cost that grows linearly with `target`.
+    pub fn search_from_start(&mut self, target: usize) -> u64 {
+        self.rewind();
+        self.advance_to(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column_type() -> Datatype {
+        // 8 elements of 24 bytes, stride 8 elements (one matrix column).
+        let elem = Datatype::contiguous(3, &Datatype::double()).unwrap();
+        Datatype::vector(8, 1, 8, &elem).unwrap()
+    }
+
+    #[test]
+    fn walks_all_bytes_in_order() {
+        let col = column_type();
+        let mut c = TypeCursor::new(&col, 1);
+        assert_eq!(c.total_bytes(), 192);
+        let mut seen = 0;
+        let mut last_end = i64::MIN;
+        while let Some(r) = c.next_range(usize::MAX) {
+            assert!(r.offset >= last_end);
+            last_end = r.offset + r.len as i64;
+            seen += r.len;
+        }
+        assert_eq!(seen, 192);
+        assert!(c.is_done());
+        assert_eq!(c.next_range(100), None);
+    }
+
+    #[test]
+    fn max_len_splits_segments() {
+        let col = column_type();
+        let mut c = TypeCursor::new(&col, 1);
+        let r1 = c.next_range(10).unwrap();
+        assert_eq!((r1.offset, r1.len), (0, 10));
+        let r2 = c.next_range(10).unwrap();
+        assert_eq!((r2.offset, r2.len), (10, 10));
+        let r3 = c.next_range(10).unwrap();
+        assert_eq!((r3.offset, r3.len), (20, 4)); // finishes the 24-byte segment
+        let r4 = c.next_range(10).unwrap();
+        assert_eq!(r4.offset, 8 * 24); // next block of the vector
+        assert_eq!(c.packed_offset(), 34);
+    }
+
+    #[test]
+    fn replicas_shift_by_extent() {
+        let elem = Datatype::contiguous(3, &Datatype::double()).unwrap();
+        let col = Datatype::vector(8, 1, 8, &elem).unwrap();
+        let col_r = Datatype::resized(0, 24, &col).unwrap();
+        let mut c = TypeCursor::new(&col_r, 3);
+        assert_eq!(c.total_bytes(), 3 * 192);
+        // Skip the first replica (8 segments).
+        for _ in 0..8 {
+            c.next_range(usize::MAX).unwrap();
+        }
+        let r = c.next_range(usize::MAX).unwrap();
+        // Second replica starts one element (24 bytes) over.
+        assert_eq!(r.offset, 24);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let col = column_type();
+        let c = TypeCursor::new(&col, 1);
+        let (ranges, visited) = c.peek(3, usize::MAX);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(visited, 3);
+        assert_eq!(c.packed_offset(), 0);
+        let (ranges2, _) = c.peek(100, 50);
+        // 24 + 24 + 2 bytes = 50 -> 3 ranges, last truncated
+        assert_eq!(ranges2.len(), 3);
+        assert_eq!(ranges2[2].len, 2);
+    }
+
+    #[test]
+    fn advance_to_counts_segments() {
+        let col = column_type();
+        let mut c = TypeCursor::new(&col, 1);
+        // 100 bytes = 4 segments of 24 plus 4 bytes into the 5th.
+        let visited = c.advance_to(100);
+        assert_eq!(visited, 5);
+        assert_eq!(c.packed_offset(), 100);
+        // Continue to the end.
+        let v2 = c.advance_to(192);
+        assert_eq!(v2, 4); // finish seg 5 + segs 6,7,8
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn search_from_start_cost_grows_with_target() {
+        let col = column_type();
+        let mut c = TypeCursor::new(&col, 4);
+        let v1 = c.search_from_start(48);
+        let v2 = c.search_from_start(480);
+        assert!(v2 > v1);
+        assert_eq!(c.packed_offset(), 480);
+        // Searching to the very end visits all 32 segments.
+        assert_eq!(c.search_from_start(4 * 192), 32);
+    }
+
+    #[test]
+    fn advance_to_zero_visits_nothing() {
+        let col = column_type();
+        let mut c = TypeCursor::new(&col, 1);
+        assert_eq!(c.advance_to(0), 0);
+        assert_eq!(c.packed_offset(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward only")]
+    fn advance_backwards_panics() {
+        let col = column_type();
+        let mut c = TypeCursor::new(&col, 1);
+        c.advance_to(50);
+        c.advance_to(10);
+    }
+
+    #[test]
+    fn empty_type_is_immediately_done() {
+        let t = Datatype::contiguous(0, &Datatype::double()).unwrap();
+        let mut c = TypeCursor::new(&t, 5);
+        assert!(c.is_done());
+        assert_eq!(c.next_range(usize::MAX), None);
+        assert_eq!(c.total_bytes(), 0);
+    }
+
+    #[test]
+    fn clone_is_independent_snapshot() {
+        let col = column_type();
+        let mut a = TypeCursor::new(&col, 1);
+        a.advance_to(30);
+        let b = a.clone();
+        a.advance_to(100);
+        assert_eq!(b.packed_offset(), 30);
+        assert_eq!(a.packed_offset(), 100);
+    }
+}

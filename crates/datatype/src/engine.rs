@@ -1,0 +1,611 @@
+//! Pipelined pack engines: the baseline single-context design and the
+//! paper's dual-context look-ahead design (§4.1).
+//!
+//! Both engines produce the message byte stream in pipeline *blocks*. Before
+//! each block they **look ahead** over the upcoming portion of the datatype
+//! signature to classify it as *dense* (long contiguous pieces — ship the
+//! pieces directly, `writev`-style, without an intermediate copy) or
+//! *sparse* (many short pieces — pack them into an intermediate buffer
+//! first). The difference is purely in context management:
+//!
+//! * [`SingleContextEngine`] models MPICH2-at-the-time: there is **one**
+//!   context, and the look-ahead advances it. In the dense case that is
+//!   harmless (the look-ahead doubles as the iovec walk). In the sparse
+//!   case the data must be packed *from the pre-look-ahead position*, which
+//!   the single context no longer holds — so the engine **re-searches the
+//!   datatype from the very beginning** to recover it. The search work per
+//!   block grows linearly with the position, hence quadratically over the
+//!   message. This is the pathology of Figures 12–13.
+//!
+//! * [`DualContextEngine`] is the paper's fix: a look-ahead context parses
+//!   the upcoming signature while a separate pack context stays at the pack
+//!   position. The look-ahead work is bounded by a small window (15
+//!   segments, the constant the paper reports), so it is near-constant per
+//!   block and no search is ever performed.
+//!
+//! Engines return [`OpCounts`] — real, executed operation counts — which the
+//! communication layer converts into simulated time.
+
+use crate::cursor::{MemRange, TypeCursor};
+use crate::desc::Datatype;
+use crate::error::{Result, TypeError};
+
+/// Tunables of the pipeline and density classifier.
+#[derive(Clone, Debug)]
+pub struct EngineParams {
+    /// Pipeline granularity: maximum packed bytes per block.
+    pub block_size: usize,
+    /// Look-ahead window in segments (the paper uses ~15 elements).
+    pub lookahead_segments: usize,
+    /// A look-ahead window whose average contiguous piece is at least this
+    /// many bytes is classified *dense* (sent without an intermediate copy).
+    pub dense_threshold: usize,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            block_size: 64 * 1024,
+            lookahead_segments: 15,
+            dense_threshold: 512,
+        }
+    }
+}
+
+/// Executed-operation counters for one pack (or unpack) stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Segments walked while re-searching a lost context (baseline only).
+    pub searched_segments: u64,
+    /// Segments walked by look-ahead classification (signature only).
+    pub lookahead_segments: u64,
+    /// Segments copied through an intermediate buffer.
+    pub packed_segments: u64,
+    /// Bytes copied through an intermediate buffer.
+    pub packed_bytes: u64,
+    /// Segments shipped directly (gather/writev path, no copy).
+    pub direct_segments: u64,
+    /// Bytes shipped directly.
+    pub direct_bytes: u64,
+}
+
+impl OpCounts {
+    pub fn merge(&mut self, o: &OpCounts) {
+        self.searched_segments += o.searched_segments;
+        self.lookahead_segments += o.lookahead_segments;
+        self.packed_segments += o.packed_segments;
+        self.packed_bytes += o.packed_bytes;
+        self.direct_segments += o.direct_segments;
+        self.direct_bytes += o.direct_bytes;
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.packed_bytes + self.direct_bytes
+    }
+}
+
+/// How a block left the sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockMode {
+    /// Copied into an intermediate buffer before hitting the wire.
+    Packed,
+    /// Gathered directly from user memory (writev-style).
+    Direct,
+}
+
+/// One pipeline block: the bytes plus how they were produced.
+#[derive(Clone, Debug)]
+pub struct Block {
+    pub data: Vec<u8>,
+    pub mode: BlockMode,
+}
+
+/// A pipelined pack engine over `count` replicas of a datatype.
+pub trait PackEngine {
+    /// Engine name for reports ("single-context", "dual-context").
+    fn name(&self) -> &'static str;
+
+    /// Produce the next pipeline block from `src`, or `None` when the
+    /// message is complete. Operation counts accumulate into `counts`.
+    fn next_block(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Option<Block>>;
+
+    /// Drain the whole stream, concatenating all blocks (convenience for
+    /// tests and non-pipelined callers).
+    fn pack_all(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(b) = self.next_block(src, counts)? {
+            out.extend_from_slice(&b.data);
+        }
+        Ok(out)
+    }
+}
+
+/// Copy `ranges` out of `src` appending to `out`; bounds-checked.
+fn gather(src: &[u8], ranges: &[MemRange], out: &mut Vec<u8>) -> Result<()> {
+    for r in ranges {
+        let start = r.offset;
+        if start < 0 || (start as usize) + r.len > src.len() {
+            return Err(TypeError::OutOfBounds {
+                offset: start,
+                len: r.len,
+                buf_len: src.len(),
+            });
+        }
+        out.extend_from_slice(&src[start as usize..start as usize + r.len]);
+    }
+    Ok(())
+}
+
+/// Classify a look-ahead window: dense iff the average piece length clears
+/// the threshold. Empty windows count as dense (nothing to pack).
+fn classify(ranges: &[MemRange], dense_threshold: usize) -> BlockMode {
+    if ranges.is_empty() {
+        return BlockMode::Direct;
+    }
+    let bytes: usize = ranges.iter().map(|r| r.len).sum();
+    if bytes / ranges.len() >= dense_threshold {
+        BlockMode::Direct
+    } else {
+        BlockMode::Packed
+    }
+}
+
+/// The faithful baseline: one context, look-ahead steals it, sparse blocks
+/// trigger a re-search from the start of the datatype.
+pub struct SingleContextEngine {
+    cursor: TypeCursor,
+    params: EngineParams,
+}
+
+impl SingleContextEngine {
+    pub fn new(dt: &Datatype, count: usize, params: EngineParams) -> Self {
+        SingleContextEngine {
+            cursor: TypeCursor::new(dt, count),
+            params,
+        }
+    }
+}
+
+impl PackEngine for SingleContextEngine {
+    fn name(&self) -> &'static str {
+        "single-context"
+    }
+
+    fn next_block(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Option<Block>> {
+        if self.cursor.is_done() {
+            return Ok(None);
+        }
+        let pre_lookahead = self.cursor.packed_offset();
+
+        // Look-ahead: advance THE context over the window, recording the
+        // ranges seen (they double as the iovec in the dense case).
+        let mut window = Vec::with_capacity(self.params.lookahead_segments);
+        let mut window_bytes = 0usize;
+        while window.len() < self.params.lookahead_segments
+            && window_bytes < self.params.block_size
+        {
+            match self
+                .cursor
+                .next_range(self.params.block_size - window_bytes)
+            {
+                Some(r) => {
+                    window_bytes += r.len;
+                    window.push(r);
+                }
+                None => break,
+            }
+        }
+        counts.lookahead_segments += window.len() as u64;
+
+        match classify(&window, self.params.dense_threshold) {
+            BlockMode::Direct => {
+                // Dense: the look-ahead walk already produced the iovec;
+                // ship it directly. Context is consistently past the block.
+                let mut data = Vec::with_capacity(window_bytes);
+                gather(src, &window, &mut data)?;
+                counts.direct_segments += window.len() as u64;
+                counts.direct_bytes += window_bytes as u64;
+                Ok(Some(Block {
+                    data,
+                    mode: BlockMode::Direct,
+                }))
+            }
+            BlockMode::Packed => {
+                // Sparse: we must pack starting at `pre_lookahead`, but the
+                // single context has moved past it. Recover by re-searching
+                // the entire datatype from the beginning — the quadratic
+                // pathology.
+                counts.searched_segments += self.cursor.search_from_start(pre_lookahead);
+
+                let mut data = Vec::with_capacity(self.params.block_size);
+                let mut packed = 0usize;
+                let mut segs = 0u64;
+                while packed < self.params.block_size {
+                    match self.cursor.next_range(self.params.block_size - packed) {
+                        Some(r) => {
+                            gather(src, std::slice::from_ref(&r), &mut data)?;
+                            packed += r.len;
+                            segs += 1;
+                        }
+                        None => break,
+                    }
+                }
+                counts.packed_segments += segs;
+                counts.packed_bytes += packed as u64;
+                Ok(Some(Block {
+                    data,
+                    mode: BlockMode::Packed,
+                }))
+            }
+        }
+    }
+}
+
+/// The paper's dual-context look-ahead engine: a look-ahead context
+/// classifies while a separate pack context keeps the pack position; no
+/// search, ever.
+pub struct DualContextEngine {
+    pack_cursor: TypeCursor,
+    params: EngineParams,
+}
+
+impl DualContextEngine {
+    pub fn new(dt: &Datatype, count: usize, params: EngineParams) -> Self {
+        DualContextEngine {
+            pack_cursor: TypeCursor::new(dt, count),
+            params,
+        }
+    }
+}
+
+impl PackEngine for DualContextEngine {
+    fn name(&self) -> &'static str {
+        "dual-context"
+    }
+
+    fn next_block(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Option<Block>> {
+        if self.pack_cursor.is_done() {
+            return Ok(None);
+        }
+
+        // Context 1 (look-ahead): a snapshot of the pack context, rolled
+        // forward over the signature only. This is the "redundant parsing"
+        // the paper accepts: bounded by the window, hence near-constant.
+        let (window, visited) = self
+            .pack_cursor
+            .peek(self.params.lookahead_segments, self.params.block_size);
+        counts.lookahead_segments += visited;
+
+        match classify(&window, self.params.dense_threshold) {
+            BlockMode::Direct => {
+                // Context 2 (pack) walks the same region and ships directly.
+                let bytes: usize = window.iter().map(|r| r.len).sum();
+                let mut data = Vec::with_capacity(bytes);
+                let mut shipped = 0usize;
+                let mut segs = 0u64;
+                while shipped < bytes {
+                    let r = self
+                        .pack_cursor
+                        .next_range(bytes - shipped)
+                        .expect("peek promised these bytes");
+                    gather(src, std::slice::from_ref(&r), &mut data)?;
+                    shipped += r.len;
+                    segs += 1;
+                }
+                counts.direct_segments += segs;
+                counts.direct_bytes += shipped as u64;
+                Ok(Some(Block {
+                    data,
+                    mode: BlockMode::Direct,
+                }))
+            }
+            BlockMode::Packed => {
+                // Pack a full pipeline block from the pack context. No
+                // search: the context never moved.
+                let mut data = Vec::with_capacity(self.params.block_size);
+                let mut packed = 0usize;
+                let mut segs = 0u64;
+                while packed < self.params.block_size {
+                    match self.pack_cursor.next_range(self.params.block_size - packed) {
+                        Some(r) => {
+                            gather(src, std::slice::from_ref(&r), &mut data)?;
+                            packed += r.len;
+                            segs += 1;
+                        }
+                        None => break,
+                    }
+                }
+                counts.packed_segments += segs;
+                counts.packed_bytes += packed as u64;
+                Ok(Some(Block {
+                    data,
+                    mode: BlockMode::Packed,
+                }))
+            }
+        }
+    }
+}
+
+/// Which engine a communicator uses — the "MVAPICH2-0.9.5" vs
+/// "MVAPICH2-New" switch of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    SingleContext,
+    DualContext,
+}
+
+impl EngineKind {
+    pub fn build(self, dt: &Datatype, count: usize, params: EngineParams) -> Box<dyn PackEngine> {
+        match self {
+            EngineKind::SingleContext => Box::new(SingleContextEngine::new(dt, count, params)),
+            EngineKind::DualContext => Box::new(DualContextEngine::new(dt, count, params)),
+        }
+    }
+}
+
+/// Sequential unpacker for the receive side: writes an incoming byte stream
+/// into the noncontiguous layout. Receiving needs no density decisions, so a
+/// single forward-only context suffices and no search ever happens.
+pub struct Unpacker {
+    cursor: TypeCursor,
+}
+
+impl Unpacker {
+    pub fn new(dt: &Datatype, count: usize) -> Self {
+        Unpacker {
+            cursor: TypeCursor::new(dt, count),
+        }
+    }
+
+    /// Scatter `bytes` into `dst` at the current position, advancing it.
+    /// Returns per-call op counts (unpack cost mirrors pack cost).
+    pub fn unpack(&mut self, dst: &mut [u8], bytes: &[u8]) -> Result<OpCounts> {
+        let mut counts = OpCounts::default();
+        let mut consumed = 0usize;
+        while consumed < bytes.len() {
+            let r = match self.cursor.next_range(bytes.len() - consumed) {
+                Some(r) => r,
+                None => {
+                    return Err(TypeError::StreamOverrun {
+                        extra: bytes.len() - consumed,
+                    })
+                }
+            };
+            if r.offset < 0 || (r.offset as usize) + r.len > dst.len() {
+                return Err(TypeError::OutOfBounds {
+                    offset: r.offset,
+                    len: r.len,
+                    buf_len: dst.len(),
+                });
+            }
+            dst[r.offset as usize..r.offset as usize + r.len]
+                .copy_from_slice(&bytes[consumed..consumed + r.len]);
+            consumed += r.len;
+            counts.packed_segments += 1;
+        }
+        counts.packed_bytes += consumed as u64;
+        Ok(counts)
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.cursor.is_done()
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.cursor.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8x8 matrix of 3-double elements; the first-column datatype of the
+    /// paper's Figures 4-6.
+    fn matrix_and_column() -> (Vec<u8>, Datatype) {
+        let mut m = vec![0u8; 8 * 8 * 24];
+        for (i, b) in m.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let elem = Datatype::contiguous(3, &Datatype::double()).unwrap();
+        let col = Datatype::vector(8, 1, 8, &elem).unwrap();
+        (m, col)
+    }
+
+    fn naive_pack(src: &[u8], dt: &Datatype, count: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut c = TypeCursor::new(dt, count);
+        while let Some(r) = c.next_range(usize::MAX) {
+            out.extend_from_slice(&src[r.offset as usize..r.offset as usize + r.len]);
+        }
+        out
+    }
+
+    #[test]
+    fn both_engines_produce_identical_streams() {
+        let (m, col) = matrix_and_column();
+        let expected = naive_pack(&m, &col, 1);
+        for kind in [EngineKind::SingleContext, EngineKind::DualContext] {
+            let mut e = kind.build(&col, 1, EngineParams::default());
+            let mut counts = OpCounts::default();
+            let got = e.pack_all(&m, &mut counts).unwrap();
+            assert_eq!(got, expected, "{} diverged", e.name());
+            assert_eq!(counts.total_bytes() as usize, expected.len());
+        }
+    }
+
+    #[test]
+    fn sparse_type_single_context_searches_dual_does_not() {
+        let (m, col) = matrix_and_column();
+        // Small blocks to force several pipeline blocks over a sparse type.
+        let params = EngineParams {
+            block_size: 48,
+            lookahead_segments: 4,
+            dense_threshold: 512,
+        };
+        let mut single = SingleContextEngine::new(&col, 1, params.clone());
+        let mut c1 = OpCounts::default();
+        single.pack_all(&m, &mut c1).unwrap();
+        assert!(c1.searched_segments > 0, "baseline must re-search");
+
+        let mut dual = DualContextEngine::new(&col, 1, params);
+        let mut c2 = OpCounts::default();
+        dual.pack_all(&m, &mut c2).unwrap();
+        assert_eq!(c2.searched_segments, 0, "dual-context never searches");
+        assert_eq!(c1.packed_bytes, c2.packed_bytes);
+    }
+
+    #[test]
+    fn search_grows_quadratically_with_message() {
+        // Column type replicated: searched segments should grow ~4x when
+        // the message doubles (quadratic), for the single-context engine.
+        let elem = Datatype::contiguous(3, &Datatype::double()).unwrap();
+        let col = Datatype::vector(64, 1, 64, &elem).unwrap();
+        let col_r = Datatype::resized(0, 24, &col).unwrap();
+        let params = EngineParams {
+            block_size: 256,
+            lookahead_segments: 8,
+            dense_threshold: 512,
+        };
+        let search_for = |count: usize| {
+            let buf = vec![1u8; 64 * 64 * 24];
+            let mut e = SingleContextEngine::new(&col_r, count, params.clone());
+            let mut c = OpCounts::default();
+            e.pack_all(&buf, &mut c).unwrap();
+            c.searched_segments
+        };
+        let s1 = search_for(16);
+        let s2 = search_for(32);
+        let ratio = s2 as f64 / s1 as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "expected ~4x growth, got {ratio} ({s1} -> {s2})"
+        );
+    }
+
+    #[test]
+    fn dense_type_goes_direct_with_no_copy() {
+        // Long contiguous runs: 4 KB rows with gaps.
+        let row = Datatype::contiguous(512, &Datatype::double()).unwrap(); // 4096 B
+        let t = Datatype::hvector(8, 1, 8192, &row).unwrap();
+        let buf = vec![7u8; 8 * 8192];
+        for kind in [EngineKind::SingleContext, EngineKind::DualContext] {
+            let mut e = kind.build(&t, 1, EngineParams::default());
+            let mut c = OpCounts::default();
+            let out = e.pack_all(&buf, &mut c).unwrap();
+            assert_eq!(out.len(), 8 * 4096);
+            assert_eq!(c.packed_bytes, 0, "{}: dense must not copy", e.name());
+            assert_eq!(c.direct_bytes, 8 * 4096);
+            assert_eq!(c.searched_segments, 0, "{}: dense never searches", e.name());
+        }
+    }
+
+    #[test]
+    fn blocks_respect_pipeline_granularity() {
+        let (m, col) = matrix_and_column();
+        let params = EngineParams {
+            block_size: 64,
+            lookahead_segments: 15,
+            dense_threshold: 512,
+        };
+        let mut e = DualContextEngine::new(&col, 1, params);
+        let mut counts = OpCounts::default();
+        let mut blocks = Vec::new();
+        while let Some(b) = e.next_block(&m, &mut counts).unwrap() {
+            assert!(b.data.len() <= 64);
+            blocks.push(b);
+        }
+        assert_eq!(blocks.len(), 3); // 192 bytes / 64
+        assert!(blocks.iter().all(|b| b.mode == BlockMode::Packed));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let col = matrix_and_column().1;
+        let small = vec![0u8; 10];
+        let mut e = DualContextEngine::new(&col, 1, EngineParams::default());
+        let mut c = OpCounts::default();
+        assert!(matches!(
+            e.next_block(&small, &mut c),
+            Err(TypeError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn unpack_reverses_pack() {
+        let (m, col) = matrix_and_column();
+        let mut e = DualContextEngine::new(&col, 1, EngineParams::default());
+        let mut c = OpCounts::default();
+        let packed = e.pack_all(&m, &mut c).unwrap();
+
+        let mut dst = vec![0u8; m.len()];
+        let mut u = Unpacker::new(&col, 1);
+        u.unpack(&mut dst, &packed).unwrap();
+        assert!(u.is_done());
+
+        // The column bytes of dst match m; everything else stayed zero.
+        for s in col.segments() {
+            assert_eq!(
+                &dst[s.offset as usize..s.offset as usize + s.len],
+                &m[s.offset as usize..s.offset as usize + s.len]
+            );
+        }
+        let touched: usize = col.segments().iter().map(|s| s.len).sum();
+        assert!(dst.iter().filter(|&&b| b != 0).count() <= touched);
+    }
+
+    #[test]
+    fn unpack_in_pieces_matches_unpack_at_once() {
+        let (m, col) = matrix_and_column();
+        let packed = naive_pack(&m, &col, 1);
+
+        let mut at_once = vec![0u8; m.len()];
+        Unpacker::new(&col, 1).unpack(&mut at_once, &packed).unwrap();
+
+        let mut pieces = vec![0u8; m.len()];
+        let mut u = Unpacker::new(&col, 1);
+        for chunk in packed.chunks(13) {
+            u.unpack(&mut pieces, chunk).unwrap();
+        }
+        assert_eq!(at_once, pieces);
+    }
+
+    #[test]
+    fn unpack_overrun_is_error() {
+        let col = matrix_and_column().1;
+        let mut dst = vec![0u8; 8 * 8 * 24];
+        let mut u = Unpacker::new(&col, 1);
+        let too_much = vec![0u8; col.size() + 1];
+        assert!(matches!(
+            u.unpack(&mut dst, &too_much),
+            Err(TypeError::StreamOverrun { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn lookahead_cost_is_bounded_per_block_for_dual() {
+        let (m, col) = matrix_and_column();
+        let params = EngineParams {
+            block_size: 48,
+            lookahead_segments: 4,
+            dense_threshold: 512,
+        };
+        let mut e = DualContextEngine::new(&col, 1, params);
+        let mut counts = OpCounts::default();
+        let mut nblocks = 0u64;
+        while e.next_block(&m, &mut counts).unwrap().is_some() {
+            nblocks += 1;
+        }
+        assert!(counts.lookahead_segments <= nblocks * 4);
+    }
+
+    #[test]
+    fn empty_message_yields_no_blocks() {
+        let t = Datatype::contiguous(0, &Datatype::double()).unwrap();
+        for kind in [EngineKind::SingleContext, EngineKind::DualContext] {
+            let mut e = kind.build(&t, 3, EngineParams::default());
+            let mut c = OpCounts::default();
+            assert!(e.next_block(&[], &mut c).unwrap().is_none());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # ncd-datatype — MPI-style derived datatypes and pack engines
+//!
+//! This crate implements the noncontiguous-data half of the paper
+//! *"Nonuniformly Communicating Noncontiguous Data: A Case Study with PETSc
+//! and MPI"* (IPPS 2007):
+//!
+//! * [`Datatype`] — recursive MPI-style derived datatypes (contiguous,
+//!   vector, hvector, indexed, hindexed, indexed-block, struct, subarray,
+//!   resized) committed into a flat, coalesced segment map;
+//! * [`TypeCursor`] — a *context*: a resumable position in the packed
+//!   stream, with cheap snapshots and an instrumented linear *search*;
+//! * [`SingleContextEngine`] — the baseline pipelined pack engine that
+//!   loses its context to look-ahead and pays a quadratically growing
+//!   re-search (the behaviour of MPICH2 the paper analyses in §3.1);
+//! * [`DualContextEngine`] — the paper's §4.1 dual-context look-ahead
+//!   design that eliminates the search entirely;
+//! * [`Unpacker`] and whole-message [`pack_all`]/[`unpack_all`] helpers.
+//!
+//! Engines report [`OpCounts`] — counts of operations actually executed —
+//! which the `ncd-core` communication layer converts into simulated time
+//! under its cost model.
+//!
+//! ```
+//! use ncd_datatype::{matrix_column_type, pack_all, unpack_all};
+//!
+//! // One column of an 8x8 matrix of 3-double elements (paper Fig. 4-6).
+//! let col = matrix_column_type(8, 8, 3).unwrap();
+//! assert_eq!(col.num_segments(), 8);     // 8 pieces of 24 bytes
+//! let matrix = vec![42u8; 8 * 8 * 24];
+//! let packed = pack_all(&col, 1, &matrix).unwrap();
+//! assert_eq!(packed.len(), col.size());
+//! let mut out = vec![0u8; matrix.len()];
+//! unpack_all(&col, 1, &mut out, &packed).unwrap();
+//! ```
+
+pub mod cursor;
+pub mod desc;
+pub mod engine;
+pub mod error;
+pub mod pack;
+
+pub use cursor::{MemRange, TypeCursor};
+pub use desc::{Datatype, Primitive, Segment, StructField, MAX_SEGMENTS};
+pub use engine::{
+    Block, BlockMode, DualContextEngine, EngineKind, EngineParams, OpCounts, PackEngine,
+    SingleContextEngine, Unpacker,
+};
+pub use error::{Result, TypeError};
+pub use pack::{hindexed_from_f64_indices, matrix_column_type, pack_all, unpack_all};

@@ -1,0 +1,170 @@
+//! Property-based tests of the datatype engine invariants:
+//!
+//! * both pack engines produce exactly the naive segment-walk byte stream,
+//!   for arbitrary (recursively generated) datatypes, counts, and pipeline
+//!   granularities;
+//! * unpack is the left inverse of pack on the bytes the type covers;
+//! * the single-context engine's search count is zero exactly when no
+//!   sparse block ever follows a look-ahead;
+//! * cursor seek/advance agree with plain traversal.
+
+use ncd_datatype::{
+    pack_all, unpack_all, Datatype, DualContextEngine, EngineParams, OpCounts, PackEngine,
+    SingleContextEngine, TypeCursor,
+};
+use proptest::prelude::*;
+
+/// A recursive datatype generator: primitives at the leaves; vectors,
+/// contiguous, indexed and resized combinators above, with bounds that
+/// keep the flattened size small enough for fast shrinking.
+fn arb_datatype() -> impl Strategy<Value = Datatype> {
+    let leaf = prop_oneof![
+        Just(Datatype::double()),
+        Just(Datatype::float()),
+        Just(Datatype::int32()),
+        Just(Datatype::byte()),
+    ];
+    leaf.prop_recursive(3, 64, 4, |inner| {
+        prop_oneof![
+            (1usize..5, inner.clone())
+                .prop_map(|(n, t)| Datatype::contiguous(n, &t).expect("contiguous")),
+            (1usize..4, 1usize..3, 0i64..6, inner.clone()).prop_map(|(c, b, extra, t)| {
+                // stride >= blocklen keeps blocks disjoint (MPI receive-safe).
+                Datatype::vector(c, b, b as i64 + extra, &t).expect("vector")
+            }),
+            (proptest::collection::vec((0i64..12, 1usize..3), 1..4), inner.clone()).prop_map(
+                |(mut blocks, t)| {
+                    // Disjoint ascending blocks.
+                    blocks.sort();
+                    let mut disp = 0i64;
+                    for (d, len) in blocks.iter_mut() {
+                        *d += disp;
+                        disp = *d + *len as i64;
+                    }
+                    Datatype::indexed(&blocks, &t).expect("indexed")
+                }
+            ),
+            (0i64..4, inner.clone()).prop_map(|(pad, t)| {
+                let extent = t.extent().max(0) + pad;
+                Datatype::resized(t.lb(), extent, &t).expect("resized")
+            }),
+        ]
+    })
+}
+
+/// Reference pack: walk the flattened segments directly.
+fn naive_pack(dt: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut c = TypeCursor::new(dt, count);
+    while let Some(r) = c.next_range(usize::MAX) {
+        out.extend_from_slice(&src[r.offset as usize..r.offset as usize + r.len]);
+    }
+    out
+}
+
+/// Buffer big enough for `count` replicas of `dt` with arbitrary content.
+fn buffer_for(dt: &Datatype, count: usize) -> Vec<u8> {
+    let span = (dt.extent().unsigned_abs() as usize) * count
+        + dt.segments().iter().map(|s| s.end().max(0) as usize).max().unwrap_or(0)
+        + 64;
+    (0..span).map(|i| (i % 251) as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_match_naive_pack(
+        dt in arb_datatype(),
+        count in 1usize..4,
+        block_size in 8usize..512,
+        lookahead in 1usize..20,
+    ) {
+        let src = buffer_for(&dt, count);
+        let expected = naive_pack(&dt, count, &src);
+        let params = EngineParams {
+            block_size,
+            lookahead_segments: lookahead,
+            dense_threshold: 64,
+        };
+        let mut single = SingleContextEngine::new(&dt, count, params.clone());
+        let mut c1 = OpCounts::default();
+        let got1 = single.pack_all(&src, &mut c1).expect("single pack");
+        prop_assert_eq!(&got1, &expected);
+        prop_assert_eq!(c1.total_bytes() as usize, expected.len());
+
+        let mut dual = DualContextEngine::new(&dt, count, params);
+        let mut c2 = OpCounts::default();
+        let got2 = dual.pack_all(&src, &mut c2).expect("dual pack");
+        prop_assert_eq!(&got2, &expected);
+        prop_assert_eq!(c2.searched_segments, 0);
+    }
+
+    #[test]
+    fn pack_all_matches_naive(dt in arb_datatype(), count in 1usize..4) {
+        let src = buffer_for(&dt, count);
+        prop_assert_eq!(
+            pack_all(&dt, count, &src).expect("pack_all"),
+            naive_pack(&dt, count, &src)
+        );
+    }
+
+    #[test]
+    fn unpack_inverts_pack_on_covered_bytes(dt in arb_datatype(), count in 1usize..4) {
+        let src = buffer_for(&dt, count);
+        let packed = pack_all(&dt, count, &src).expect("pack");
+        let mut dst = vec![0u8; src.len()];
+        unpack_all(&dt, count, &mut dst, &packed).expect("unpack");
+        // Every byte covered by the type map matches the source.
+        let mut c = TypeCursor::new(&dt, count);
+        while let Some(r) = c.next_range(usize::MAX) {
+            let (s, e) = (r.offset as usize, r.offset as usize + r.len);
+            prop_assert_eq!(&dst[s..e], &src[s..e]);
+        }
+    }
+
+    #[test]
+    fn cursor_seek_matches_traversal(
+        dt in arb_datatype(),
+        count in 1usize..4,
+        frac in 0.0f64..1.0,
+    ) {
+        let total = dt.size() * count;
+        let target = (total as f64 * frac) as usize;
+        // Walk via next_range to the target...
+        let mut walk = TypeCursor::new(&dt, count);
+        let mut consumed = 0usize;
+        while consumed < target {
+            let r = walk.next_range(target - consumed).expect("enough bytes");
+            consumed += r.len;
+        }
+        // ...and compare against a search from the start.
+        let mut seek = TypeCursor::new(&dt, count);
+        seek.search_from_start(target);
+        prop_assert_eq!(seek.packed_offset(), walk.packed_offset());
+        // Both cursors must yield the same next range.
+        let a = seek.next_range(17);
+        let b = walk.next_range(17);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_is_segment_sum_and_extent_spans_segments(dt in arb_datatype()) {
+        let seg_sum: usize = dt.segments().iter().map(|s| s.len).sum();
+        prop_assert_eq!(dt.size(), seg_sum);
+        if dt.num_segments() > 0 && dt.constructor_name() != "resized" {
+            let lo = dt.segments().iter().map(|s| s.offset).min().expect("nonempty");
+            let hi = dt.segments().iter().map(|s| s.end()).max().expect("nonempty");
+            prop_assert_eq!(dt.extent(), hi - lo);
+        }
+    }
+
+    #[test]
+    fn segments_are_coalesced(dt in arb_datatype()) {
+        // No two consecutive segments are adjacent in memory (the sink
+        // would have merged them).
+        for w in dt.segments().windows(2) {
+            prop_assert_ne!(w[0].end(), w[1].offset);
+        }
+    }
+}

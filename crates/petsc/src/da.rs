@@ -1,0 +1,697 @@
+//! Distributed arrays (`DMDA` in PETSc): structured 1-D/2-D/3-D grids
+//! partitioned over a process grid, with ghost-point exchange.
+//!
+//! A [`DistributedArray`] owns two shapes of vector:
+//!
+//! * the **global vector** — each rank's owned subdomain, stored
+//!   x-fastest, subdomains concatenated in rank order (PETSc ordering);
+//! * the **local vector** — the owned subdomain *plus* a ghost frame of
+//!   `width` points (clipped at physical boundaries; the grid is
+//!   non-periodic), where the ghost values live after a
+//!   [`DistributedArray::global_to_local`] update.
+//!
+//! The ghost update is compiled into a [`VecScatter`], so it runs over any
+//! of the scatter backends — hand-tuned packing or derived datatypes +
+//! `MPI_Alltoallw` — which is precisely the communication structure the
+//! paper's §5.4/§5.5 experiments exercise.
+//!
+//! The stencil kind (paper Figure 3) decides which ghost points are
+//! exchanged: a *star* stencil needs only face-adjacent ghost regions, a
+//! *box* stencil needs edges and corners too; the communication volume per
+//! neighbour is then inherently nonuniform (faces ≫ edges ≫ corners).
+
+use std::sync::Arc;
+
+use ncd_core::Comm;
+
+use crate::layout::Layout;
+use crate::scatter::{ScatterBackend, VecScatter};
+use crate::is::IndexSet;
+use crate::vec::PVec;
+
+/// Discretization stencil shape (paper Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StencilKind {
+    /// Face neighbours only (e.g. the 7-point Laplacian in 3-D).
+    Star,
+    /// Faces, edges and corners (e.g. 27-point stencils).
+    Box,
+}
+
+/// A structured-grid distributed array.
+pub struct DistributedArray {
+    ndim: usize,
+    dims: [usize; 3],
+    dof: usize,
+    stencil: StencilKind,
+    width: usize,
+    pgrid: [usize; 3],
+    coords: [usize; 3],
+    /// Per-dimension split boundaries: `splits[d][c]..splits[d][c+1]` is
+    /// the range owned by process-coordinate `c` in dimension `d`.
+    splits: [Vec<usize>; 3],
+    own_start: [usize; 3],
+    own_len: [usize; 3],
+    gh_start: [usize; 3],
+    gh_len: [usize; 3],
+    global_layout: Arc<Layout>,
+    local_layout: Arc<Layout>,
+    ghost_scatter: VecScatter,
+    rank: usize,
+}
+
+/// Balanced factorization of `p` ranks over `ndim` dimensions of the given
+/// sizes, minimizing the total subdomain surface (communication volume).
+fn factor_process_grid(p: usize, dims: &[usize; 3], ndim: usize) -> [usize; 3] {
+    let mut best = [p, 1, 1];
+    let mut best_surface = f64::INFINITY;
+    let mut consider = |px: usize, py: usize, pz: usize| {
+        if ndim < 3 && pz != 1 {
+            return;
+        }
+        if ndim < 2 && py != 1 {
+            return;
+        }
+        let lx = dims[0] as f64 / px as f64;
+        let ly = dims[1] as f64 / py as f64;
+        let lz = dims[2] as f64 / pz as f64;
+        if lx < 1.0 || ly < 1.0 || lz < 1.0 {
+            return;
+        }
+        // Total cut area over the whole grid: (p_d - 1) planes, each of the
+        // grid's cross-section normal to d.
+        let surface = (px - 1) as f64 * (dims[1] * dims[2]) as f64
+            + (py - 1) as f64 * (dims[0] * dims[2]) as f64
+            + (pz - 1) as f64 * (dims[0] * dims[1]) as f64;
+        if surface < best_surface {
+            best_surface = surface;
+            best = [px, py, pz];
+        }
+    };
+    for px in 1..=p {
+        if !p.is_multiple_of(px) {
+            continue;
+        }
+        let rest = p / px;
+        for py in 1..=rest {
+            if !rest.is_multiple_of(py) {
+                continue;
+            }
+            consider(px, py, rest / py);
+        }
+    }
+    assert!(
+        best_surface.is_finite(),
+        "cannot factor {p} ranks over grid {dims:?} ({ndim}-D): subdomains would be empty"
+    );
+    best
+}
+
+fn balanced_splits(n: usize, p: usize) -> Vec<usize> {
+    let base = n / p;
+    let extra = n % p;
+    let mut starts = Vec::with_capacity(p + 1);
+    let mut acc = 0usize;
+    starts.push(0);
+    for c in 0..p {
+        acc += base + usize::from(c < extra);
+        starts.push(acc);
+    }
+    starts
+}
+
+impl DistributedArray {
+    /// Collectively create a distributed array over `comm`.
+    ///
+    /// `dims` has 1 to 3 entries (points per dimension); `dof` interlaced
+    /// fields per point; `width` the stencil width in points.
+    pub fn new(
+        comm: &mut Comm,
+        dims: &[usize],
+        dof: usize,
+        stencil: StencilKind,
+        width: usize,
+    ) -> DistributedArray {
+        assert!((1..=3).contains(&dims.len()), "1-3 dimensions supported");
+        assert!(dof >= 1, "dof must be at least 1");
+        let ndim = dims.len();
+        let mut d3 = [1usize; 3];
+        d3[..ndim].copy_from_slice(dims);
+        let size = comm.size();
+        let rank = comm.rank();
+        let pgrid = factor_process_grid(size, &d3, ndim);
+        let coords = [
+            rank % pgrid[0],
+            (rank / pgrid[0]) % pgrid[1],
+            rank / (pgrid[0] * pgrid[1]),
+        ];
+        let splits = [
+            balanced_splits(d3[0], pgrid[0]),
+            balanced_splits(d3[1], pgrid[1]),
+            balanced_splits(d3[2], pgrid[2]),
+        ];
+        let mut own_start = [0usize; 3];
+        let mut own_len = [0usize; 3];
+        let mut gh_start = [0usize; 3];
+        let mut gh_len = [0usize; 3];
+        for d in 0..3 {
+            own_start[d] = splits[d][coords[d]];
+            own_len[d] = splits[d][coords[d] + 1] - own_start[d];
+            let lo = own_start[d].saturating_sub(width.min(own_start[d]));
+            let hi = (own_start[d] + own_len[d] + width).min(d3[d]);
+            // Dimensions beyond ndim have size 1 and no ghosts.
+            if d < ndim {
+                gh_start[d] = lo;
+                gh_len[d] = hi - lo;
+            } else {
+                gh_start[d] = 0;
+                gh_len[d] = 1;
+            }
+        }
+
+        // Global layout: every rank's owned volume, in rank order.
+        let own_sizes: Vec<usize> = (0..size)
+            .map(|r| {
+                let c = [
+                    r % pgrid[0],
+                    (r / pgrid[0]) % pgrid[1],
+                    r / (pgrid[0] * pgrid[1]),
+                ];
+                (0..3)
+                    .map(|d| splits[d][c[d] + 1] - splits[d][c[d]])
+                    .product::<usize>()
+                    * dof
+            })
+            .collect();
+        let global_layout = Layout::from_local_sizes(&own_sizes);
+
+        // Local (ghosted) layout: exchanged because clipping makes sizes
+        // rank-dependent; every rank can compute all of them symbolically.
+        let local_sizes: Vec<usize> = (0..size)
+            .map(|r| {
+                let c = [
+                    r % pgrid[0],
+                    (r / pgrid[0]) % pgrid[1],
+                    r / (pgrid[0] * pgrid[1]),
+                ];
+                (0..3)
+                    .map(|d| {
+                        let s = splits[d][c[d]];
+                        let l = splits[d][c[d] + 1] - s;
+                        if d < ndim {
+                            let lo = s.saturating_sub(width.min(s));
+                            let hi = (s + l + width).min(d3[d]);
+                            hi - lo
+                        } else {
+                            1
+                        }
+                    })
+                    .product::<usize>()
+                    * dof
+            })
+            .collect();
+        let local_layout = Layout::from_local_sizes(&local_sizes);
+
+        let mut da = DistributedArray {
+            ndim,
+            dims: d3,
+            dof,
+            stencil,
+            width,
+            pgrid,
+            coords,
+            splits,
+            own_start,
+            own_len,
+            gh_start,
+            gh_len,
+            global_layout,
+            local_layout,
+            // Placeholder until the scatter is compiled below.
+            ghost_scatter: VecScatter::trivial(),
+            rank,
+        };
+        da.ghost_scatter = da.build_ghost_scatter(comm);
+        da
+    }
+
+    /// Build the global→local scatter covering owned points and the ghost
+    /// points the stencil requires.
+    fn build_ghost_scatter(&self, comm: &mut Comm) -> VecScatter {
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let (lbase, _) = self.local_layout.range(self.rank);
+        for k in self.gh_start[2]..self.gh_start[2] + self.gh_len[2] {
+            for j in self.gh_start[1]..self.gh_start[1] + self.gh_len[1] {
+                for i in self.gh_start[0]..self.gh_start[0] + self.gh_len[0] {
+                    let p = [i, j, k];
+                    if !self.point_in_local_form(p) {
+                        continue;
+                    }
+                    for c in 0..self.dof {
+                        src.push(self.global_vec_index(p, c));
+                        dst.push(lbase + self.local_vec_offset(p, c));
+                    }
+                }
+            }
+        }
+        VecScatter::create(
+            comm,
+            self.global_layout.clone(),
+            &IndexSet::general(src),
+            self.local_layout.clone(),
+            &IndexSet::general(dst),
+        )
+    }
+
+    /// Whether grid point `p` participates in this rank's local form:
+    /// owned points always; ghost points per the stencil kind.
+    pub fn point_in_local_form(&self, p: [usize; 3]) -> bool {
+        let mut outside = 0;
+        for (d, &pd) in p.iter().enumerate() {
+            if pd < self.gh_start[d] || pd >= self.gh_start[d] + self.gh_len[d] {
+                return false;
+            }
+            if pd < self.own_start[d] || pd >= self.own_start[d] + self.own_len[d] {
+                outside += 1;
+            }
+        }
+        match self.stencil {
+            StencilKind::Box => true,
+            StencilKind::Star => outside <= 1,
+        }
+    }
+
+    // ---- geometry accessors -------------------------------------------
+
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    pub fn dof(&self) -> usize {
+        self.dof
+    }
+
+    pub fn stencil(&self) -> StencilKind {
+        self.stencil
+    }
+
+    pub fn stencil_width(&self) -> usize {
+        self.width
+    }
+
+    pub fn process_grid(&self) -> [usize; 3] {
+        self.pgrid
+    }
+
+    /// This rank's coordinates in the process grid.
+    pub fn process_coords(&self) -> [usize; 3] {
+        self.coords
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Owned box: (start, len) per dimension.
+    pub fn owned(&self) -> ([usize; 3], [usize; 3]) {
+        (self.own_start, self.own_len)
+    }
+
+    /// Ghosted box: (start, len) per dimension.
+    pub fn ghosted(&self) -> ([usize; 3], [usize; 3]) {
+        (self.gh_start, self.gh_len)
+    }
+
+    pub fn global_layout(&self) -> &Arc<Layout> {
+        &self.global_layout
+    }
+
+    pub fn local_layout(&self) -> &Arc<Layout> {
+        &self.local_layout
+    }
+
+    /// The compiled ghost-exchange plan (exposed for instrumentation).
+    pub fn ghost_scatter(&self) -> &VecScatter {
+        &self.ghost_scatter
+    }
+
+    /// Which rank owns grid point `p`.
+    pub fn owner_of(&self, p: [usize; 3]) -> usize {
+        let mut c = [0usize; 3];
+        for (d, cd) in c.iter_mut().enumerate() {
+            debug_assert!(p[d] < self.dims[d], "point {p:?} outside grid");
+            *cd = self.splits[d].partition_point(|&s| s <= p[d]) - 1;
+        }
+        (c[2] * self.pgrid[1] + c[1]) * self.pgrid[0] + c[0]
+    }
+
+    /// Index of `(p, c)` in the global vector (PETSc ordering).
+    pub fn global_vec_index(&self, p: [usize; 3], c: usize) -> usize {
+        let r = self.owner_of(p);
+        let pc = [
+            r % self.pgrid[0],
+            (r / self.pgrid[0]) % self.pgrid[1],
+            r / (self.pgrid[0] * self.pgrid[1]),
+        ];
+        let s = [
+            self.splits[0][pc[0]],
+            self.splits[1][pc[1]],
+            self.splits[2][pc[2]],
+        ];
+        let l = [
+            self.splits[0][pc[0] + 1] - s[0],
+            self.splits[1][pc[1] + 1] - s[1],
+            self.splits[2][pc[2] + 1] - s[2],
+        ];
+        let off = ((p[2] - s[2]) * l[1] + (p[1] - s[1])) * l[0] + (p[0] - s[0]);
+        self.global_layout.range(r).0 + off * self.dof + c
+    }
+
+    /// Offset of `(p, c)` within this rank's local (ghosted) array.
+    pub fn local_vec_offset(&self, p: [usize; 3], c: usize) -> usize {
+        let g = self.gh_start;
+        let l = self.gh_len;
+        debug_assert!(
+            (0..3).all(|d| p[d] >= g[d] && p[d] < g[d] + l[d]),
+            "point {p:?} outside ghosted box"
+        );
+        (((p[2] - g[2]) * l[1] + (p[1] - g[1])) * l[0] + (p[0] - g[0])) * self.dof + c
+    }
+
+    // ---- vectors -------------------------------------------------------
+
+    /// A zeroed global vector over this array.
+    pub fn create_global_vec(&self) -> PVec {
+        PVec::zeros(self.global_layout.clone(), self.rank)
+    }
+
+    /// A zeroed local (ghosted) vector.
+    pub fn create_local_vec(&self) -> PVec {
+        PVec::zeros(self.local_layout.clone(), self.rank)
+    }
+
+    /// Update the local form: owned values plus stencil-required ghost
+    /// values from the neighbouring ranks.
+    pub fn global_to_local(
+        &self,
+        comm: &mut Comm,
+        global: &PVec,
+        local: &mut PVec,
+        backend: ScatterBackend,
+    ) {
+        self.ghost_scatter.apply(comm, global, local, backend);
+    }
+
+    /// Accumulate a local form back into the global vector with ADD
+    /// semantics: every rank's contribution — its owned values *and* the
+    /// values it computed into its ghost region — is summed into the
+    /// owner, via the reverse of the ghost scatter. This is the
+    /// `DMLocalToGlobal(..., ADD_VALUES, ...)` used by finite-element
+    /// style assembly where each rank integrates over its elements and
+    /// boundary contributions belong to neighbouring owners.
+    ///
+    /// `global` should normally be zeroed first.
+    pub fn local_to_global_add(
+        &self,
+        comm: &mut Comm,
+        local: &PVec,
+        global: &mut PVec,
+        backend: ScatterBackend,
+    ) {
+        self.ghost_scatter
+            .apply_reverse(comm, local, global, backend, crate::scatter::InsertMode::Add);
+    }
+
+    /// Extract the owned values from a local form back into the global
+    /// vector (pure local copy — ghost values are discarded).
+    pub fn local_to_global(&self, local: &PVec, global: &mut PVec) {
+        let mut g_off = 0usize;
+        for k in self.own_start[2]..self.own_start[2] + self.own_len[2] {
+            for j in self.own_start[1]..self.own_start[1] + self.own_len[1] {
+                for i in self.own_start[0]..self.own_start[0] + self.own_len[0] {
+                    for c in 0..self.dof {
+                        let l_off = self.local_vec_offset([i, j, k], c);
+                        global.local_mut()[g_off] = local.local()[l_off];
+                        g_off += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterate over this rank's owned points in global-vector order.
+    pub fn owned_points(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
+        let (s, l) = (self.own_start, self.own_len);
+        (s[2]..s[2] + l[2]).flat_map(move |k| {
+            (s[1]..s[1] + l[1])
+                .flat_map(move |j| (s[0]..s[0] + l[0]).map(move |i| [i, j, k]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncd_core::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    fn with_n<R: Send>(n: usize, f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+        Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            f(&mut comm)
+        })
+    }
+
+    #[test]
+    fn factorization_prefers_balanced_grids() {
+        assert_eq!(factor_process_grid(4, &[64, 64, 1], 2), [2, 2, 1]);
+        assert_eq!(factor_process_grid(8, &[32, 32, 32], 3), [2, 2, 2]);
+        assert_eq!(factor_process_grid(6, &[90, 60, 1], 2), [3, 2, 1]);
+        assert_eq!(factor_process_grid(5, &[100, 1, 1], 1), [5, 1, 1]);
+    }
+
+    #[test]
+    fn owned_boxes_tile_the_grid() {
+        let out = with_n(6, |comm| {
+            let da = DistributedArray::new(comm, &[12, 9], 1, StencilKind::Star, 1);
+            let (s, l) = da.owned();
+            (s, l, da.process_grid())
+        });
+        let mut total = 0usize;
+        for (_, l, _) in &out {
+            total += l[0] * l[1] * l[2];
+        }
+        assert_eq!(total, 12 * 9);
+    }
+
+    #[test]
+    fn global_indices_are_a_bijection() {
+        with_n(4, |comm| {
+            let da = DistributedArray::new(comm, &[7, 5], 2, StencilKind::Star, 1);
+            if comm.rank() == 0 {
+                let mut seen = [false; 7 * 5 * 2];
+                for j in 0..5 {
+                    for i in 0..7 {
+                        for c in 0..2 {
+                            let g = da.global_vec_index([i, j, 0], c);
+                            assert!(!seen[g], "duplicate global index {g}");
+                            seen[g] = true;
+                        }
+                    }
+                }
+                assert!(seen.iter().all(|&b| b));
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_exchange_star_2d() {
+        // Fill global vec with f(i,j) = 100*i + j, then check ghost values.
+        let out = with_n(4, |comm| {
+            let da = DistributedArray::new(comm, &[8, 8], 1, StencilKind::Star, 1);
+            let mut g = da.create_global_vec();
+            let pts = da.owned_points().collect::<Vec<_>>();
+            for (off, p) in pts.into_iter().enumerate() {
+                g.local_mut()[off] = (100 * p[0] + p[1]) as f64;
+            }
+            let mut l = da.create_local_vec();
+            da.global_to_local(comm, &g, &mut l, ScatterBackend::Datatype);
+            // Every point in the local form must carry f(i,j).
+            let (gs, gl) = da.ghosted();
+            let mut checked = 0;
+            for j in gs[1]..gs[1] + gl[1] {
+                for i in gs[0]..gs[0] + gl[0] {
+                    let p = [i, j, 0];
+                    if da.point_in_local_form(p) {
+                        let v = l.local()[da.local_vec_offset(p, 0)];
+                        assert_eq!(v, (100 * i + j) as f64, "point {p:?}");
+                        checked += 1;
+                    }
+                }
+            }
+            checked
+        });
+        assert!(out.iter().all(|&c| c > 16), "each rank checks own + ghosts");
+    }
+
+    #[test]
+    fn star_excludes_corners_box_includes_them() {
+        let out = with_n(4, |comm| {
+            let star = DistributedArray::new(comm, &[8, 8], 1, StencilKind::Star, 1);
+            let box_ = DistributedArray::new(comm, &[8, 8], 1, StencilKind::Box, 1);
+            // The 2x2 process grid: rank 0 owns the lower-left 4x4 block.
+            if comm.rank() == 0 {
+                // Corner ghost (4,4) is outside both owned ranges.
+                assert!(!star.point_in_local_form([4, 4, 0]));
+                assert!(box_.point_in_local_form([4, 4, 0]));
+                // Face ghosts are in both.
+                assert!(star.point_in_local_form([4, 0, 0]));
+                assert!(box_.point_in_local_form([0, 4, 0]));
+            }
+            (
+                star.ghost_scatter().remote_recv_elems(),
+                box_.ghost_scatter().remote_recv_elems(),
+            )
+        });
+        // Box must move strictly more ghost data than star.
+        for (s, b) in &out {
+            assert!(b > s, "box ({b}) should exceed star ({s})");
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_3d_with_dof() {
+        let out = with_n(8, |comm| {
+            let da = DistributedArray::new(comm, &[6, 6, 6], 2, StencilKind::Box, 1);
+            let mut g = da.create_global_vec();
+            let mut off = 0;
+            for p in da.owned_points().collect::<Vec<_>>() {
+                for c in 0..2 {
+                    g.local_mut()[off] = (((p[0] * 10 + p[1]) * 10 + p[2]) * 2 + c) as f64;
+                    off += 1;
+                }
+            }
+            let mut l = da.create_local_vec();
+            da.global_to_local(comm, &g, &mut l, ScatterBackend::HandTuned);
+            let (gs, gl) = da.ghosted();
+            for k in gs[2]..gs[2] + gl[2] {
+                for j in gs[1]..gs[1] + gl[1] {
+                    for i in gs[0]..gs[0] + gl[0] {
+                        for c in 0..2 {
+                            let p = [i, j, k];
+                            let v = l.local()[da.local_vec_offset(p, c)];
+                            let expect = (((i * 10 + j) * 10 + k) * 2 + c) as f64;
+                            assert_eq!(v, expect, "point {p:?} dof {c}");
+                        }
+                    }
+                }
+            }
+            true
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn local_to_global_round_trips() {
+        with_n(4, |comm| {
+            let da = DistributedArray::new(comm, &[10, 10], 1, StencilKind::Star, 2);
+            let mut g = da.create_global_vec();
+            for (off, p) in da.owned_points().enumerate() {
+                g.local_mut()[off] = (p[0] * 31 + p[1]) as f64;
+            }
+            let mut l = da.create_local_vec();
+            da.global_to_local(comm, &g, &mut l, ScatterBackend::Datatype);
+            let mut g2 = da.create_global_vec();
+            da.local_to_global(&l, &mut g2);
+            assert_eq!(g.local(), g2.local());
+        });
+    }
+
+    #[test]
+    fn one_dimensional_da() {
+        let out = with_n(3, |comm| {
+            let da = DistributedArray::new(comm, &[30], 1, StencilKind::Star, 1);
+            let mut g = da.create_global_vec();
+            for (off, p) in da.owned_points().enumerate() {
+                g.local_mut()[off] = p[0] as f64;
+            }
+            let mut l = da.create_local_vec();
+            da.global_to_local(comm, &g, &mut l, ScatterBackend::HandTuned);
+            let (gs, gl) = da.ghosted();
+            (gs[0]..gs[0] + gl[0])
+                .map(|i| l.local()[da.local_vec_offset([i, 0, 0], 0)])
+                .collect::<Vec<_>>()
+        });
+        // Rank 1 owns [10, 20) and sees ghosts 9 and 20.
+        assert_eq!(out[1], (9..=20).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot factor")]
+    fn too_many_ranks_for_grid_panics() {
+        with_n(7, |comm| {
+            // 7 ranks cannot split a 3-point 1-D grid.
+            DistributedArray::new(comm, &[3], 1, StencilKind::Star, 1);
+        });
+    }
+}
+
+#[cfg(test)]
+mod add_tests {
+    use super::*;
+    use ncd_core::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    #[test]
+    fn local_to_global_add_sums_ghost_contributions() {
+        let out = Cluster::new(ClusterConfig::uniform(4)).run(|rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let da = DistributedArray::new(&mut comm, &[8, 8], 1, StencilKind::Star, 1);
+            // Each rank writes 1.0 to every point of its local form
+            // (owned + ghosts); after the additive gather, a global point
+            // holds 1 + (number of neighbouring ranks whose ghost region
+            // covers it).
+            let mut l = da.create_local_vec();
+            l.set_all(1.0);
+            let mut g = da.create_global_vec();
+            da.local_to_global_add(&mut comm, &l, &mut g, ScatterBackend::HandTuned);
+            let total = g.sum(&mut comm);
+            (total, g.local().to_vec())
+        });
+        // Total = sum over ranks of local-form sizes (every written point
+        // lands somewhere exactly once).
+        // 2x2 process grid on 8x8, star width 1: each rank's local form =
+        // 4x4 owned + 2 faces of 4 = 24 points.
+        assert_eq!(out[0].0, 4.0 * 24.0);
+        // A point in the middle of a rank's subdomain is covered only by
+        // its owner: value 1. A point on a subdomain face is covered by
+        // the owner and one neighbour: value 2.
+        let rank0 = &out[0].1; // owns [0..4)x[0..4), x-fastest
+        assert_eq!(rank0[0], 1.0); // (0,0): corner of the grid, owner only
+        assert_eq!(rank0[3], 2.0); // (3,0): face point, neighbour ghost covers it
+        assert_eq!(rank0[15], 3.0); // (3,3): covered by right and top neighbours
+    }
+
+    #[test]
+    fn add_then_extract_is_consistent_across_backends() {
+        let run = |backend: ScatterBackend| {
+            Cluster::new(ClusterConfig::uniform(6)).run(move |rank| {
+                let mut comm = Comm::new(rank, MpiConfig::baseline());
+                let da = DistributedArray::new(&mut comm, &[12, 6], 1, StencilKind::Box, 1);
+                let mut l = da.create_local_vec();
+                for (i, v) in l.local_mut().iter_mut().enumerate() {
+                    *v = (i % 7) as f64 + comm.rank() as f64;
+                }
+                let mut g = da.create_global_vec();
+                da.local_to_global_add(&mut comm, &l, &mut g, backend);
+                g.local().to_vec()
+            })
+        };
+        assert_eq!(run(ScatterBackend::HandTuned), run(ScatterBackend::Datatype));
+    }
+}

@@ -1,0 +1,311 @@
+//! Restarted GMRES — the default Krylov method of PETSc's `KSP`, here for
+//! general nonsymmetric systems. Left-preconditioned GMRES(m) with Arnoldi
+//! via modified Gram–Schmidt and Givens-rotation least squares (Saad,
+//! *Iterative Methods for Sparse Linear Systems*, alg. 6.9).
+
+use crate::ksp::{KspResult, KspSettings, LinearOp, Preconditioner};
+use crate::vec::PVec;
+use ncd_core::Comm;
+
+/// Restart length for [`gmres`].
+pub const DEFAULT_RESTART: usize = 30;
+
+/// Solve `A x = b` with restarted, left-preconditioned GMRES(m).
+///
+/// Convergence is tested on the preconditioned residual norm (as PETSc
+/// does by default); `settings.max_it` counts total inner iterations.
+pub fn gmres(
+    comm: &mut Comm,
+    op: &dyn LinearOp,
+    pc: &dyn Preconditioner,
+    restart: usize,
+    b: &PVec,
+    x: &mut PVec,
+    settings: &KspSettings,
+) -> KspResult {
+    assert!(restart >= 1, "restart length must be at least 1");
+    let backend = settings.backend;
+    let layout = op.layout().clone();
+    let rank = comm.rank();
+    let zeros = || PVec::zeros(layout.clone(), rank);
+
+    let mut work = zeros();
+    let mut z = zeros();
+
+    // Preconditioned rhs norm for the relative test.
+    pc.apply(comm, b, &mut z, backend);
+    let bnorm = z.norm2(comm).max(f64::MIN_POSITIVE);
+
+    let mut total_it = 0usize;
+    loop {
+        // r = M^{-1}(b - A x)
+        op.apply(comm, x, &mut work, backend);
+        work.scale(comm, -1.0);
+        work.axpy(comm, 1.0, b);
+        pc.apply(comm, &work, &mut z, backend);
+        let beta = z.norm2(comm);
+        if beta <= settings.rtol * bnorm || beta <= settings.atol {
+            return KspResult {
+                converged: true,
+                iterations: total_it,
+                residual_norm: beta,
+            };
+        }
+        if total_it >= settings.max_it {
+            return KspResult {
+                converged: false,
+                iterations: total_it,
+                residual_norm: beta,
+            };
+        }
+
+        // Arnoldi basis and Hessenberg factors for this cycle.
+        let mut basis: Vec<PVec> = Vec::with_capacity(restart + 1);
+        let mut v0 = z.clone();
+        v0.scale(comm, 1.0 / beta);
+        basis.push(v0);
+        // h[j] holds column j (length j + 2).
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(restart);
+        let mut cs: Vec<f64> = Vec::with_capacity(restart);
+        let mut sn: Vec<f64> = Vec::with_capacity(restart);
+        let mut g = vec![beta]; // rhs of the least-squares problem
+        let mut cycle_res = beta;
+        let mut inner = 0usize;
+
+        for j in 0..restart {
+            if total_it + inner >= settings.max_it {
+                break;
+            }
+            // w = M^{-1} A v_j
+            op.apply(comm, &basis[j], &mut work, backend);
+            pc.apply(comm, &work, &mut z, backend);
+            // Modified Gram–Schmidt.
+            let mut col = Vec::with_capacity(j + 2);
+            for vi in basis.iter().take(j + 1) {
+                let hij = z.dot(comm, vi);
+                z.axpy(comm, -hij, vi);
+                col.push(hij);
+            }
+            let hlast = z.norm2(comm);
+            col.push(hlast);
+            // Apply accumulated Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * col[i] + sn[i] * col[i + 1];
+                col[i + 1] = -sn[i] * col[i] + cs[i] * col[i + 1];
+                col[i] = t;
+            }
+            // New rotation to annihilate col[j+1].
+            let (c, s) = givens(col[j], col[j + 1]);
+            cs.push(c);
+            sn.push(s);
+            col[j] = c * col[j] + s * col[j + 1];
+            col[j + 1] = 0.0;
+            g.push(-s * g[j]);
+            g[j] *= c;
+            cycle_res = g[j + 1].abs();
+            h.push(col);
+            inner = j + 1;
+
+            if hlast <= 1e-14 {
+                break; // happy breakdown: exact solution in the subspace
+            }
+            let mut vnext = z.clone();
+            vnext.scale(comm, 1.0 / hlast);
+            basis.push(vnext);
+            if cycle_res <= settings.rtol * bnorm || cycle_res <= settings.atol {
+                break;
+            }
+        }
+
+        // Solve the triangular system and update x.
+        let k = inner;
+        let mut y = vec![0.0; k];
+        for i in (0..k).rev() {
+            let mut acc = g[i];
+            for (jj, yj) in y.iter().enumerate().take(k).skip(i + 1) {
+                acc -= h[jj][i] * yj;
+            }
+            y[i] = acc / h[i][i];
+        }
+        for (i, yi) in y.iter().enumerate() {
+            x.axpy(comm, *yi, &basis[i]);
+        }
+        total_it += k;
+
+        if cycle_res <= settings.rtol * bnorm || cycle_res <= settings.atol {
+            return KspResult {
+                converged: true,
+                iterations: total_it,
+                residual_norm: cycle_res,
+            };
+        }
+        if k == 0 {
+            // max_it hit before any progress this cycle.
+            return KspResult {
+                converged: false,
+                iterations: total_it,
+                residual_norm: cycle_res,
+            };
+        }
+    }
+}
+
+/// A numerically robust Givens rotation zeroing `b` against `a`.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() < b.abs() {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    } else {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ksp::{IdentityPc, JacobiPc};
+    use crate::layout::Layout;
+    use crate::mat::AijMat;
+    use crate::scatter::ScatterBackend;
+    use ncd_core::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    fn with_n<R: Send>(n: usize, f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+        Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            f(&mut comm)
+        })
+    }
+
+    fn nonsymmetric(comm: &mut Comm, n: usize) -> AijMat {
+        let layout = Layout::balanced(n, comm.size());
+        let mut a = AijMat::new(layout.clone(), layout, comm.rank());
+        let (s, e) = a.row_layout().range(comm.rank());
+        for r in s..e {
+            a.add_value(r, r, 3.0);
+            if r > 0 {
+                a.add_value(r, r - 1, -2.0);
+            }
+            if r + 1 < n {
+                a.add_value(r, r + 1, -0.5);
+            }
+        }
+        a.assemble(comm);
+        a
+    }
+
+    fn check(comm: &mut Comm, a: &AijMat, x: &PVec, b: &PVec, tol: f64) {
+        let mut ax = PVec::zeros(a.row_layout().clone(), comm.rank());
+        a.mat_mult(comm, x, &mut ax, ScatterBackend::HandTuned);
+        ax.axpy(comm, -1.0, b);
+        let err = ax.norm2(comm);
+        assert!(err < tol, "true residual {err}");
+    }
+
+    #[test]
+    fn gmres_solves_nonsymmetric_system() {
+        for nranks in [1usize, 3, 4] {
+            let out = with_n(nranks, |comm| {
+                let n = 24;
+                let a = nonsymmetric(comm, n);
+                let layout = a.row_layout().clone();
+                let mut b = PVec::zeros(layout.clone(), comm.rank());
+                b.set_all(1.0);
+                let mut x = PVec::zeros(layout, comm.rank());
+                let res = gmres(comm, &a, &IdentityPc, 30, &b, &mut x, &KspSettings::default());
+                check(comm, &a, &x, &b, 1e-6);
+                res
+            });
+            assert!(out[0].converged, "nranks={nranks}: {:?}", out[0]);
+            // Without restarts, GMRES converges in at most n steps.
+            assert!(out[0].iterations <= 24);
+        }
+    }
+
+    #[test]
+    fn gmres_with_small_restart_still_converges() {
+        let out = with_n(2, |comm| {
+            let n = 24;
+            let a = nonsymmetric(comm, n);
+            let layout = a.row_layout().clone();
+            let mut b = PVec::zeros(layout.clone(), comm.rank());
+            b.set_all(1.0);
+            let mut x = PVec::zeros(layout, comm.rank());
+            let settings = KspSettings {
+                max_it: 500,
+                ..Default::default()
+            };
+            let res = gmres(comm, &a, &IdentityPc, 5, &b, &mut x, &settings);
+            check(comm, &a, &x, &b, 1e-6);
+            res
+        });
+        assert!(out[0].converged);
+        assert!(out[0].iterations > 5, "must have restarted at least once");
+    }
+
+    #[test]
+    fn gmres_with_jacobi_converges_faster() {
+        let out = with_n(2, |comm| {
+            // Badly scaled system where Jacobi helps decisively.
+            let n = 20;
+            let layout = Layout::balanced(n, comm.size());
+            let mut a = AijMat::new(layout.clone(), layout.clone(), comm.rank());
+            let (s, e) = layout.range(comm.rank());
+            for r in s..e {
+                a.add_value(r, r, (r + 1) as f64 * 10.0);
+                if r + 1 < n {
+                    a.add_value(r, r + 1, -1.0);
+                }
+            }
+            a.assemble(comm);
+            let pc = JacobiPc::from_mat(&a);
+            let mut b = PVec::zeros(layout.clone(), comm.rank());
+            b.set_all(1.0);
+            let mut x1 = PVec::zeros(layout.clone(), comm.rank());
+            let plain = gmres(comm, &a, &IdentityPc, 30, &b, &mut x1, &KspSettings::default());
+            let mut x2 = PVec::zeros(layout, comm.rank());
+            let jac = gmres(comm, &a, &pc, 30, &b, &mut x2, &KspSettings::default());
+            check(comm, &a, &x2, &b, 1e-5);
+            (plain.iterations, jac.iterations)
+        });
+        let (plain, jac) = out[0];
+        assert!(jac <= plain, "Jacobi ({jac}) should not be slower ({plain})");
+    }
+
+    #[test]
+    fn gmres_zero_rhs_immediate() {
+        let out = with_n(2, |comm| {
+            let a = nonsymmetric(comm, 8);
+            let layout = a.row_layout().clone();
+            let b = PVec::zeros(layout.clone(), comm.rank());
+            let mut x = PVec::zeros(layout, comm.rank());
+            gmres(comm, &a, &IdentityPc, 10, &b, &mut x, &KspSettings::default())
+        });
+        assert!(out[0].converged);
+        assert_eq!(out[0].iterations, 0);
+    }
+
+    #[test]
+    fn gmres_respects_max_it() {
+        let out = with_n(1, |comm| {
+            let a = nonsymmetric(comm, 64);
+            let layout = a.row_layout().clone();
+            let mut b = PVec::zeros(layout.clone(), comm.rank());
+            b.set_all(1.0);
+            let mut x = PVec::zeros(layout, comm.rank());
+            let settings = KspSettings {
+                rtol: 1e-14,
+                max_it: 4,
+                ..Default::default()
+            };
+            gmres(comm, &a, &IdentityPc, 30, &b, &mut x, &settings)
+        });
+        assert!(!out[0].converged);
+        assert!(out[0].iterations <= 4);
+    }
+}

@@ -1,0 +1,782 @@
+//! Geometric multigrid on a hierarchy of distributed arrays, plus the
+//! matrix-free Laplacian operator it smooths — the machinery behind the
+//! paper's §5.5 "3-D Laplacian multi-grid solver" application.
+//!
+//! The hierarchy coarsens cell-centred by a factor of two per dimension
+//! (`100³ → 50³ → 25³` for the paper's three-level configuration).
+//! Restriction averages each coarse cell's fine children; prolongation is
+//! piecewise-constant injection (its scaled adjoint, keeping V-cycles
+//! symmetric so they can precondition CG). Both transfers fetch the
+//! points covering the local subdomain through [`VecScatter::gather_plan`],
+//! so they work for *any* alignment between the fine and coarse partitions
+//! — and, like the ghost exchanges of the smoother, they run over either
+//! scatter backend.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ncd_core::Comm;
+
+use crate::da::{DistributedArray, StencilKind};
+use crate::ksp::{cg, IdentityPc, KspSettings, LinearOp, Preconditioner};
+use crate::layout::Layout;
+use crate::scatter::{ScatterBackend, VecScatter};
+use crate::vec::PVec;
+
+/// Matrix-free discrete (negative) Laplacian `-∇²` with homogeneous
+/// Dirichlet boundary conditions on a DA's *cell-centred* grid: the
+/// 3/5/7-point star stencil. Interior neighbours contribute `-1/h²`;
+/// a wall side contributes `+2/h²` to the diagonal (flux through a wall
+/// half a cell away), which keeps the boundary condition at the same
+/// physical location on every multigrid level.
+pub struct LaplacianOp<'a> {
+    da: &'a DistributedArray,
+    h2inv: f64,
+}
+
+impl<'a> LaplacianOp<'a> {
+    /// `h` is the grid spacing (uniform across dimensions).
+    pub fn new(da: &'a DistributedArray, h: f64) -> Self {
+        assert_eq!(da.dof(), 1, "LaplacianOp expects one degree of freedom");
+        assert!(
+            da.stencil_width() >= 1,
+            "LaplacianOp needs a stencil width of at least 1"
+        );
+        LaplacianOp {
+            da,
+            h2inv: 1.0 / (h * h),
+        }
+    }
+
+    /// Diagonal coefficient (times `h²`) at grid point `p`: 2 per interior
+    /// side, 2 extra per wall side — i.e. interior points get `2·ndim`.
+    fn diag_coeff(&self, p: [usize; 3]) -> f64 {
+        let dims = self.da.dims();
+        let mut diag = 0.0;
+        for d in 0..self.da.ndim() {
+            diag += if p[d] > 0 { 1.0 } else { 2.0 };
+            diag += if p[d] + 1 < dims[d] { 1.0 } else { 2.0 };
+        }
+        diag
+    }
+
+    /// The operator's diagonal as a local vector (for Jacobi smoothing).
+    pub fn diagonal_vec(&self) -> Vec<f64> {
+        self.da
+            .owned_points()
+            .map(|p| self.diag_coeff(p) * self.h2inv)
+            .collect()
+    }
+
+    pub fn da(&self) -> &DistributedArray {
+        self.da
+    }
+}
+
+impl LinearOp for LaplacianOp<'_> {
+    fn layout(&self) -> &Arc<Layout> {
+        self.da.global_layout()
+    }
+
+    fn apply(&self, comm: &mut Comm, x: &PVec, y: &mut PVec, backend: ScatterBackend) {
+        let da = self.da;
+        let mut local = da.create_local_vec();
+        da.global_to_local(comm, x, &mut local, backend);
+        let dims = da.dims();
+        let ndim = da.ndim();
+        let l = local.local();
+        let mut flops = 0u64;
+        for (off, p) in da.owned_points().enumerate() {
+            let mut acc = self.diag_coeff(p) * l[da.local_vec_offset(p, 0)];
+            for d in 0..ndim {
+                if p[d] > 0 {
+                    let mut q = p;
+                    q[d] -= 1;
+                    acc -= l[da.local_vec_offset(q, 0)];
+                }
+                if p[d] + 1 < dims[d] {
+                    let mut q = p;
+                    q[d] += 1;
+                    acc -= l[da.local_vec_offset(q, 0)];
+                }
+            }
+            y.local_mut()[off] = acc * self.h2inv;
+            flops += 2 * ndim as u64 + 2;
+        }
+        comm.rank_mut().compute_flops(flops);
+    }
+}
+
+/// Restriction plan: gather each owned coarse point's fine children.
+struct RestrictPlan {
+    plan: VecScatter,
+    buf_layout: Arc<Layout>,
+    /// Children per owned coarse point (buffer entries are grouped).
+    counts: Vec<u32>,
+}
+
+/// Interpolation plan: gather the coarse points around each owned fine
+/// point, with cell-centred linear weights.
+struct InterpPlan {
+    plan: VecScatter,
+    buf_layout: Arc<Layout>,
+    /// CSR-style: entries for fine point `i` are
+    /// `entries[starts[i]..starts[i+1]]` as (buffer slot, weight).
+    starts: Vec<u32>,
+    entries: Vec<(u32, f64)>,
+}
+
+struct Level {
+    da: DistributedArray,
+    h: f64,
+    /// Reciprocal of the operator diagonal (for the Jacobi smoother).
+    inv_diag: Vec<f64>,
+    /// Estimated largest eigenvalue of `D⁻¹A` (for Chebyshev smoothing).
+    eig_max: f64,
+    /// Fine residual → coarse rhs (present on all but the coarsest level).
+    restrict: Option<RestrictPlan>,
+    /// Coarse correction → fine correction.
+    interp: Option<InterpPlan>,
+}
+
+/// Which smoother the V-cycle uses on every level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SmootherKind {
+    /// Damped point-Jacobi (the default; damping from [`Multigrid::omega`]).
+    Jacobi,
+    /// Chebyshev polynomial acceleration of Jacobi over the interval
+    /// `[eig_max/10, 1.1*eig_max]` (PETSc's default MG smoother), with the
+    /// given polynomial degree per smoothing call. The largest eigenvalue
+    /// of `D⁻¹A` is estimated by power iteration at setup.
+    Chebyshev { degree: usize },
+}
+
+/// A geometric multigrid hierarchy and V-cycle.
+pub struct Multigrid {
+    levels: Vec<Level>,
+    pub nu_pre: usize,
+    pub nu_post: usize,
+    /// Damping of the Jacobi smoother.
+    pub omega: f64,
+    /// Coarse-solve CG tolerance and iteration cap.
+    pub coarse_rtol: f64,
+    pub coarse_max_it: usize,
+    smoother: SmootherKind,
+    backend: ScatterBackend,
+    rank: usize,
+}
+
+impl Multigrid {
+    /// Collectively build `nlevels` grids by halving `dims` (the finest
+    /// grid) per level; `h` is the fine-grid spacing. Every level must
+    /// still be partitionable over the communicator.
+    pub fn new(
+        comm: &mut Comm,
+        dims: &[usize],
+        h: f64,
+        nlevels: usize,
+        backend: ScatterBackend,
+    ) -> Multigrid {
+        assert!(nlevels >= 1, "need at least one level");
+        let rank = comm.rank();
+        let mut levels: Vec<Level> = Vec::with_capacity(nlevels);
+        let mut cur_dims: Vec<usize> = dims.to_vec();
+        let mut cur_h = h;
+        for lev in 0..nlevels {
+            let da = DistributedArray::new(comm, &cur_dims, 1, StencilKind::Star, 1);
+            let inv_diag = LaplacianOp::new(&da, cur_h)
+                .diagonal_vec()
+                .into_iter()
+                .map(|d| 1.0 / d)
+                .collect();
+            levels.push(Level {
+                da,
+                h: cur_h,
+                inv_diag,
+                eig_max: 0.0, // estimated below, once the level exists
+                restrict: None,
+                interp: None,
+            });
+            if lev + 1 < nlevels {
+                cur_dims = cur_dims.iter().map(|&n| n.div_ceil(2)).collect();
+                assert!(
+                    cur_dims.iter().all(|&n| n >= 2),
+                    "grid too small for {nlevels} levels"
+                );
+                cur_h *= 2.0;
+            }
+        }
+        // Build transfers between adjacent levels.
+        for lev in 0..nlevels - 1 {
+            let (restrict, interp) = {
+                let (fine_slice, coarse_slice) = levels.split_at(lev + 1);
+                let fine = &fine_slice[lev].da;
+                let coarse = &coarse_slice[0].da;
+                (
+                    build_restrict(comm, fine, coarse),
+                    build_interp(comm, fine, coarse),
+                )
+            };
+            levels[lev].restrict = Some(restrict);
+            levels[lev].interp = Some(interp);
+        }
+        // Estimate eig_max(D^-1 A) per level by power iteration (used by
+        // the Chebyshev smoother; cheap relative to the solve).
+        for level in &mut levels {
+            let op = LaplacianOp::new(&level.da, level.h);
+            let mut v = PVec::zeros(level.da.global_layout().clone(), rank);
+            for (i, vi) in v.local_mut().iter_mut().enumerate() {
+                *vi = 1.0 + ((i * 2654435761) % 97) as f64 / 97.0;
+            }
+            let mut av = PVec::zeros(level.da.global_layout().clone(), rank);
+            let mut lambda: f64 = 1.0;
+            for _ in 0..8 {
+                op.apply(comm, &v, &mut av, backend);
+                for (a, d) in av.local_mut().iter_mut().zip(&level.inv_diag) {
+                    *a *= d;
+                }
+                lambda = av.norm2(comm);
+                if lambda <= 0.0 {
+                    lambda = 1.0;
+                    break;
+                }
+                av.scale(comm, 1.0 / lambda);
+                std::mem::swap(&mut v, &mut av);
+            }
+            level.eig_max = lambda;
+        }
+        Multigrid {
+            levels,
+            nu_pre: 2,
+            nu_post: 2,
+            omega: 0.8,
+            coarse_rtol: 1e-3,
+            coarse_max_it: 200,
+            smoother: SmootherKind::Jacobi,
+            backend,
+            rank,
+        }
+    }
+
+    /// Select the smoother (builder style).
+    pub fn with_smoother(mut self, smoother: SmootherKind) -> Self {
+        self.smoother = smoother;
+        self
+    }
+
+    pub fn smoother(&self) -> SmootherKind {
+        self.smoother
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn fine_da(&self) -> &DistributedArray {
+        &self.levels[0].da
+    }
+
+    pub fn level_da(&self, lev: usize) -> &DistributedArray {
+        &self.levels[lev].da
+    }
+
+    pub fn backend(&self) -> ScatterBackend {
+        self.backend
+    }
+
+    /// One smoothing call on level `lev`: a damped-Jacobi sweep or a
+    /// Chebyshev polynomial, per the configured [`SmootherKind`].
+    fn smooth(&self, comm: &mut Comm, lev: usize, b: &PVec, x: &mut PVec) {
+        match self.smoother {
+            SmootherKind::Jacobi => self.smooth_jacobi(comm, lev, b, x),
+            SmootherKind::Chebyshev { degree } => self.smooth_chebyshev(comm, lev, degree, b, x),
+        }
+    }
+
+    /// `x ← x + ω D⁻¹ (b − A x)`.
+    fn smooth_jacobi(&self, comm: &mut Comm, lev: usize, b: &PVec, x: &mut PVec) {
+        let level = &self.levels[lev];
+        let op = LaplacianOp::new(&level.da, level.h);
+        let mut r = PVec::zeros(level.da.global_layout().clone(), self.rank);
+        op.apply(comm, x, &mut r, self.backend);
+        // x += omega * D^{-1} (b - Ax)
+        for ((xi, ri), (bi, di)) in x
+            .local_mut()
+            .iter_mut()
+            .zip(r.local())
+            .zip(b.local().iter().zip(&level.inv_diag))
+        {
+            *xi += self.omega * di * (bi - ri);
+        }
+        comm.rank_mut().compute_flops(4 * b.local_size() as u64);
+    }
+
+    /// Chebyshev acceleration of the Jacobi-preconditioned operator over
+    /// `[eig_max/10, 1.1·eig_max]` — damps the whole upper part of the
+    /// spectrum instead of a single frequency band.
+    fn smooth_chebyshev(&self, comm: &mut Comm, lev: usize, degree: usize, b: &PVec, x: &mut PVec) {
+        let level = &self.levels[lev];
+        let op = LaplacianOp::new(&level.da, level.h);
+        let a_lo = level.eig_max * 0.1;
+        let a_hi = level.eig_max * 1.1;
+        let theta = 0.5 * (a_hi + a_lo);
+        let delta = 0.5 * (a_hi - a_lo);
+        let sigma = theta / delta;
+        let mut rho = 1.0 / sigma;
+
+        let layout = level.da.global_layout().clone();
+        let mut r = PVec::zeros(layout.clone(), self.rank);
+        let mut d = PVec::zeros(layout, self.rank);
+        // r = D^{-1}(b - A x); d = r / theta; x += d
+        let precond_residual = |comm: &mut Comm, x: &PVec, r: &mut PVec| {
+            op.apply(comm, x, r, self.backend);
+            for ((ri, bi), di) in r.local_mut().iter_mut().zip(b.local()).zip(&level.inv_diag) {
+                *ri = (bi - *ri) * di;
+            }
+            comm.rank_mut().compute_flops(2 * b.local_size() as u64);
+        };
+        precond_residual(comm, x, &mut r);
+        d.copy_from(&r);
+        d.scale(comm, 1.0 / theta);
+        x.axpy(comm, 1.0, &d);
+        for _ in 1..degree {
+            let rho_prev = rho;
+            rho = 1.0 / (2.0 * sigma - rho_prev);
+            precond_residual(comm, x, &mut r);
+            // d = rho*rho_prev * d + (2*rho/delta) * r
+            d.scale(comm, rho * rho_prev);
+            d.axpy(comm, 2.0 * rho / delta, &r);
+            x.axpy(comm, 1.0, &d);
+        }
+    }
+
+    /// Restrict a fine-level vector to coarse-level rhs (averaging).
+    fn restrict(&self, comm: &mut Comm, lev: usize, fine_r: &PVec, coarse_b: &mut PVec) {
+        let t = self.levels[lev].restrict.as_ref().expect("not coarsest");
+        let mut buf = PVec::zeros(t.buf_layout.clone(), self.rank);
+        t.plan.apply(comm, fine_r, &mut buf, self.backend);
+        let vals = buf.local();
+        let mut pos = 0usize;
+        for (i, &cnt) in t.counts.iter().enumerate() {
+            let mut acc = 0.0;
+            for _ in 0..cnt {
+                acc += vals[pos];
+                pos += 1;
+            }
+            coarse_b.local_mut()[i] = acc / cnt as f64;
+        }
+        comm.rank_mut().compute_flops(vals.len() as u64);
+    }
+
+    /// Interpolate a coarse-level correction (cell-centred linear) and add
+    /// it into the fine x.
+    fn interp_add(&self, comm: &mut Comm, lev: usize, coarse_x: &PVec, fine_x: &mut PVec) {
+        let t = self.levels[lev].interp.as_ref().expect("not coarsest");
+        let mut buf = PVec::zeros(t.buf_layout.clone(), self.rank);
+        t.plan.apply(comm, coarse_x, &mut buf, self.backend);
+        let vals = buf.local();
+        for (i, xi) in fine_x.local_mut().iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for &(slot, w) in &t.entries[t.starts[i] as usize..t.starts[i + 1] as usize] {
+                acc += w * vals[slot as usize];
+            }
+            *xi += acc;
+        }
+        comm.rank_mut().compute_flops(2 * t.entries.len() as u64);
+    }
+
+    /// Recursive V-cycle on level `lev`: improve `x` for `A_lev x = b`.
+    pub fn vcycle(&self, comm: &mut Comm, lev: usize, b: &PVec, x: &mut PVec) {
+        let level = &self.levels[lev];
+        if lev == self.levels.len() - 1 {
+            // Coarse solve: CG to a loose tolerance.
+            let op = LaplacianOp::new(&level.da, level.h);
+            let settings = KspSettings {
+                rtol: self.coarse_rtol,
+                max_it: self.coarse_max_it,
+                backend: self.backend,
+                ..Default::default()
+            };
+            cg(comm, &op, &IdentityPc, b, x, &settings);
+            return;
+        }
+        for _ in 0..self.nu_pre {
+            self.smooth(comm, lev, b, x);
+        }
+        // r = b - A x
+        let op = LaplacianOp::new(&level.da, level.h);
+        let mut r = PVec::zeros(level.da.global_layout().clone(), self.rank);
+        op.apply(comm, x, &mut r, self.backend);
+        r.scale(comm, -1.0);
+        r.axpy(comm, 1.0, b);
+        // Coarse correction.
+        let coarse_da = &self.levels[lev + 1].da;
+        let mut cb = PVec::zeros(coarse_da.global_layout().clone(), self.rank);
+        self.restrict(comm, lev, &r, &mut cb);
+        let mut cx = PVec::zeros(coarse_da.global_layout().clone(), self.rank);
+        self.vcycle(comm, lev + 1, &cb, &mut cx);
+        self.interp_add(comm, lev, &cx, x);
+        for _ in 0..self.nu_post {
+            self.smooth(comm, lev, b, x);
+        }
+    }
+}
+
+impl Preconditioner for Multigrid {
+    /// One V-cycle from a zero initial guess: `z ≈ A⁻¹ r`.
+    fn apply(&self, comm: &mut Comm, r: &PVec, z: &mut PVec, _backend: ScatterBackend) {
+        z.set_all(0.0);
+        self.vcycle(comm, 0, r, z);
+    }
+}
+
+/// Fine children of coarse point `cp` (cell-centred coarsening by 2,
+/// clipped at the grid boundary).
+fn children_of(cp: [usize; 3], fine_dims: [usize; 3], ndim: usize) -> Vec<[usize; 3]> {
+    let mut out = Vec::with_capacity(1 << ndim);
+    let span = |d: usize| -> std::ops::Range<usize> {
+        if d < ndim {
+            let lo = 2 * cp[d];
+            lo..(lo + 2).min(fine_dims[d])
+        } else {
+            0..1
+        }
+    };
+    for k in span(2) {
+        for j in span(1) {
+            for i in span(0) {
+                out.push([i, j, k]);
+            }
+        }
+    }
+    out
+}
+
+fn build_restrict(
+    comm: &mut Comm,
+    fine: &DistributedArray,
+    coarse: &DistributedArray,
+) -> RestrictPlan {
+    let mut needed = Vec::new();
+    let mut counts = Vec::new();
+    for cp in coarse.owned_points() {
+        let children = children_of(cp, fine.dims(), fine.ndim());
+        counts.push(children.len() as u32);
+        for ch in children {
+            needed.push(fine.global_vec_index(ch, 0));
+        }
+    }
+    let (plan, buf_layout) = VecScatter::gather_plan(comm, fine.global_layout().clone(), &needed);
+    RestrictPlan {
+        plan,
+        buf_layout,
+        counts,
+    }
+}
+
+/// Cell-centred linear interpolation: a fine cell centre lies between its
+/// parent coarse cell centre (weight 3/4 per dimension) and the adjacent
+/// coarse cell on the other side (weight 1/4); at the grid boundary the
+/// missing neighbour's weight folds back onto the parent (constant
+/// extrapolation). In d dimensions the weights are the tensor product.
+fn build_interp(comm: &mut Comm, fine: &DistributedArray, coarse: &DistributedArray) -> InterpPlan {
+    let ndim = fine.ndim();
+    let cdims = coarse.dims();
+    let mut unique: Vec<usize> = Vec::new();
+    let mut slot_of: HashMap<usize, u32> = HashMap::new();
+    let mut starts: Vec<u32> = vec![0];
+    let mut entries: Vec<(u32, f64)> = Vec::new();
+
+    for fp in fine.owned_points() {
+        // Per-dimension coarse stencil: (parent, 0.75), (neighbour, 0.25).
+        let mut dim_pts: [[(usize, f64); 2]; 3] = [[(0, 1.0), (0, 0.0)]; 3];
+        for d in 0..3 {
+            if d >= ndim {
+                dim_pts[d] = [(0, 1.0), (0, 0.0)];
+                continue;
+            }
+            let parent = fp[d] / 2;
+            let neighbour = if fp[d] % 2 == 0 {
+                parent.checked_sub(1)
+            } else if parent + 1 < cdims[d] {
+                Some(parent + 1)
+            } else {
+                None
+            };
+            dim_pts[d] = match neighbour {
+                Some(nb) => [(parent, 0.75), (nb, 0.25)],
+                None => [(parent, 1.0), (parent, 0.0)],
+            };
+        }
+        // Tensor product over dimensions; skip zero weights.
+        let mut accum: HashMap<usize, f64> = HashMap::new();
+        for &(cz, wz) in &dim_pts[2][..] {
+            if wz == 0.0 {
+                continue;
+            }
+            for &(cy, wy) in &dim_pts[1][..] {
+                if wy == 0.0 {
+                    continue;
+                }
+                for &(cx, wx) in &dim_pts[0][..] {
+                    if wx == 0.0 {
+                        continue;
+                    }
+                    let g = coarse.global_vec_index([cx, cy, cz], 0);
+                    *accum.entry(g).or_insert(0.0) += wx * wy * wz;
+                }
+            }
+        }
+        let mut pts: Vec<(usize, f64)> = accum.into_iter().collect();
+        pts.sort_unstable_by_key(|&(g, _)| g);
+        for (g, w) in pts {
+            let slot = *slot_of.entry(g).or_insert_with(|| {
+                unique.push(g);
+                (unique.len() - 1) as u32
+            });
+            entries.push((slot, w));
+        }
+        starts.push(entries.len() as u32);
+    }
+    let (plan, buf_layout) = VecScatter::gather_plan(comm, coarse.global_layout().clone(), &unique);
+    InterpPlan {
+        plan,
+        buf_layout,
+        starts,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ksp::richardson;
+    use ncd_core::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    fn with_n<R: Send>(n: usize, f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+        Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            f(&mut comm)
+        })
+    }
+
+    #[test]
+    fn laplacian_of_linear_function_is_zero_inside() {
+        // u(i) = i on a 1-D grid: -u'' = 0 in the interior.
+        with_n(2, |comm| {
+            let da = DistributedArray::new(comm, &[16], 1, StencilKind::Star, 1);
+            let op = LaplacianOp::new(&da, 1.0);
+            let mut x = da.create_global_vec();
+            for (off, p) in da.owned_points().enumerate() {
+                x.local_mut()[off] = p[0] as f64;
+            }
+            let mut y = da.create_global_vec();
+            op.apply(comm, &x, &mut y, ScatterBackend::HandTuned);
+            for (off, p) in da.owned_points().enumerate() {
+                let v = y.local()[off];
+                if p[0] > 0 && p[0] < 15 {
+                    assert!(v.abs() < 1e-12, "interior point {p:?}: {v}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn laplacian_is_symmetric() {
+        // x·Ay == y·Ax for random-ish vectors.
+        let out = with_n(4, |comm| {
+            let da = DistributedArray::new(comm, &[8, 8], 1, StencilKind::Star, 1);
+            let op = LaplacianOp::new(&da, 0.25);
+            let (s, e) = da.global_layout().range(comm.rank());
+            let x = PVec::from_local(
+                da.global_layout().clone(),
+                comm.rank(),
+                (s..e).map(|g| ((g * 37 + 11) % 17) as f64).collect(),
+            );
+            let y = PVec::from_local(
+                da.global_layout().clone(),
+                comm.rank(),
+                (s..e).map(|g| ((g * 23 + 5) % 13) as f64).collect(),
+            );
+            let mut ax = da.create_global_vec();
+            let mut ay = da.create_global_vec();
+            op.apply(comm, &x, &mut ax, ScatterBackend::Datatype);
+            op.apply(comm, &y, &mut ay, ScatterBackend::Datatype);
+            (x.dot(comm, &ay), y.dot(comm, &ax))
+        });
+        for (xay, yax) in &out {
+            assert!((xay - yax).abs() < 1e-9 * xay.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn children_cover_fine_grid_exactly_once() {
+        let fine_dims = [9usize, 6, 1];
+        let coarse_dims = [5usize, 3, 1];
+        let mut seen = [false; 9 * 6];
+        for cj in 0..coarse_dims[1] {
+            for ci in 0..coarse_dims[0] {
+                for ch in children_of([ci, cj, 0], fine_dims, 2) {
+                    let idx = ch[1] * 9 + ch[0];
+                    assert!(!seen[idx], "child {ch:?} covered twice");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn vcycle_reduces_residual_2d() {
+        let out = with_n(4, |comm| {
+            let mg = Multigrid::new(comm, &[32, 32], 1.0 / 32.0, 3, ScatterBackend::HandTuned);
+            let da = mg.fine_da();
+            let mut b = PVec::zeros(da.global_layout().clone(), comm.rank());
+            b.set_all(1.0);
+            let mut x = PVec::zeros(da.global_layout().clone(), comm.rank());
+            let op = LaplacianOp::new(da, 1.0 / 32.0);
+            let r0 = b.norm2(comm);
+            // The first cycle can transiently raise the residual *norm*
+            // (V-cycles contract the error, not the residual); after a few
+            // cycles the ~0.3 asymptotic factor must show.
+            for _ in 0..3 {
+                mg.vcycle(comm, 0, &b, &mut x);
+            }
+            let mut r = PVec::zeros(da.global_layout().clone(), comm.rank());
+            op.apply(comm, &x, &mut r, ScatterBackend::HandTuned);
+            r.scale(comm, -1.0);
+            r.axpy(comm, 1.0, &b);
+            (r0, r.norm2(comm))
+        });
+        for (r0, r1) in &out {
+            assert!(
+                r1 < &(0.1 * r0),
+                "three V-cycles should reduce the residual 10x ({r0} -> {r1})"
+            );
+        }
+    }
+
+    #[test]
+    fn mg_preconditioned_richardson_solves_poisson_3d() {
+        let out = with_n(8, |comm| {
+            let n = 16;
+            let h = 1.0 / n as f64;
+            let mg = Multigrid::new(comm, &[n, n, n], h, 3, ScatterBackend::Datatype);
+            let da = mg.fine_da();
+            let op = LaplacianOp::new(da, h);
+            let mut b = PVec::zeros(da.global_layout().clone(), comm.rank());
+            b.set_all(1.0);
+            let mut x = PVec::zeros(da.global_layout().clone(), comm.rank());
+            let settings = KspSettings {
+                rtol: 1e-8,
+                max_it: 60,
+                backend: ScatterBackend::Datatype,
+                ..Default::default()
+            };
+            let res = richardson(comm, &op, &mg, 1.0, &b, &mut x, &settings);
+            (res.converged, res.iterations, x.sum(comm))
+        });
+        let (conv, iters, sum) = out[0];
+        assert!(conv, "MG-Richardson failed to converge in {iters} iterations");
+        assert!(iters < 60);
+        // The solution of -∇²u = 1 with zero BCs is positive everywhere.
+        assert!(sum > 0.0);
+        for o in &out {
+            assert_eq!(o.2, sum, "all ranks agree on the answer");
+        }
+    }
+
+    #[test]
+    fn mg_levels_have_halved_dims() {
+        with_n(2, |comm| {
+            let mg = Multigrid::new(comm, &[20, 20], 0.05, 3, ScatterBackend::HandTuned);
+            assert_eq!(mg.num_levels(), 3);
+            assert_eq!(mg.level_da(0).dims()[0], 20);
+            assert_eq!(mg.level_da(1).dims()[0], 10);
+            assert_eq!(mg.level_da(2).dims()[0], 5);
+        });
+    }
+}
+
+#[cfg(test)]
+mod chebyshev_tests {
+    use super::*;
+    use crate::ksp::richardson;
+    use ncd_core::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    #[test]
+    fn chebyshev_smoothed_mg_converges_and_beats_jacobi_per_cycle() {
+        let out = Cluster::new(ClusterConfig::uniform(4)).run(|rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let n = 32;
+            let h = 1.0 / n as f64;
+            let run = |comm: &mut Comm, smoother: SmootherKind| {
+                let mg = Multigrid::new(comm, &[n, n], h, 3, ScatterBackend::HandTuned)
+                    .with_smoother(smoother);
+                let da = mg.fine_da();
+                let op = LaplacianOp::new(da, h);
+                let mut b = PVec::zeros(da.global_layout().clone(), comm.rank());
+                b.set_all(1.0);
+                let mut x = PVec::zeros(da.global_layout().clone(), comm.rank());
+                for _ in 0..3 {
+                    mg.vcycle(comm, 0, &b, &mut x);
+                }
+                let mut r = PVec::zeros(da.global_layout().clone(), comm.rank());
+                op.apply(comm, &x, &mut r, ScatterBackend::HandTuned);
+                r.scale(comm, -1.0);
+                r.axpy(comm, 1.0, &b);
+                r.norm2(comm)
+            };
+            let jac = run(&mut comm, SmootherKind::Jacobi);
+            let cheb = run(&mut comm, SmootherKind::Chebyshev { degree: 3 });
+            (jac, cheb)
+        });
+        let (jac, cheb) = out[0];
+        assert!(cheb.is_finite() && cheb > 0.0);
+        // A degree-3 Chebyshev smoother should beat single Jacobi sweeps
+        // after the same number of cycles.
+        assert!(
+            cheb < jac,
+            "Chebyshev ({cheb:.3e}) should out-smooth Jacobi ({jac:.3e})"
+        );
+    }
+
+    #[test]
+    fn chebyshev_mg_as_preconditioner_solves() {
+        let out = Cluster::new(ClusterConfig::uniform(8)).run(|rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let n = 16;
+            let h = 1.0 / n as f64;
+            let mg = Multigrid::new(&mut comm, &[n, n, n], h, 3, ScatterBackend::Datatype)
+                .with_smoother(SmootherKind::Chebyshev { degree: 2 });
+            let da = mg.fine_da();
+            let op = LaplacianOp::new(da, h);
+            let mut b = PVec::zeros(da.global_layout().clone(), comm.rank());
+            b.set_all(1.0);
+            let mut x = PVec::zeros(da.global_layout().clone(), comm.rank());
+            let settings = KspSettings {
+                rtol: 1e-8,
+                max_it: 40,
+                backend: ScatterBackend::Datatype,
+                ..Default::default()
+            };
+            richardson(&mut comm, &op, &mg, 1.0, &b, &mut x, &settings).converged
+        });
+        assert!(out.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn eig_estimates_are_positive_and_bounded() {
+        Cluster::new(ClusterConfig::uniform(2)).run(|rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let mg = Multigrid::new(&mut comm, &[32], 1.0 / 32.0, 2, ScatterBackend::HandTuned);
+            for lev in 0..mg.num_levels() {
+                let e = mg.levels[lev].eig_max;
+                // For D^-1 * (1D Laplacian), the spectrum is in (0, 2).
+                assert!(e > 0.5 && e <= 2.1, "level {lev}: eig_max = {e}");
+            }
+        });
+    }
+}

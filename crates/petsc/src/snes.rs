@@ -1,0 +1,326 @@
+//! Nonlinear solvers (`SNES` in PETSc, the layer above `KSP` in the
+//! architecture of the paper's Figure 1): Newton–Krylov with a
+//! matrix-free, finite-difference Jacobian (JFNK) and backtracking line
+//! search.
+//!
+//! Every Jacobian-vector product costs one nonlinear function evaluation,
+//! which for PDE residuals on a [`crate::da::DistributedArray`] means one
+//! more ghost exchange — so the nonlinear layer multiplies the
+//! communication pressure the paper studies.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use ncd_core::Comm;
+
+use crate::gmres::gmres;
+use crate::ksp::{IdentityPc, KspSettings, LinearOp};
+use crate::layout::Layout;
+use crate::scatter::ScatterBackend;
+use crate::vec::PVec;
+
+/// A nonlinear residual `F(x)`.
+pub trait NonlinearFunction {
+    fn layout(&self) -> &Arc<Layout>;
+    fn eval(&self, comm: &mut Comm, x: &PVec, f: &mut PVec, backend: ScatterBackend);
+}
+
+/// Settings of the Newton iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct SnesSettings {
+    /// Relative tolerance on `‖F‖` vs the initial residual.
+    pub rtol: f64,
+    /// Absolute tolerance on `‖F‖`.
+    pub atol: f64,
+    pub max_it: usize,
+    /// Inner (GMRES) solve settings; its `rtol` is the forcing term.
+    pub ksp: KspSettings,
+    /// Maximum backtracking halvings in the line search.
+    pub max_backtracks: usize,
+}
+
+impl Default for SnesSettings {
+    fn default() -> Self {
+        SnesSettings {
+            rtol: 1e-8,
+            atol: 1e-12,
+            max_it: 50,
+            ksp: KspSettings {
+                rtol: 1e-4,
+                max_it: 200,
+                ..Default::default()
+            },
+            max_backtracks: 10,
+        }
+    }
+}
+
+/// Outcome of a nonlinear solve.
+#[derive(Clone, Copy, Debug)]
+pub struct SnesResult {
+    pub converged: bool,
+    pub iterations: usize,
+    pub residual_norm: f64,
+    /// Total nonlinear function evaluations (including JFNK products).
+    pub function_evals: usize,
+}
+
+/// Matrix-free finite-difference Jacobian at a base point:
+/// `J(x₀) v ≈ (F(x₀ + ε v) − F(x₀)) / ε`.
+struct FdJacobian<'a> {
+    fun: &'a dyn NonlinearFunction,
+    x0: &'a PVec,
+    f0: &'a PVec,
+    x0_norm: f64,
+    evals: &'a RefCell<usize>,
+}
+
+impl LinearOp for FdJacobian<'_> {
+    fn layout(&self) -> &Arc<Layout> {
+        self.fun.layout()
+    }
+
+    fn apply(&self, comm: &mut Comm, v: &PVec, y: &mut PVec, backend: ScatterBackend) {
+        let vnorm = v.norm2(comm);
+        if vnorm == 0.0 {
+            y.set_all(0.0);
+            return;
+        }
+        // PETSc's default differencing parameter.
+        let eps = (1.0 + self.x0_norm).sqrt() * 1e-8 / vnorm;
+        let mut xp = self.x0.clone();
+        xp.axpy(comm, eps, v);
+        self.fun.eval(comm, &xp, y, backend);
+        *self.evals.borrow_mut() += 1;
+        // y = (F(x+eps v) - F(x)) / eps
+        y.axpy(comm, -1.0, self.f0);
+        y.scale(comm, 1.0 / eps);
+    }
+}
+
+/// Newton–Krylov with JFNK and backtracking line search: solve `F(x) = 0`
+/// starting from the initial guess in `x`.
+pub fn newton_krylov(
+    comm: &mut Comm,
+    fun: &dyn NonlinearFunction,
+    x: &mut PVec,
+    settings: &SnesSettings,
+) -> SnesResult {
+    let backend = settings.ksp.backend;
+    let layout = fun.layout().clone();
+    let rank = comm.rank();
+    let evals = RefCell::new(0usize);
+
+    let mut f = PVec::zeros(layout.clone(), rank);
+    fun.eval(comm, x, &mut f, backend);
+    *evals.borrow_mut() += 1;
+    let f0norm = f.norm2(comm).max(f64::MIN_POSITIVE);
+    let mut fnorm = f0norm;
+
+    for it in 0..settings.max_it {
+        if fnorm <= settings.rtol * f0norm || fnorm <= settings.atol {
+            return SnesResult {
+                converged: true,
+                iterations: it,
+                residual_norm: fnorm,
+                function_evals: *evals.borrow(),
+            };
+        }
+        // Solve J dx = -F with matrix-free GMRES.
+        let x0_norm = x.norm2(comm);
+        let jac = FdJacobian {
+            fun,
+            x0: x,
+            f0: &f,
+            x0_norm,
+            evals: &evals,
+        };
+        let mut rhs = f.clone();
+        rhs.scale(comm, -1.0);
+        let mut dx = PVec::zeros(layout.clone(), rank);
+        gmres(comm, &jac, &IdentityPc, 30, &rhs, &mut dx, &settings.ksp);
+
+        // Backtracking line search on ‖F‖ (Armijo-style, alpha = 1e-4).
+        let mut lambda = 1.0f64;
+        let mut accepted = false;
+        let mut xtrial = PVec::zeros(layout.clone(), rank);
+        let mut ftrial = PVec::zeros(layout.clone(), rank);
+        for _ in 0..=settings.max_backtracks {
+            xtrial.copy_from(x);
+            xtrial.axpy(comm, lambda, &dx);
+            fun.eval(comm, &xtrial, &mut ftrial, backend);
+            *evals.borrow_mut() += 1;
+            let trial_norm = ftrial.norm2(comm);
+            if trial_norm <= (1.0 - 1e-4 * lambda) * fnorm {
+                x.copy_from(&xtrial);
+                f.copy_from(&ftrial);
+                fnorm = trial_norm;
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            // Stagnation: no productive step along the Newton direction.
+            return SnesResult {
+                converged: false,
+                iterations: it + 1,
+                residual_norm: fnorm,
+                function_evals: *evals.borrow(),
+            };
+        }
+    }
+    let function_evals = *evals.borrow();
+    SnesResult {
+        converged: fnorm <= settings.rtol * f0norm || fnorm <= settings.atol,
+        iterations: settings.max_it,
+        residual_norm: fnorm,
+        function_evals,
+    }
+}
+
+/// The 2-D Bratu problem `-∇²u − λ eᵘ = 0` with homogeneous Dirichlet
+/// boundary conditions (PETSc's classic SNES example 5) as a
+/// [`NonlinearFunction`] over a distributed array.
+pub struct Bratu2d<'a> {
+    da: &'a crate::da::DistributedArray,
+    lambda: f64,
+    h2inv: f64,
+}
+
+impl<'a> Bratu2d<'a> {
+    pub fn new(da: &'a crate::da::DistributedArray, h: f64, lambda: f64) -> Self {
+        assert_eq!(da.ndim(), 2, "Bratu2d needs a 2-D DA");
+        assert_eq!(da.dof(), 1);
+        Bratu2d {
+            da,
+            lambda,
+            h2inv: 1.0 / (h * h),
+        }
+    }
+}
+
+impl NonlinearFunction for Bratu2d<'_> {
+    fn layout(&self) -> &Arc<Layout> {
+        self.da.global_layout()
+    }
+
+    fn eval(&self, comm: &mut Comm, x: &PVec, f: &mut PVec, backend: ScatterBackend) {
+        let da = self.da;
+        let mut local = da.create_local_vec();
+        da.global_to_local(comm, x, &mut local, backend);
+        let dims = da.dims();
+        let l = local.local();
+        for (off, p) in da.owned_points().enumerate() {
+            let u = l[da.local_vec_offset(p, 0)];
+            let mut lap = 4.0 * u;
+            for (d, delta) in [(0usize, -1i64), (0, 1), (1, -1), (1, 1)] {
+                let c = p[d] as i64 + delta;
+                if c >= 0 && c < dims[d] as i64 {
+                    let mut q = p;
+                    q[d] = c as usize;
+                    lap -= l[da.local_vec_offset(q, 0)];
+                }
+            }
+            f.local_mut()[off] = lap * self.h2inv - self.lambda * u.exp();
+        }
+        comm.rank_mut().compute_flops(10 * f.local_size() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::da::{DistributedArray, StencilKind};
+    use ncd_core::MpiConfig;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    fn with_n<R: Send>(n: usize, f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+        Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            f(&mut comm)
+        })
+    }
+
+    #[test]
+    fn newton_solves_bratu() {
+        for nranks in [1usize, 4] {
+            let out = with_n(nranks, |comm| {
+                let n = 16;
+                let h = 1.0 / (n as f64 + 1.0);
+                let da = DistributedArray::new(comm, &[n, n], 1, StencilKind::Star, 1);
+                let bratu = Bratu2d::new(&da, h, 5.0);
+                let mut x = da.create_global_vec();
+                let res = newton_krylov(comm, &bratu, &mut x, &SnesSettings::default());
+                // Verify the residual directly.
+                let mut f = da.create_global_vec();
+                bratu.eval(comm, &x, &mut f, ScatterBackend::HandTuned);
+                (res, f.norm2(comm), x.norm_inf(comm))
+            });
+            let (res, fnorm, xmax) = &out[0];
+            assert!(res.converged, "nranks={nranks}: {res:?}");
+            assert!(res.iterations <= 10, "Newton should converge fast: {res:?}");
+            assert!(*fnorm < 1e-6, "residual {fnorm}");
+            // The Bratu solution is positive with a hump in the middle.
+            assert!(*xmax > 0.05 && *xmax < 2.0, "max u = {xmax}");
+            // All ranks agree.
+            for o in &out {
+                assert_eq!(o.2, *xmax);
+            }
+        }
+    }
+
+    #[test]
+    fn newton_converges_quadratically_on_easy_lambda() {
+        let out = with_n(2, |comm| {
+            let n = 12;
+            let h = 1.0 / (n as f64 + 1.0);
+            let da = DistributedArray::new(comm, &[n, n], 1, StencilKind::Star, 1);
+            let bratu = Bratu2d::new(&da, h, 1.0);
+            let mut x = da.create_global_vec();
+            newton_krylov(comm, &bratu, &mut x, &SnesSettings::default())
+        });
+        assert!(out[0].converged);
+        assert!(out[0].iterations <= 6);
+        // JFNK costs function evaluations; sanity-bound them.
+        assert!(out[0].function_evals < 500);
+    }
+
+    #[test]
+    fn linear_problem_converges_in_one_newton_step() {
+        // With lambda = 0 the Bratu residual is linear, so one Newton step
+        // (with a tight inner solve) lands on the answer.
+        let out = with_n(2, |comm| {
+            let n = 10;
+            let h = 1.0 / (n as f64 + 1.0);
+            let da = DistributedArray::new(comm, &[n, n], 1, StencilKind::Star, 1);
+            let bratu = Bratu2d::new(&da, h, 0.0);
+            let mut x = da.create_global_vec();
+            x.set_all(0.1); // non-trivial start, F(x) != 0
+            let settings = SnesSettings {
+                ksp: KspSettings {
+                    rtol: 1e-12,
+                    max_it: 500,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            newton_krylov(comm, &bratu, &mut x, &settings)
+        });
+        assert!(out[0].converged);
+        assert!(out[0].iterations <= 2, "{:?}", out[0]);
+    }
+
+    #[test]
+    fn result_reports_zero_residual_start() {
+        // lambda = 0 and x = 0 means F(x) = 0 immediately.
+        let out = with_n(1, |comm| {
+            let da = DistributedArray::new(comm, &[8, 8], 1, StencilKind::Star, 1);
+            let bratu = Bratu2d::new(&da, 0.1, 0.0);
+            let mut x = da.create_global_vec();
+            newton_krylov(comm, &bratu, &mut x, &SnesSettings::default())
+        });
+        assert!(out[0].converged);
+        assert_eq!(out[0].iterations, 0);
+    }
+}

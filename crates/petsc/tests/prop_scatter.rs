@@ -1,0 +1,104 @@
+//! Property-based tests of the PETSc layer: arbitrary scatters must move
+//! values correctly under every backend, and the distributed vector
+//! reductions must match their sequential counterparts.
+
+use ncd_core::{Comm, MpiConfig};
+use ncd_petsc::{IndexSet, Layout, PVec, ScatterBackend, VecScatter};
+use ncd_simnet::{Cluster, ClusterConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random subset of source indices scattered to a random permutation
+    /// of destination slots, split arbitrarily across ranks: every value
+    /// must land exactly where the pair list says, under both backends and
+    /// both MPI flavors.
+    #[test]
+    fn arbitrary_scatters_move_values_exactly(
+        nranks in 1usize..6,
+        n in 1usize..64,
+        seed in 0u64..1000,
+        baseline in any::<bool>(),
+    ) {
+        // Build a deterministic pseudorandom partial permutation.
+        let mut src_idx: Vec<usize> = (0..n).collect();
+        let mut dst_idx: Vec<usize> = (0..n).collect();
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut shuffle = |v: &mut Vec<usize>| {
+            for i in (1..v.len()).rev() {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                v.swap(i, (x as usize) % (i + 1));
+            }
+        };
+        shuffle(&mut src_idx);
+        shuffle(&mut dst_idx);
+        let take = n / 2 + 1;
+        let src_idx = &src_idx[..take];
+        let dst_idx = &dst_idx[..take];
+
+        for backend in [ScatterBackend::HandTuned, ScatterBackend::Datatype] {
+            let cfg = if baseline { MpiConfig::baseline() } else { MpiConfig::optimized() };
+            let src_v = src_idx.to_vec();
+            let dst_v = dst_idx.to_vec();
+            let out = Cluster::new(ClusterConfig::uniform(nranks)).run(move |rank| {
+                let mut comm = Comm::new(rank, cfg.clone());
+                let layout = Layout::balanced(n, comm.size());
+                let (s, e) = layout.range(comm.rank());
+                let x = PVec::from_local(
+                    layout.clone(),
+                    comm.rank(),
+                    (s..e).map(|g| (g + 1) as f64).collect(),
+                );
+                let mut y = PVec::zeros(layout.clone(), comm.rank());
+                y.set_all(-1.0);
+                // Each rank contributes a slice of the pair list.
+                let per = src_v.len().div_ceil(comm.size());
+                let lo = (comm.rank() * per).min(src_v.len());
+                let hi = ((comm.rank() + 1) * per).min(src_v.len());
+                let plan = VecScatter::create(
+                    &mut comm,
+                    layout.clone(),
+                    &IndexSet::general(src_v[lo..hi].to_vec()),
+                    layout,
+                    &IndexSet::general(dst_v[lo..hi].to_vec()),
+                );
+                plan.apply(&mut comm, &x, &mut y, backend);
+                y.local().to_vec()
+            });
+            let y_global: Vec<f64> = out.into_iter().flatten().collect();
+            let mut expected = vec![-1.0f64; n];
+            for (&sg, &dg) in src_idx.iter().zip(dst_idx) {
+                expected[dg] = (sg + 1) as f64;
+            }
+            prop_assert_eq!(&y_global, &expected, "backend {:?}", backend);
+        }
+    }
+
+    /// Vector reductions agree with sequential arithmetic regardless of the
+    /// partition.
+    #[test]
+    fn reductions_match_sequential(
+        nranks in 1usize..6,
+        vals in proptest::collection::vec(-10.0f64..10.0, 1..50),
+    ) {
+        let n = vals.len();
+        let vals_c = vals.clone();
+        let out = Cluster::new(ClusterConfig::uniform(nranks)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let layout = Layout::balanced(n, comm.size());
+            let (s, e) = layout.range(comm.rank());
+            let v = PVec::from_local(layout, comm.rank(), vals_c[s..e].to_vec());
+            (v.sum(&mut comm), v.norm2(&mut comm), v.norm_inf(&mut comm), v.dot(&mut comm, &v))
+        });
+        let sum: f64 = vals.iter().sum();
+        let dot: f64 = vals.iter().map(|v| v * v).sum();
+        let ninf = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for (s, n2, ni, d) in out {
+            prop_assert!((s - sum).abs() < 1e-9);
+            prop_assert!((n2 - dot.sqrt()).abs() < 1e-9);
+            prop_assert!((ni - ninf).abs() < 1e-12);
+            prop_assert!((d - dot).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # ncd-simnet — a simulated cluster substrate
+//!
+//! The paper this workspace reproduces ("Nonuniformly Communicating
+//! Noncontiguous Data: A Case Study with PETSc and MPI", IPPS 2007) was
+//! evaluated on a 64-node InfiniBand cluster (32 Intel EM64T nodes + 32
+//! Opteron nodes, two processes per node). That hardware is not available
+//! here, so this crate provides the substitution: a cluster **simulated in a
+//! single OS process**, where every MPI-style *rank* is a thread and every
+//! message travels through an in-memory channel.
+//!
+//! Correctness is real — ranks exchange real bytes and algorithms run
+//! unmodified. Performance is *simulated*: each rank owns a logical clock
+//! ([`SimTime`], nanoseconds) that advances according to a LogGP-style
+//! [`CostModel`] (latency, bandwidth, per-message overheads, memory-copy
+//! bandwidth and per-segment datatype-processing costs). A message carries
+//! its arrival timestamp; a receive completes at
+//! `max(local_clock, arrival) + overhead`. Because the effects studied by
+//! the paper (quadratic datatype search, ring serialization of an outlier
+//! message, round-robin synchronization skew) are *counts of operations
+//! actually executed*, converting those counts to time with a fixed cost
+//! model preserves the shape of every figure even though absolute
+//! microseconds differ from the 2007 testbed.
+//!
+//! Determinism: every source of noise (per-operation jitter modelling OS and
+//! heterogeneity skew) is drawn from a per-rank RNG seeded from
+//! `(cluster seed, rank)`, so simulated timings are bit-reproducible across
+//! runs and thread schedules, as long as the algorithms themselves consume
+//! randomness and messages in a deterministic order.
+//!
+//! ```
+//! use ncd_simnet::{ClusterConfig, Cluster, Tag};
+//!
+//! let times = Cluster::new(ClusterConfig::uniform(2)).run(|rank| {
+//!     if rank.rank() == 0 {
+//!         rank.send_bytes(1, Tag(7), b"hello".to_vec());
+//!     } else {
+//!         let (msg, src) = rank.recv_bytes(Some(0), Tag(7));
+//!         assert_eq!((msg.as_slice(), src), (&b"hello"[..], 0));
+//!     }
+//!     rank.now()
+//! });
+//! assert!(times[1] > times[0]); // the receiver waited for the wire
+//! ```
+
+pub mod mailbox;
+pub mod runtime;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use mailbox::{NetMsg, Tag, ANY_TAG};
+pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
+pub use stats::{CostKind, Stats};
+pub use time::{CostModel, SimTime};
+pub use trace::{render_timeline, EventKind, TraceEvent};

@@ -1,0 +1,181 @@
+//! Message envelopes and MPI-style (source, tag) matching.
+//!
+//! Each rank owns a single unbounded channel on which all other ranks
+//! deposit [`NetMsg`] envelopes. Matching follows MPI semantics: a receive
+//! names a source (or any) and a tag (or [`ANY_TAG`]); messages that arrive
+//! before a matching receive is posted are parked in an *unexpected queue*
+//! and matched in FIFO order per (source, tag), exactly as an MPI
+//! implementation's unexpected-message queue behaves.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::Receiver;
+
+use crate::time::SimTime;
+
+/// An MPI-style message tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+/// Wildcard tag matching any message tag (like `MPI_ANY_TAG`).
+pub const ANY_TAG: Tag = Tag(u32::MAX);
+
+/// A message in flight: payload plus the simulated arrival timestamp
+/// computed by the sender (departure clock + latency + serialization).
+#[derive(Clone, Debug)]
+pub struct NetMsg {
+    pub src: usize,
+    pub tag: Tag,
+    /// Communicator context: messages only match receives posted with the
+    /// same context (how MPI keeps traffic of different communicators
+    /// apart). The world communicator uses context 0.
+    pub context: u32,
+    pub data: Vec<u8>,
+    /// Simulated time at which the last byte is available at the receiver.
+    pub arrival: SimTime,
+}
+
+impl NetMsg {
+    fn matches(&self, src: Option<usize>, tag: Tag, context: u32) -> bool {
+        self.context == context
+            && src.is_none_or(|s| s == self.src)
+            && (tag == ANY_TAG || tag == self.tag)
+    }
+}
+
+/// Receiving endpoint of one rank: the channel plus the unexpected queue.
+pub struct Mailbox {
+    rx: Receiver<NetMsg>,
+    unexpected: VecDeque<NetMsg>,
+}
+
+impl Mailbox {
+    pub fn new(rx: Receiver<NetMsg>) -> Self {
+        Mailbox {
+            rx,
+            unexpected: VecDeque::new(),
+        }
+    }
+
+    /// Blockingly receive the first message matching `(src, tag)`.
+    ///
+    /// Checks the unexpected queue first (FIFO), then drains the channel,
+    /// parking non-matching arrivals, until a match appears. Panics if all
+    /// senders disconnected without a match — in a correctly paired program
+    /// that indicates a peer exited early (e.g. panicked).
+    pub fn recv_match(&mut self, src: Option<usize>, tag: Tag, context: u32) -> NetMsg {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|m| m.matches(src, tag, context))
+        {
+            return self.unexpected.remove(pos).expect("position just found");
+        }
+        loop {
+            let msg = self
+                .rx
+                .recv()
+                .expect("peer rank disconnected while a receive was pending");
+            if msg.matches(src, tag, context) {
+                return msg;
+            }
+            self.unexpected.push_back(msg);
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already available?
+    /// Drains the channel into the unexpected queue to make the answer
+    /// authoritative at the time of the call.
+    pub fn probe(&mut self, src: Option<usize>, tag: Tag, context: u32) -> bool {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.unexpected.push_back(msg);
+        }
+        self.unexpected.iter().any(|m| m.matches(src, tag, context))
+    }
+
+    /// Number of messages currently parked in the unexpected queue.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn msg(src: usize, tag: u32, byte: u8) -> NetMsg {
+        NetMsg {
+            src,
+            tag: Tag(tag),
+            context: 0,
+            data: vec![byte],
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn matches_exact_and_wildcards() {
+        let m = msg(3, 9, 0);
+        assert!(m.matches(Some(3), Tag(9), 0));
+        assert!(m.matches(None, Tag(9), 0));
+        assert!(m.matches(Some(3), ANY_TAG, 0));
+        assert!(m.matches(None, ANY_TAG, 0));
+        assert!(!m.matches(Some(2), Tag(9), 0));
+        assert!(!m.matches(Some(3), Tag(8), 0));
+        assert!(!m.matches(Some(3), Tag(9), 1), "context must match");
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_parked_and_matched_fifo() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        tx.send(msg(1, 5, b'a')).unwrap();
+        tx.send(msg(2, 7, b'b')).unwrap();
+        tx.send(msg(1, 5, b'c')).unwrap();
+
+        // Ask for tag 7 first: the two tag-5 messages get parked.
+        let m = mb.recv_match(Some(2), Tag(7), 0);
+        assert_eq!(m.data, vec![b'b']);
+        // Only 'a' was drained past; 'c' still sits in the channel.
+        assert_eq!(mb.unexpected_len(), 1);
+
+        // Tag-5 messages from rank 1 must come back in FIFO order.
+        assert_eq!(mb.recv_match(Some(1), Tag(5), 0).data, vec![b'a']);
+        assert_eq!(mb.recv_match(Some(1), Tag(5), 0).data, vec![b'c']);
+        assert_eq!(mb.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn any_source_matches_earliest_parked() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        tx.send(msg(4, 1, b'x')).unwrap();
+        tx.send(msg(5, 1, b'y')).unwrap();
+        // Park both.
+        assert!(mb.probe(None, Tag(1), 0));
+        let m = mb.recv_match(None, Tag(1), 0);
+        assert_eq!((m.src, m.data[0]), (4, b'x'));
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        assert!(!mb.probe(Some(0), Tag(3), 0));
+        tx.send(msg(0, 3, b'z')).unwrap();
+        assert!(mb.probe(Some(0), Tag(3), 0));
+        assert!(mb.probe(Some(0), Tag(3), 0)); // still there
+        assert_eq!(mb.recv_match(Some(0), Tag(3), 0).data, vec![b'z']);
+        assert!(!mb.probe(Some(0), Tag(3), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_sender_panics() {
+        let (tx, rx) = unbounded::<NetMsg>();
+        drop(tx);
+        let mut mb = Mailbox::new(rx);
+        mb.recv_match(None, ANY_TAG, 0);
+    }
+}

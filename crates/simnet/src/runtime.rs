@@ -1,0 +1,546 @@
+//! The threads-as-ranks cluster runtime.
+//!
+//! [`Cluster::run`] spawns one OS thread per rank and hands each a [`Rank`]
+//! handle: its identity, its simulated clock, channels to every peer, and
+//! the cost model. All communication is real (bytes through channels); all
+//! timing is simulated (see the crate docs for the rationale).
+
+use std::thread;
+
+use crossbeam::channel::{unbounded, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mailbox::{Mailbox, NetMsg, Tag};
+use crate::stats::{CostKind, Stats};
+use crate::time::{CostModel, SimTime};
+use crate::trace::{EventKind, TraceEvent};
+
+/// How per-rank CPU speeds are assigned, modelling node heterogeneity.
+///
+/// The paper's testbed mixed a 32-node Intel EM64T cluster with a 32-node
+/// AMD Opteron cluster; [`SpeedProfile::MixedHalves`] reproduces that split
+/// (lower half of the ranks fast, upper half slow), matching the paper's
+/// note that runs up to 32 processes stayed on one homogeneous cluster.
+#[derive(Clone, Debug)]
+pub enum SpeedProfile {
+    /// Every rank runs at speed 1.0.
+    Uniform,
+    /// Ranks `0..n/2` run at `fast`, ranks `n/2..n` at `slow`
+    /// (relative CPU speed multipliers; CPU costs are divided by speed).
+    MixedHalves { fast: f64, slow: f64 },
+    /// Explicit per-rank speeds; must have exactly `n_ranks` entries.
+    PerRank(Vec<f64>),
+}
+
+impl SpeedProfile {
+    fn speed_of(&self, rank: usize, size: usize) -> f64 {
+        match self {
+            SpeedProfile::Uniform => 1.0,
+            SpeedProfile::MixedHalves { fast, slow } => {
+                if rank < size / 2 || size == 1 {
+                    *fast
+                } else {
+                    *slow
+                }
+            }
+            SpeedProfile::PerRank(v) => {
+                assert_eq!(v.len(), size, "PerRank speed table length mismatch");
+                v[rank]
+            }
+        }
+    }
+}
+
+/// Configuration of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    pub n_ranks: usize,
+    pub cost: CostModel,
+    pub speeds: SpeedProfile,
+    /// Seed for the deterministic per-rank jitter streams.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Homogeneous, noise-free cluster — the right choice for correctness
+    /// tests and for experiments that isolate algorithmic effects.
+    pub fn uniform(n_ranks: usize) -> Self {
+        ClusterConfig {
+            n_ranks,
+            cost: CostModel::default(),
+            speeds: SpeedProfile::Uniform,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A cluster shaped like the paper's testbed: two 32-node halves with
+    /// slightly different CPU speeds plus mild per-operation OS jitter.
+    /// Within the first half (≤ 32 ranks) the machine is homogeneous, which
+    /// mirrors the paper's "evaluation till 32 processes was done completely
+    /// on the Opteron cluster".
+    pub fn paper_testbed(n_ranks: usize) -> Self {
+        ClusterConfig {
+            n_ranks,
+            cost: CostModel::default().with_noise(1_500.0),
+            speeds: SpeedProfile::MixedHalves {
+                fast: 1.0,
+                slow: 0.85,
+            },
+            seed: 0x2007,
+        }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A simulated cluster, ready to run a program on every rank.
+pub struct Cluster {
+    cfg: ClusterConfig,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.n_ranks > 0, "cluster needs at least one rank");
+        Cluster { cfg }
+    }
+
+    /// Run `f` on every rank concurrently (SPMD style) and collect the
+    /// per-rank return values, indexed by rank.
+    ///
+    /// Panics in any rank propagate after all threads have been joined.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Send + Sync,
+    {
+        let n = self.cfg.n_ranks;
+        let mut txs: Vec<Sender<NetMsg>> = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let f = &f;
+        let cfg = &self.cfg;
+        let txs = &txs;
+        let results: Vec<R> = thread::scope(|scope| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(rank_id, rx)| {
+                    scope.spawn(move || {
+                        let mut rank = Rank {
+                            rank: rank_id,
+                            size: n,
+                            now: SimTime::ZERO,
+                            txs: txs.clone(),
+                            mailbox: Mailbox::new(rx),
+                            cost: cfg.cost.clone(),
+                            speed: cfg.speeds.speed_of(rank_id, n),
+                            rng: StdRng::seed_from_u64(
+                                cfg.seed ^ (rank_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            ),
+                            stats: Stats::new(),
+                            trace: None,
+                        };
+                        f(&mut rank)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        });
+        results
+    }
+}
+
+/// Handle given to each rank's thread: identity, clock, network, stats.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    now: SimTime,
+    txs: Vec<Sender<NetMsg>>,
+    mailbox: Mailbox,
+    cost: CostModel,
+    speed: f64,
+    rng: StdRng,
+    stats: Stats,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Rank {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current simulated time at this rank.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Take the accumulated stats, resetting them (benchmark phases).
+    pub fn take_stats(&mut self) -> Stats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Start recording a timeline of message events (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drain the recorded timeline (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().inspect(|_t| {
+            self.trace = Some(Vec::new());
+        }).unwrap_or_default()
+    }
+
+    /// Record a zero-length marker event at the current simulated time.
+    pub fn trace_mark(&mut self, label: &'static str) {
+        let now = self.now;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::Mark { label },
+                start: now,
+                end: now,
+            });
+        }
+    }
+
+    /// Deterministic per-operation jitter in `[0, noise_ns)`.
+    fn jitter_ns(&mut self) -> f64 {
+        if self.cost.noise_ns > 0.0 {
+            self.rng.gen_range(0.0..self.cost.noise_ns)
+        } else {
+            0.0
+        }
+    }
+
+    /// Charge `ns` of *CPU* time (scaled by this rank's speed) to `kind`.
+    pub fn charge_cpu(&mut self, kind: CostKind, ns: f64) {
+        let span = SimTime::from_ns_f64(ns / self.speed);
+        self.now += span;
+        self.stats.charge(kind, span);
+    }
+
+    /// Charge `ns` of *fixed-rate* time (wire or memory, not CPU-speed
+    /// scaled) to `kind`.
+    pub fn charge_fixed(&mut self, kind: CostKind, ns: f64) {
+        let span = SimTime::from_ns_f64(ns);
+        self.now += span;
+        self.stats.charge(kind, span);
+    }
+
+    /// Charge application compute time for `flops` floating point ops.
+    pub fn compute_flops(&mut self, flops: u64) {
+        let ns = self.cost.compute_ns(flops);
+        self.charge_cpu(CostKind::Compute, ns);
+    }
+
+    /// Charge the cost of a local memcpy of `bytes` over `segments`
+    /// contiguous pieces (hand-tuned packing, vector copies, ...).
+    pub fn charge_copy(&mut self, kind: CostKind, bytes: usize, segments: u64) {
+        let ns = self.cost.copy_ns(bytes) + self.cost.pack_segments_ns(segments);
+        self.charge_cpu(kind, ns);
+        self.stats.segments_packed += segments;
+    }
+
+    /// Charge the cost of walking `segments` datatype-signature entries
+    /// while re-searching for a lost context.
+    pub fn charge_search(&mut self, segments: u64) {
+        let ns = self.cost.search_segments_ns(segments);
+        self.charge_cpu(CostKind::Search, ns);
+        self.stats.segments_searched += segments;
+    }
+
+    /// Send raw bytes to `dst` with `tag`.
+    ///
+    /// Charges the sender `o_send + jitter` of CPU plus the wire
+    /// serialization time, and stamps the message with
+    /// `departure + latency` as its arrival time. Sends are eager and never
+    /// block (the channel is unbounded), which matches the "post sends in
+    /// any order, receive later" usage the collective algorithms rely on.
+    pub fn send_bytes(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
+        self.send_bytes_ctx(dst, tag, 0, data);
+    }
+
+    /// Like [`Rank::send_bytes`] but within a communicator context (MPI
+    /// communicators keep their traffic apart via contexts; 0 = world).
+    pub fn send_bytes_ctx(&mut self, dst: usize, tag: Tag, context: u32, data: Vec<u8>) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let trace_start = self.now;
+        let bytes = data.len();
+        let overhead = self.cost.send_overhead_ns + self.jitter_ns();
+        self.charge_cpu(CostKind::Comm, overhead);
+        self.charge_fixed(CostKind::Comm, self.cost.wire_ns(bytes));
+        let arrival = if dst == self.rank {
+            self.now // self-sends skip the wire
+        } else {
+            self.now + SimTime::from_ns_f64(self.cost.latency_ns)
+        };
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::Send { dst, bytes },
+                start: trace_start,
+                end: self.now,
+            });
+        }
+        self.txs[dst]
+            .send(NetMsg {
+                src: self.rank,
+                tag,
+                context,
+                data,
+                arrival,
+            })
+            .expect("destination rank hung up");
+    }
+
+    /// Blockingly receive a message matching `(src, tag)`; returns the
+    /// payload and the actual source rank.
+    ///
+    /// If the message has not yet arrived in simulated time, the gap is
+    /// charged as [`CostKind::Wait`]; the receive overhead is then charged
+    /// as [`CostKind::Comm`].
+    pub fn recv_bytes(&mut self, src: Option<usize>, tag: Tag) -> (Vec<u8>, usize) {
+        self.recv_bytes_ctx(src, tag, 0)
+    }
+
+    /// Like [`Rank::recv_bytes`] but within a communicator context.
+    pub fn recv_bytes_ctx(&mut self, src: Option<usize>, tag: Tag, context: u32) -> (Vec<u8>, usize) {
+        let trace_start = self.now;
+        let msg = self.mailbox.recv_match(src, tag, context);
+        if msg.arrival > self.now {
+            let wait = msg.arrival - self.now;
+            self.now = msg.arrival;
+            self.stats.charge(CostKind::Wait, wait);
+        }
+        let overhead = self.cost.recv_overhead_ns + self.jitter_ns();
+        self.charge_cpu(CostKind::Comm, overhead);
+        self.stats.msgs_recvd += 1;
+        self.stats.bytes_recvd += msg.data.len() as u64;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::Recv {
+                    src: msg.src,
+                    bytes: msg.data.len(),
+                },
+                start: trace_start,
+                end: self.now,
+            });
+        }
+        (msg.data, msg.src)
+    }
+
+    /// Non-blocking probe for a matching message (real arrival, i.e. the
+    /// message exists; simulated arrival time may still be in the future).
+    pub fn probe(&mut self, src: Option<usize>, tag: Tag) -> bool {
+        self.mailbox.probe(src, tag, 0)
+    }
+
+    /// Probe within a communicator context.
+    pub fn probe_ctx(&mut self, src: Option<usize>, tag: Tag, context: u32) -> bool {
+        self.mailbox.probe(src, tag, context)
+    }
+
+    /// Reset the simulated clock to zero (start of a timed benchmark
+    /// phase). Does not touch stats; pair with [`Rank::take_stats`].
+    pub fn reset_clock(&mut self) {
+        self.now = SimTime::ZERO;
+    }
+
+    /// Force the clock to at least `t` (used by synchronization helpers
+    /// that learn a remote clock value, e.g. barrier exit).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            let wait = t - self.now;
+            self.stats.charge(CostKind::Wait, wait);
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Cluster::new(ClusterConfig::uniform(1)).run(|r| (r.rank(), r.size()));
+        assert_eq!(out, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_results_indexed_by_rank() {
+        let out = Cluster::new(ClusterConfig::uniform(8)).run(|r| r.rank());
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_advances_clocks_causally() {
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                r.send_bytes(1, Tag(1), vec![0u8; 1200]);
+                let (d, _) = r.recv_bytes(Some(1), Tag(2));
+                assert_eq!(d.len(), 4);
+            } else {
+                let (d, _) = r.recv_bytes(Some(0), Tag(1));
+                assert_eq!(d.len(), 1200);
+                r.send_bytes(0, Tag(2), vec![1, 2, 3, 4]);
+            }
+            r.now()
+        });
+        // Rank 0's final clock must exceed one round trip of latency.
+        assert!(out[0].as_ns() > 2 * 4_000);
+        // And the receive on rank 0 happens after rank 1 sent.
+        assert!(out[0] > out[1].saturating_sub(SimTime::from_ns(1)));
+    }
+
+    #[test]
+    fn simulated_time_is_deterministic_across_runs() {
+        let run = || {
+            Cluster::new(ClusterConfig::paper_testbed(6)).run(|r| {
+                let right = (r.rank() + 1) % r.size();
+                let left = (r.rank() + r.size() - 1) % r.size();
+                for i in 0..10u32 {
+                    r.send_bytes(right, Tag(i), vec![i as u8; 64 * (r.rank() + 1)]);
+                    let _ = r.recv_bytes(Some(left), Tag(i));
+                }
+                r.now()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wait_time_is_accounted() {
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                // Do a lot of compute before sending, so rank 1 waits.
+                r.compute_flops(1_000_000);
+                r.send_bytes(1, Tag(0), vec![9; 8]);
+                SimTime::ZERO
+            } else {
+                let _ = r.recv_bytes(Some(0), Tag(0));
+                r.stats().wait
+            }
+        });
+        assert!(out[1].as_ns() > 100_000, "receiver should have waited");
+    }
+
+    #[test]
+    fn mixed_halves_slow_ranks_take_longer() {
+        let cfg = ClusterConfig {
+            n_ranks: 4,
+            cost: CostModel::default(),
+            speeds: SpeedProfile::MixedHalves {
+                fast: 1.0,
+                slow: 0.5,
+            },
+            seed: 1,
+        };
+        let out = Cluster::new(cfg).run(|r| {
+            r.compute_flops(1000);
+            r.now()
+        });
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[2], out[3]);
+        assert!(out[2] > out[0]);
+        assert_eq!(out[2].as_ns(), 2 * out[0].as_ns());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = Cluster::new(ClusterConfig::uniform(1)).run(|r| {
+            r.send_bytes(0, Tag(3), vec![42]);
+            let (d, src) = r.recv_bytes(Some(0), Tag(3));
+            (d[0], src)
+        });
+        assert_eq!(out[0], (42, 0));
+    }
+
+    #[test]
+    fn eager_sends_do_not_block() {
+        // Both ranks send first, then receive: would deadlock with
+        // synchronous sends; must complete with eager buffering.
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            let peer = 1 - r.rank();
+            r.send_bytes(peer, Tag(0), vec![r.rank() as u8; 100_000]);
+            let (d, _) = r.recv_bytes(Some(peer), Tag(0));
+            d[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn stats_track_messages_and_bytes() {
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                r.send_bytes(1, Tag(0), vec![0; 500]);
+                r.send_bytes(1, Tag(1), vec![0; 300]);
+                (r.stats().msgs_sent, r.stats().bytes_sent)
+            } else {
+                let _ = r.recv_bytes(Some(0), Tag(0));
+                let _ = r.recv_bytes(Some(0), Tag(1));
+                (r.stats().msgs_recvd, r.stats().bytes_recvd)
+            }
+        });
+        assert_eq!(out[0], (2, 800));
+        assert_eq!(out[1], (2, 800));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        Cluster::new(ClusterConfig::uniform(1)).run(|r| {
+            r.compute_flops(1000);
+            let t = r.now();
+            r.advance_to(SimTime::ZERO);
+            assert_eq!(r.now(), t);
+            r.advance_to(t + SimTime(500));
+            assert_eq!(r.now(), t + SimTime(500));
+        });
+    }
+
+    #[test]
+    fn reset_clock_zeroes_time_only() {
+        Cluster::new(ClusterConfig::uniform(1)).run(|r| {
+            r.compute_flops(10_000);
+            assert!(r.now() > SimTime::ZERO);
+            r.reset_clock();
+            assert_eq!(r.now(), SimTime::ZERO);
+            assert!(r.stats().compute > SimTime::ZERO);
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-rank accounting of where simulated time goes.
+//!
+//! Figure 13 of the paper is a percentage breakdown of the matrix-transpose
+//! benchmark into *communication*, *packing* and *search* time; this module
+//! provides exactly that accounting, plus the categories the PETSc-level
+//! benchmarks need (compute and wait).
+
+use crate::time::SimTime;
+
+/// The category a span of simulated time is charged to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Message-passing time: overheads and wire serialization.
+    Comm,
+    /// Datatype engine time spent copying data into/out of intermediate
+    /// buffers (plus per-segment loop overhead).
+    Pack,
+    /// Datatype engine time spent re-searching a derived datatype for a lost
+    /// context (the baseline engine's quadratic term).
+    Search,
+    /// Application-level floating point work.
+    Compute,
+    /// Idle time spent blocked on a message that has not yet arrived.
+    Wait,
+}
+
+/// Accumulated simulated-time and operation counters for one rank.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    pub comm: SimTime,
+    pub pack: SimTime,
+    pub search: SimTime,
+    pub compute: SimTime,
+    pub wait: SimTime,
+    pub msgs_sent: u64,
+    pub msgs_recvd: u64,
+    pub bytes_sent: u64,
+    pub bytes_recvd: u64,
+    pub segments_packed: u64,
+    pub segments_searched: u64,
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `span` to category `kind`.
+    pub fn charge(&mut self, kind: CostKind, span: SimTime) {
+        match kind {
+            CostKind::Comm => self.comm += span,
+            CostKind::Pack => self.pack += span,
+            CostKind::Search => self.search += span,
+            CostKind::Compute => self.compute += span,
+            CostKind::Wait => self.wait += span,
+        }
+    }
+
+    /// Total charged time across all categories.
+    pub fn total(&self) -> SimTime {
+        self.comm + self.pack + self.search + self.compute + self.wait
+    }
+
+    /// Fraction (0..=1) of the total charged time spent in `kind`.
+    /// Returns 0 when nothing has been charged yet.
+    pub fn fraction(&self, kind: CostKind) -> f64 {
+        let total = self.total().as_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        let part = match kind {
+            CostKind::Comm => self.comm,
+            CostKind::Pack => self.pack,
+            CostKind::Search => self.search,
+            CostKind::Compute => self.compute,
+            CostKind::Wait => self.wait,
+        };
+        part.as_ns() as f64 / total as f64
+    }
+
+    /// Merge another rank's stats into this one (used to aggregate a
+    /// cluster-wide breakdown).
+    pub fn merge(&mut self, other: &Stats) {
+        self.comm += other.comm;
+        self.pack += other.pack;
+        self.search += other.search;
+        self.compute += other.compute;
+        self.wait += other.wait;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recvd += other.msgs_recvd;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recvd += other.bytes_recvd;
+        self.segments_packed += other.segments_packed;
+        self.segments_searched += other.segments_searched;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_routes_to_right_bucket() {
+        let mut s = Stats::new();
+        s.charge(CostKind::Comm, SimTime(10));
+        s.charge(CostKind::Pack, SimTime(20));
+        s.charge(CostKind::Search, SimTime(30));
+        s.charge(CostKind::Compute, SimTime(40));
+        s.charge(CostKind::Wait, SimTime(50));
+        assert_eq!(s.comm, SimTime(10));
+        assert_eq!(s.pack, SimTime(20));
+        assert_eq!(s.search, SimTime(30));
+        assert_eq!(s.compute, SimTime(40));
+        assert_eq!(s.wait, SimTime(50));
+        assert_eq!(s.total(), SimTime(150));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = Stats::new();
+        s.charge(CostKind::Comm, SimTime(25));
+        s.charge(CostKind::Search, SimTime(75));
+        let sum: f64 = [
+            CostKind::Comm,
+            CostKind::Pack,
+            CostKind::Search,
+            CostKind::Compute,
+            CostKind::Wait,
+        ]
+        .into_iter()
+        .map(|k| s.fraction(k))
+        .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(s.fraction(CostKind::Search), 0.75);
+    }
+
+    #[test]
+    fn empty_stats_fraction_is_zero() {
+        let s = Stats::new();
+        assert_eq!(s.fraction(CostKind::Comm), 0.0);
+        assert_eq!(s.total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Stats::new();
+        a.charge(CostKind::Comm, SimTime(5));
+        a.msgs_sent = 2;
+        a.bytes_sent = 100;
+        let mut b = Stats::new();
+        b.charge(CostKind::Comm, SimTime(7));
+        b.msgs_sent = 3;
+        b.segments_searched = 11;
+        a.merge(&b);
+        assert_eq!(a.comm, SimTime(12));
+        assert_eq!(a.msgs_sent, 5);
+        assert_eq!(a.bytes_sent, 100);
+        assert_eq!(a.segments_searched, 11);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-rank event tracing: an optional timeline of message events in
+//! simulated time, for understanding *why* a schedule is slow — the
+//! counterpart of PETSc's `-log_view`/`Draw` instrumentation.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); a rank
+//! enables it with [`crate::Rank::enable_tracing`], and the collected
+//! [`TraceEvent`]s can be drained with [`crate::Rank::take_trace`]. The
+//! `examples/timeline.rs` demo renders the events of every rank as an
+//! ASCII Gantt chart that makes the round-robin alltoallw's serialization
+//! directly visible.
+
+use crate::time::SimTime;
+
+/// What happened during a traced span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message left this rank.
+    Send { dst: usize, bytes: usize },
+    /// A message was received (the span includes any blocking wait).
+    Recv { src: usize, bytes: usize },
+    /// A user-defined marker (phase boundaries and the like).
+    Mark { label: &'static str },
+}
+
+/// One traced span of simulated time on one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub kind: EventKind,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl TraceEvent {
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Render a set of per-rank traces as an ASCII timeline: one row per rank,
+/// `width` columns spanning `[0, horizon]`, with `s`/`r` cells for
+/// send/receive activity and `.` for idle/compute time.
+pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
+    let horizon = traces
+        .iter()
+        .flat_map(|t| t.iter().map(|e| e.end))
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .as_ns()
+        .max(1);
+    let mut out = String::new();
+    for (rank, events) in traces.iter().enumerate() {
+        let mut row = vec![b'.'; width];
+        for e in events {
+            let a = (e.start.as_ns() * width as u64 / horizon) as usize;
+            let b = ((e.end.as_ns() * width as u64).div_ceil(horizon) as usize).min(width);
+            let ch = match e.kind {
+                EventKind::Send { .. } => b's',
+                EventKind::Recv { .. } => b'r',
+                EventKind::Mark { .. } => b'|',
+            };
+            for c in row.iter_mut().take(b.max(a + 1)).skip(a) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!(
+            "rank {rank:>3} |{}|\n",
+            String::from_utf8(row).expect("ascii")
+        ));
+    }
+    out.push_str(&format!("horizon: {}\n", SimTime::from_ns(horizon)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig, Tag};
+
+    #[test]
+    fn tracing_records_sends_and_recvs_with_causal_spans() {
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|rank| {
+            rank.enable_tracing();
+            if rank.rank() == 0 {
+                rank.send_bytes(1, Tag(0), vec![0u8; 1200]);
+            } else {
+                let _ = rank.recv_bytes(Some(0), Tag(0));
+            }
+            rank.take_trace()
+        });
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[1].len(), 1);
+        match &out[0][0].kind {
+            EventKind::Send { dst, bytes } => {
+                assert_eq!((*dst, *bytes), (1, 1200));
+            }
+            other => panic!("expected send, got {other:?}"),
+        }
+        match &out[1][0].kind {
+            EventKind::Recv { src, bytes } => {
+                assert_eq!((*src, *bytes), (0, 1200));
+            }
+            other => panic!("expected recv, got {other:?}"),
+        }
+        // The receive ends after the send ends (wire latency).
+        assert!(out[1][0].end > out[0][0].end);
+        assert!(out[1][0].duration() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send_bytes(1, Tag(0), vec![1]);
+            } else {
+                let _ = rank.recv_bytes(Some(0), Tag(0));
+            }
+            rank.take_trace()
+        });
+        assert!(out[0].is_empty());
+        assert!(out[1].is_empty());
+    }
+
+    #[test]
+    fn marks_are_recorded() {
+        let out = Cluster::new(ClusterConfig::uniform(1)).run(|rank| {
+            rank.enable_tracing();
+            rank.compute_flops(1000);
+            rank.trace_mark("phase-1");
+            rank.compute_flops(1000);
+            rank.take_trace()
+        });
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(
+            out[0][0].kind,
+            EventKind::Mark { label: "phase-1" }
+        );
+        assert!(out[0][0].start > SimTime::ZERO);
+    }
+
+    #[test]
+    fn timeline_renders_rows_for_every_rank() {
+        let traces = Cluster::new(ClusterConfig::uniform(3)).run(|rank| {
+            rank.enable_tracing();
+            let right = (rank.rank() + 1) % 3;
+            let left = (rank.rank() + 2) % 3;
+            rank.send_bytes(right, Tag(0), vec![0u8; 4000]);
+            let _ = rank.recv_bytes(Some(left), Tag(0));
+            rank.take_trace()
+        });
+        let art = render_timeline(&traces, 40);
+        assert_eq!(art.lines().count(), 4); // 3 ranks + horizon line
+        assert!(art.contains("rank   0"));
+        assert!(art.contains('s') && art.contains('r'));
+    }
+
+    #[test]
+    fn empty_timeline_is_rendered_gracefully() {
+        let art = render_timeline(&[vec![], vec![]], 10);
+        assert!(art.contains("rank   0 |..........|"));
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's future-work study (§7): adaptive-mesh (FLASH-style)
+//! workloads create *compute skew* between processes — ranks owning the
+//! refined "area of interest" do several times more work per step. The
+//! paper conjectures that the upper layer's load granularity interacts
+//! with the MPI layer's collective design; this example demonstrates it.
+//!
+//! A 1-D chain of subdomains carries a moving refinement hotspot: ranks
+//! near the hotspot compute at `2^level` cost and exchange proportionally
+//! larger boundary data with their neighbours via `MPI_Alltoallw`. Under
+//! the round-robin schedule, every rank synchronizes with every other
+//! rank each step, so the hotspot's slowness propagates to the whole
+//! machine; the binned schedule confines it to the hotspot's neighbours.
+//!
+//! Run with: `cargo run --release --example amr_skew`
+
+use nucomm::core::{Comm, MpiConfig, WPeer};
+use nucomm::datatype::Datatype;
+use nucomm::simnet::{Cluster, ClusterConfig, SimTime};
+
+const RANKS: usize = 32;
+const STEPS: usize = 20;
+const BASE_CELLS: u64 = 2_000;
+
+/// Refinement level of `rank` when the hotspot is at `spot`: level 2 at
+/// the hotspot, 1 beside it, 0 elsewhere.
+fn level(rank: usize, spot: usize) -> u32 {
+    let d = rank.abs_diff(spot).min(RANKS - rank.abs_diff(spot));
+    match d {
+        0 => 2,
+        1 => 1,
+        _ => 0,
+    }
+}
+
+fn run(cfg: MpiConfig) -> SimTime {
+    let out = Cluster::new(ClusterConfig::paper_testbed(RANKS)).run(|rank| {
+        let mut comm = Comm::new(rank, cfg.clone());
+        let me = comm.rank();
+        let n = comm.size();
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        for step in 0..STEPS {
+            let spot = (step * 3) % n; // the area of interest moves
+            let my_level = level(me, spot);
+            // Refined ranks integrate 4x the cells.
+            comm.rank_mut().compute_flops(BASE_CELLS << (2 * my_level));
+
+            // Boundary exchange with ring neighbours; refined boundaries
+            // carry proportionally more data.
+            let succ = (me + 1) % n;
+            let pred = (me + n - 1) % n;
+            let cells = 16usize << (2 * my_level);
+            let dt = Datatype::contiguous(cells, &Datatype::double()).expect("boundary");
+            let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
+            let mut sends: Vec<WPeer> = (0..n).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+            let mut recvs = sends.clone();
+            sends[succ] = WPeer::new(0, 1, dt.clone());
+            sends[pred] = WPeer::new(0, 1, dt.clone());
+            let succ_cells = 16usize << (2 * level(succ, spot));
+            let pred_cells = 16usize << (2 * level(pred, spot));
+            recvs[succ] = WPeer::new(
+                0,
+                1,
+                Datatype::contiguous(succ_cells, &Datatype::double()).expect("succ"),
+            );
+            recvs[pred] = WPeer::new(
+                succ_cells * 8,
+                1,
+                Datatype::contiguous(pred_cells, &Datatype::double()).expect("pred"),
+            );
+            let sendbuf = vec![me as u8; cells * 8];
+            let mut recvbuf = vec![0u8; (succ_cells + pred_cells) * 8];
+            comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+        }
+        comm.rank_ref().now()
+    });
+    out.into_iter().max().expect("nonempty")
+}
+
+fn main() {
+    println!(
+        "AMR-style moving hotspot: {RANKS} ranks, {STEPS} steps, 4x work per refinement level\n"
+    );
+    let tb = run(MpiConfig::baseline());
+    let tn = run(MpiConfig::optimized());
+    println!("round-robin alltoallw (baseline):  {tb}");
+    println!("three-bin alltoallw   (optimized): {tn}");
+    println!(
+        "improvement: {:.1}%",
+        100.0 * (tb.as_ns() as f64 - tn.as_ns() as f64) / tb.as_ns() as f64
+    );
+    println!("\nThe baseline couples every rank to the hotspot through its");
+    println!("zero-byte round-robin synchronizations; the binned schedule lets");
+    println!("unrefined ranks run ahead. See benches/ext_amr_skew.rs for the");
+    println!("refinement-depth sweep.");
+}

@@ -1,0 +1,57 @@
+//! The Bratu problem `-∇²u = λ eᵘ` on the unit square — PETSc's classic
+//! nonlinear example (SNES ex5) — solved with the full stack: Newton–Krylov
+//! (JFNK) over matrix-free GMRES, with every residual and Jacobian-vector
+//! product doing a ghost exchange through the scatter machinery.
+//!
+//! Run with: `cargo run --release --example bratu [lambda]`
+
+use nucomm::core::{Comm, MpiConfig};
+use nucomm::petsc::{
+    newton_krylov, Bratu2d, DistributedArray, ScatterBackend, SnesSettings, StencilKind,
+};
+use nucomm::simnet::{Cluster, ClusterConfig};
+
+const N: usize = 32;
+const RANKS: usize = 4;
+
+fn main() {
+    let lambda: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5.0);
+    println!("Bratu problem on a {N}x{N} grid, lambda = {lambda}, {RANKS} ranks\n");
+
+    for (label, cfg, backend) in [
+        ("MVAPICH2-0.9.5", MpiConfig::baseline(), ScatterBackend::Datatype),
+        ("MVAPICH2-New", MpiConfig::optimized(), ScatterBackend::Datatype),
+        ("hand-tuned", MpiConfig::optimized(), ScatterBackend::HandTuned),
+    ] {
+        let out = Cluster::new(ClusterConfig::paper_testbed(RANKS)).run(|rank| {
+            let mut comm = Comm::new(rank, cfg.clone());
+            let h = 1.0 / (N as f64 + 1.0);
+            let da = DistributedArray::new(&mut comm, &[N, N], 1, StencilKind::Star, 1);
+            let bratu = Bratu2d::new(&da, h, lambda);
+            let mut u = da.create_global_vec();
+            comm.barrier();
+            comm.rank_mut().reset_clock();
+            let mut settings = SnesSettings::default();
+            settings.ksp.backend = backend;
+            let res = newton_krylov(&mut comm, &bratu, &mut u, &settings);
+            assert!(res.converged, "Newton failed: {res:?}");
+            (
+                res.iterations,
+                res.function_evals,
+                u.norm_inf(&mut comm),
+                comm.rank_ref().now(),
+            )
+        });
+        let (newton_its, fevals, umax, _) = out[0];
+        let t = out.iter().map(|o| o.3).max().expect("nonempty");
+        println!(
+            "{label:>16}: {newton_its} Newton iterations, {fevals} F-evaluations, max(u) = {umax:.6}, time {t}"
+        );
+    }
+    println!("\nAll three implementations compute the identical solution; the");
+    println!("timing gap is entirely in how the MPI layer handles the ghost");
+    println!("exchanges of the JFNK residual evaluations.");
+}

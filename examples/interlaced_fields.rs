@@ -1,0 +1,83 @@
+//! The paper's introductory scenario (§2.1): "each grid point might have
+//! multiple field values (e.g., pressure, temperature, x-velocity and
+//! y-velocity). These values get stored interlaced in the PETSc vector."
+//!
+//! This example runs a ghost exchange on a 2-D distributed array with four
+//! interlaced degrees of freedom, then extracts a single field from the
+//! interlaced storage with a strided derived datatype — exactly the kind
+//! of noncontiguous access the paper's datatype engine work targets.
+//!
+//! Run with: `cargo run --release --example interlaced_fields`
+
+use nucomm::core::{Comm, MpiConfig};
+use nucomm::datatype::{pack_all, Datatype};
+use nucomm::petsc::{DistributedArray, ScatterBackend, StencilKind};
+use nucomm::simnet::{Cluster, ClusterConfig};
+
+const FIELDS: [&str; 4] = ["pressure", "temperature", "x-velocity", "y-velocity"];
+
+fn main() {
+    const N: usize = 16;
+    const RANKS: usize = 4;
+
+    let out = Cluster::new(ClusterConfig::uniform(RANKS)).run(|rank| {
+        let mut comm = Comm::new(rank, MpiConfig::optimized());
+        let da = DistributedArray::new(&mut comm, &[N, N], 4, StencilKind::Star, 1);
+
+        // Fill the four interlaced fields with distinguishable values.
+        let mut g = da.create_global_vec();
+        for (idx, p) in da.owned_points().enumerate() {
+            for c in 0..4 {
+                g.local_mut()[idx * 4 + c] = (c * 10_000 + p[0] * 100 + p[1]) as f64;
+            }
+        }
+
+        // Ghost exchange of the full interlaced data.
+        let mut l = da.create_local_vec();
+        da.global_to_local(&mut comm, &g, &mut l, ScatterBackend::Datatype);
+
+        // Verify ghost values of every field.
+        let (gs, gl) = da.ghosted();
+        let mut checked = 0;
+        for j in gs[1]..gs[1] + gl[1] {
+            for i in gs[0]..gs[0] + gl[0] {
+                let p = [i, j, 0];
+                if da.point_in_local_form(p) {
+                    for c in 0..4 {
+                        let v = l.local()[da.local_vec_offset(p, c)];
+                        assert_eq!(v, (c * 10_000 + i * 100 + j) as f64);
+                        checked += 1;
+                    }
+                }
+            }
+        }
+
+        // Extract one field from the interlaced local storage with a
+        // strided datatype: count points, blocklen 1 double, stride 4.
+        let npoints = l.local_size() / 4;
+        let field_type = Datatype::vector(npoints, 1, 4, &Datatype::double()).expect("field type");
+        let bytes: Vec<u8> = l.local().iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut extracted = Vec::with_capacity(4);
+        for c in 0..4 {
+            let packed = pack_all(&field_type, 1, &bytes[c * 8..]).expect("extract field");
+            let vals: Vec<f64> = packed
+                .chunks_exact(8)
+                .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .collect();
+            extracted.push(vals);
+        }
+        // Spot-check: the extracted pressure of the first local point.
+        assert_eq!(extracted[0][0], l.local()[0]);
+        assert_eq!(extracted[1][0], l.local()[1]);
+        (checked, npoints, comm.rank_ref().now())
+    });
+
+    println!("{N}x{N} grid, 4 interlaced fields ({}), {RANKS} ranks\n", FIELDS.join(", "));
+    for (rank, (checked, npoints, t)) in out.iter().enumerate() {
+        println!(
+            "rank {rank}: verified {checked} interlaced values over {npoints} local points, done at {t}"
+        );
+    }
+    println!("\nEach field extraction used a vector datatype (stride 4 doubles) over");
+    println!("the interlaced storage — one `pack` call instead of a hand-written loop.");
+}

@@ -1,0 +1,168 @@
+//! Edge cases across the stack: degenerate sizes, empty messages,
+//! self-communication, and exotic datatype layouts.
+
+use nucomm::core::{Comm, MpiConfig, WPeer};
+use nucomm::datatype::{pack_all, unpack_all, Datatype, StructField};
+use nucomm::simnet::{Cluster, ClusterConfig, Tag};
+
+fn with_n<R: Send>(n: usize, f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+    Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+        let mut comm = Comm::new(rank, MpiConfig::optimized());
+        f(&mut comm)
+    })
+}
+
+#[test]
+fn single_rank_collectives_are_identities() {
+    let out = with_n(1, |comm| {
+        comm.barrier();
+        let mut buf = vec![1u8, 2, 3];
+        comm.bcast(&mut buf, 0);
+        let mut recv = vec![0u8; 3];
+        comm.allgather(&[7, 8, 9], &mut recv);
+        let sum = comm.allreduce_scalar(5.5);
+        let a2a = comm.alltoall(&[42u8], 1);
+        (buf, recv, sum, a2a)
+    });
+    let (b, r, s, a) = &out[0];
+    assert_eq!(b, &vec![1, 2, 3]);
+    assert_eq!(r, &vec![7, 8, 9]);
+    assert_eq!(*s, 5.5);
+    assert_eq!(a, &vec![42]);
+}
+
+#[test]
+fn allgatherv_of_all_zero_counts() {
+    let out = with_n(5, |comm| {
+        let counts = vec![0usize; 5];
+        let mut recv = Vec::new();
+        comm.allgatherv(&[], &counts, &mut recv);
+        recv.len()
+    });
+    assert!(out.iter().all(|&n| n == 0));
+}
+
+#[test]
+fn alltoallw_with_only_self_communication() {
+    let out = with_n(3, |comm| {
+        let dt = Datatype::double();
+        let empty = Datatype::contiguous(0, &dt).unwrap();
+        let me = comm.rank();
+        let mut sends: Vec<WPeer> = (0..3).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+        let mut recvs = sends.clone();
+        sends[me] = WPeer::new(0, 2, dt.clone());
+        recvs[me] = WPeer::new(16, 2, dt.clone());
+        let sendbuf: Vec<u8> = [me as f64 + 0.5, me as f64 + 0.25]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .chain([0u8; 16])
+            .collect();
+        let mut recvbuf = vec![0u8; 32];
+        comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+        f64::from_le_bytes(recvbuf[16..24].try_into().unwrap())
+    });
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as f64 + 0.5);
+    }
+}
+
+#[test]
+fn struct_datatype_with_gaps_round_trips() {
+    // A struct with int + padding + doubles + trailing gap.
+    let t = Datatype::structure(&[
+        StructField {
+            disp: 0,
+            count: 1,
+            dtype: Datatype::int32(),
+        },
+        StructField {
+            disp: 8,
+            count: 2,
+            dtype: Datatype::double(),
+        },
+        StructField {
+            disp: 32,
+            count: 3,
+            dtype: Datatype::byte(),
+        },
+    ])
+    .unwrap();
+    assert_eq!(t.size(), 4 + 16 + 3);
+    let src: Vec<u8> = (0..40).map(|i| i as u8).collect();
+    let packed = pack_all(&t, 1, &src).unwrap();
+    assert_eq!(packed.len(), 23);
+    let mut dst = vec![0u8; 40];
+    unpack_all(&t, 1, &mut dst, &packed).unwrap();
+    // Covered bytes restored, gaps untouched.
+    assert_eq!(&dst[0..4], &src[0..4]);
+    assert_eq!(&dst[8..24], &src[8..24]);
+    assert_eq!(&dst[32..35], &src[32..35]);
+    assert_eq!(&dst[4..8], &[0; 4]);
+}
+
+#[test]
+fn resized_type_with_padding_replicates_correctly() {
+    // 2 doubles resized to a 24-byte extent: replicas leave 8-byte gaps.
+    let base = Datatype::contiguous(2, &Datatype::double()).unwrap();
+    let padded = Datatype::resized(0, 24, &base).unwrap();
+    let src: Vec<u8> = (0..72).map(|i| i as u8).collect();
+    let packed = pack_all(&padded, 3, &src).unwrap();
+    assert_eq!(packed.len(), 48);
+    assert_eq!(&packed[0..16], &src[0..16]);
+    assert_eq!(&packed[16..32], &src[24..40]);
+    assert_eq!(&packed[32..48], &src[48..64]);
+}
+
+#[test]
+fn typed_messages_inside_subcommunicators() {
+    let out = with_n(4, |comm| {
+        let group = comm.split(comm.rank() % 2, comm.rank());
+        comm.with_sub(&group, |sub| {
+            // Noncontiguous send between the two members of each group.
+            let col = Datatype::vector(4, 1, 2, &Datatype::double()).unwrap();
+            if sub.rank() == 0 {
+                let src: Vec<u8> = (0..64).map(|i| i as u8).collect();
+                sub.send(&src, &col, 1, 1, Tag(3));
+                0.0
+            } else {
+                let mut dst = vec![0u8; 64];
+                sub.recv(&mut dst, &col, 1, Some(0), Tag(3));
+                f64::from_le_bytes(dst[16..24].try_into().unwrap())
+            }
+        })
+        .unwrap()
+    });
+    // Receivers (global ranks 2 and 3) got the sender's strided doubles.
+    let expected = f64::from_le_bytes([16, 17, 18, 19, 20, 21, 22, 23]);
+    assert_eq!(out[2], expected);
+    assert_eq!(out[3], expected);
+}
+
+#[test]
+fn message_to_every_peer_and_back() {
+    // Stress (src, tag) matching: every rank sends a distinct tag to every
+    // other rank, receives in reverse order.
+    let n = 5;
+    let out = with_n(n, move |comm| {
+        let me = comm.rank();
+        for dst in 0..n {
+            if dst != me {
+                comm.send_grp(dst, Tag(1000 + me as u32), vec![me as u8; dst + 1]);
+            }
+        }
+        let mut got = Vec::new();
+        for src in (0..n).rev() {
+            if src != me {
+                let (data, _) = comm.recv_grp(Some(src), Tag(1000 + src as u32));
+                got.push((src, data.len(), data[0]));
+            }
+        }
+        got
+    });
+    for (me, got) in out.iter().enumerate() {
+        for &(src, len, byte) in got {
+            assert_eq!(len, me + 1);
+            assert_eq!(byte, src as u8);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end integration: the §5.2 matrix transpose through the full
+//! stack (datatype engine → communicator → simulated network), checking
+//! that both implementations move identical bytes and that only the
+//! baseline pays search time.
+
+use nucomm::core::{Comm, MpiConfig};
+use nucomm::datatype::{matrix_column_type, pack_all, Datatype};
+use nucomm::simnet::{Cluster, ClusterConfig, SimTime, Tag};
+
+fn transpose(n: usize, cfg: MpiConfig) -> (Vec<u8>, SimTime, SimTime) {
+    let out = Cluster::new(ClusterConfig::uniform(2)).run(|rank| {
+        let mut comm = Comm::new(rank, cfg.clone());
+        let col = matrix_column_type(n, n, 3).expect("column type");
+        let bytes = n * n * 24;
+        if comm.rank() == 0 {
+            let src: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+            comm.send(&src, &col, n, 1, Tag(0));
+            (Vec::new(), comm.rank_ref().now(), comm.rank_ref().stats().search)
+        } else {
+            let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("row type");
+            let mut dst = vec![0u8; bytes];
+            comm.recv(&mut dst, &row, 1, Some(0), Tag(0));
+            (dst, comm.rank_ref().now(), comm.rank_ref().stats().search)
+        }
+    });
+    let received = out[1].0.clone();
+    let t = out.iter().map(|o| o.1).max().expect("two ranks");
+    let search = out[0].2;
+    (received, t, search)
+}
+
+#[test]
+fn both_flavors_transpose_identically() {
+    let n = 64;
+    let (base_bytes, t_base, search_base) = transpose(n, MpiConfig::baseline());
+    let (opt_bytes, t_opt, search_opt) = transpose(n, MpiConfig::optimized());
+    assert_eq!(base_bytes, opt_bytes, "implementations must move identical bytes");
+
+    // The received stream is exactly the column-major pack of the source.
+    let col = matrix_column_type(n, n, 3).expect("column type");
+    let src: Vec<u8> = (0..n * n * 24).map(|i| (i % 253) as u8).collect();
+    let expected = pack_all(&col, n, &src).expect("pack");
+    assert_eq!(base_bytes, expected);
+
+    // Only the baseline searches, and it is slower.
+    assert!(search_base > SimTime::ZERO);
+    assert_eq!(search_opt, SimTime::ZERO);
+    assert!(t_opt < t_base);
+}
+
+#[test]
+fn baseline_search_grows_superlinearly() {
+    // Doubling the matrix should grow baseline search time ~4x or more
+    // (total segments quadruple AND the per-block search distance doubles).
+    let (_, _, s1) = transpose(64, MpiConfig::baseline());
+    let (_, _, s2) = transpose(128, MpiConfig::baseline());
+    assert!(
+        s2.as_ns() > 3 * s1.as_ns(),
+        "search {s1} -> {s2} is not superlinear"
+    );
+}
+
+#[test]
+fn improvement_grows_with_matrix_size() {
+    let imp = |n: usize| {
+        let (_, tb, _) = transpose(n, MpiConfig::baseline());
+        let (_, tn, _) = transpose(n, MpiConfig::optimized());
+        (tb.as_ns() as f64 - tn.as_ns() as f64) / tb.as_ns() as f64
+    };
+    let small = imp(64);
+    let large = imp(256);
+    assert!(
+        large > small,
+        "improvement should grow with size: {small:.3} -> {large:.3}"
+    );
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration: PETSc objects over both MPI flavors and both
+//! scatter backends must agree bit-for-bit on results.
+
+use nucomm::core::{Comm, MpiConfig, MpiFlavor};
+use nucomm::petsc::{
+    cg, AijMat, DistributedArray, IndexSet, JacobiPc, KspSettings, Layout, PVec, ScatterBackend,
+    StencilKind, VecScatter,
+};
+use nucomm::simnet::{Cluster, ClusterConfig};
+
+fn all_configs() -> Vec<(MpiConfig, ScatterBackend)> {
+    vec![
+        (MpiConfig::baseline(), ScatterBackend::HandTuned),
+        (MpiConfig::baseline(), ScatterBackend::Datatype),
+        (MpiConfig::optimized(), ScatterBackend::HandTuned),
+        (MpiConfig::optimized(), ScatterBackend::Datatype),
+    ]
+}
+
+#[test]
+fn scatter_results_invariant_across_configs() {
+    let mut reference: Option<Vec<f64>> = None;
+    for (cfg, backend) in all_configs() {
+        let out = Cluster::new(ClusterConfig::uniform(5)).run(|rank| {
+            let mut comm = Comm::new(rank, cfg.clone());
+            let n = 60;
+            let layout = Layout::balanced(n, comm.size());
+            let (s, e) = layout.range(comm.rank());
+            let x = PVec::from_local(
+                layout.clone(),
+                comm.rank(),
+                (s..e).map(|g| (g * g) as f64).collect(),
+            );
+            let mut y = PVec::zeros(layout.clone(), comm.rank());
+            let src = IndexSet::stride(s, 1, e - s);
+            let dst = IndexSet::general((s..e).map(|g| (g * 13 + 7) % n).collect::<Vec<_>>());
+            let plan = VecScatter::create(&mut comm, layout.clone(), &src, layout, &dst);
+            plan.apply(&mut comm, &x, &mut y, backend);
+            y.local().to_vec()
+        });
+        let flat: Vec<f64> = out.into_iter().flatten().collect();
+        match &reference {
+            None => reference = Some(flat),
+            Some(r) => assert_eq!(
+                r,
+                &flat,
+                "config {:?}/{:?} diverged",
+                cfg.flavor,
+                backend
+            ),
+        }
+    }
+}
+
+#[test]
+fn assembled_matrix_solve_invariant_across_configs() {
+    let mut reference: Option<f64> = None;
+    for (cfg, backend) in all_configs() {
+        let out = Cluster::new(ClusterConfig::uniform(4)).run(|rank| {
+            let mut comm = Comm::new(rank, cfg.clone());
+            let n = 40;
+            let layout = Layout::balanced(n, comm.size());
+            let mut a = AijMat::new(layout.clone(), layout.clone(), comm.rank());
+            let (s, e) = layout.range(comm.rank());
+            for r in s..e {
+                a.add_value(r, r, 4.0);
+                if r > 0 {
+                    a.add_value(r, r - 1, -1.0);
+                }
+                if r + 1 < n {
+                    a.add_value(r, r + 1, -1.0);
+                }
+                // Off-process contribution exercising the assembly stash.
+                a.add_value((r + n / 2) % n, r, 0.001);
+            }
+            a.assemble(&mut comm);
+            let pc = JacobiPc::from_mat(&a);
+            let mut b = PVec::zeros(layout.clone(), comm.rank());
+            b.set_all(1.0);
+            let mut x = PVec::zeros(layout, comm.rank());
+            let settings = KspSettings {
+                backend,
+                ..Default::default()
+            };
+            let res = cg(&mut comm, &a, &pc, &b, &mut x, &settings);
+            assert!(res.converged);
+            x.norm2(&mut comm)
+        });
+        match &reference {
+            None => reference = Some(out[0]),
+            Some(r) => assert!(
+                (r - out[0]).abs() < 1e-12,
+                "config {:?}/{:?} diverged: {} vs {}",
+                cfg.flavor,
+                backend,
+                r,
+                out[0]
+            ),
+        }
+        assert!(out.iter().all(|&v| v == out[0]), "ranks disagree");
+    }
+}
+
+#[test]
+fn da_ghost_values_invariant_across_configs() {
+    let mut reference: Option<Vec<f64>> = None;
+    for (cfg, backend) in all_configs() {
+        let out = Cluster::new(ClusterConfig::uniform(6)).run(|rank| {
+            let mut comm = Comm::new(rank, cfg.clone());
+            let da = DistributedArray::new(&mut comm, &[12, 10], 2, StencilKind::Box, 1);
+            let mut g = da.create_global_vec();
+            for (off, p) in da.owned_points().enumerate() {
+                for c in 0..2 {
+                    g.local_mut()[off * 2 + c] = ((p[0] * 100 + p[1]) * 2 + c) as f64;
+                }
+            }
+            let mut l = da.create_local_vec();
+            da.global_to_local(&mut comm, &g, &mut l, backend);
+            l.local().to_vec()
+        });
+        let flat: Vec<f64> = out.into_iter().flatten().collect();
+        match &reference {
+            None => reference = Some(flat),
+            Some(r) => assert_eq!(r, &flat, "{:?}/{:?} diverged", cfg.flavor, backend),
+        }
+    }
+}
+
+#[test]
+fn flavor_labels_are_stable() {
+    // The figure benchmarks print these labels; they are part of the
+    // reproduction's interface.
+    assert_eq!(MpiFlavor::Baseline.label(), "MVAPICH2-0.9.5");
+    assert_eq!(MpiFlavor::Optimized.label(), "MVAPICH2-New");
+}
