@@ -17,7 +17,12 @@ use ncd_simnet::{Cluster, ClusterConfig, SimTime, Tag};
 /// Like `ncd_bench::time_phase` but reporting the MEAN per-rank completion
 /// time: the bin ablation's effect is that *cheap receivers finish early*,
 /// which a max-over-ranks metric cannot see.
-fn mean_time_phase<F>(cluster_cfg: ClusterConfig, mpi_cfg: MpiConfig, reps: usize, body: F) -> SimTime
+fn mean_time_phase<F>(
+    cluster_cfg: ClusterConfig,
+    mpi_cfg: MpiConfig,
+    reps: usize,
+    body: F,
+) -> SimTime
 where
     F: Fn(&mut Comm, usize) + Send + Sync,
 {
@@ -87,46 +92,44 @@ fn ablate_bins() {
             // One iteration: the small-first ordering is a *latency* effect
             // on each operation; back-to-back repetitions pipeline and hide
             // it behind the busy ranks' steady-state packing throughput.
-            mean_time_phase(
-                ClusterConfig::paper_testbed(n),
-                cfg,
-                1,
-                move |comm, _| {
-                    let me = comm.rank();
-                    let size = comm.size();
-                    let b = size / 2; // ranks 0..b are "busy", the rest "light"
-                    // Sparse 32 KB type: every other double of a 64 KB
-                    // region — expensive to pack (one segment per element).
-                    let sparse = Datatype::vector(4096, 1, 2, &Datatype::double()).expect("big");
-                    let small = Datatype::contiguous(2, &Datatype::double()).expect("small");
-                    let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
-                    let mut sends: Vec<WPeer> =
-                        (0..size).map(|_| WPeer::new(0, 0, empty.clone())).collect();
-                    let mut recvs = sends.clone();
-                    if me < b {
-                        // Busy: big message around the busy ring, plus a
-                        // tiny message to a light partner — which, without
-                        // the small-first bin, queues behind the expensive
-                        // pack of the big one.
-                        sends[(me + 1) % b] = WPeer::new(0, 1, sparse.clone());
-                        recvs[(me + b - 1) % b] = WPeer::new(0, 1, sparse.clone());
-                        sends[b + me] = WPeer::new(8, 1, small.clone());
-                        recvs[b + me] = WPeer::new(16, 1, small.clone());
-                    } else {
-                        // Light: exchanges a tiny message with its busy
-                        // partner; its completion time is what the
-                        // small-first ordering protects.
-                        let partner = me - b;
-                        sends[partner] = WPeer::new(8, 1, small.clone());
-                        recvs[partner] = WPeer::new(16, 1, small.clone());
-                    }
-                    let sendbuf = vec![me as u8; 65536];
-                    let mut recvbuf = vec![0u8; 65536];
-                    comm.alltoallw_with(schedule, &sendbuf, &sends, &mut recvbuf, &recvs);
-                },
-            )
+            mean_time_phase(ClusterConfig::paper_testbed(n), cfg, 1, move |comm, _| {
+                let me = comm.rank();
+                let size = comm.size();
+                let b = size / 2; // ranks 0..b are "busy", the rest "light"
+                                  // Sparse 32 KB type: every other double of a 64 KB
+                                  // region — expensive to pack (one segment per element).
+                let sparse = Datatype::vector(4096, 1, 2, &Datatype::double()).expect("big");
+                let small = Datatype::contiguous(2, &Datatype::double()).expect("small");
+                let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
+                let mut sends: Vec<WPeer> =
+                    (0..size).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+                let mut recvs = sends.clone();
+                if me < b {
+                    // Busy: big message around the busy ring, plus a
+                    // tiny message to a light partner — which, without
+                    // the small-first bin, queues behind the expensive
+                    // pack of the big one.
+                    sends[(me + 1) % b] = WPeer::new(0, 1, sparse.clone());
+                    recvs[(me + b - 1) % b] = WPeer::new(0, 1, sparse.clone());
+                    sends[b + me] = WPeer::new(8, 1, small.clone());
+                    recvs[b + me] = WPeer::new(16, 1, small.clone());
+                } else {
+                    // Light: exchanges a tiny message with its busy
+                    // partner; its completion time is what the
+                    // small-first ordering protects.
+                    let partner = me - b;
+                    sends[partner] = WPeer::new(8, 1, small.clone());
+                    recvs[partner] = WPeer::new(16, 1, small.clone());
+                }
+                let sendbuf = vec![me as u8; 65536];
+                let mut recvbuf = vec![0u8; 65536];
+                comm.alltoallw_with(schedule, &sendbuf, &sends, &mut recvbuf, &recvs);
+            })
         };
-        rr.push(n.to_string(), run(AlltoallwSchedule::RoundRobin, 1024).as_us());
+        rr.push(
+            n.to_string(),
+            run(AlltoallwSchedule::RoundRobin, 1024).as_us(),
+        );
         // "2 bins": zero exemption but everything else in one bin (a tiny
         // small-threshold puts all real messages in the large bin).
         zero_exempt.push(n.to_string(), run(AlltoallwSchedule::Binned, 0).as_us());
@@ -154,8 +157,9 @@ fn ablate_outlier_threshold() {
             let (t, _) = time_phase(ClusterConfig::uniform(n), cfg, 5, move |comm, _| {
                 // Heavy-tailed spread (ratio exactly 4 between the max and
                 // the 0.9-quantile) vs one true outlier (ratio ~4096).
-                let mut counts: Vec<usize> =
-                    (0..n).map(|i| if i % 13 == 0 { 4096 } else { 1024 }).collect();
+                let mut counts: Vec<usize> = (0..n)
+                    .map(|i| if i % 13 == 0 { 4096 } else { 1024 })
+                    .collect();
                 if outlier {
                     counts = vec![8usize; n];
                     counts[0] = 32 * 1024;

@@ -6,8 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ncd_core::{detect_outliers, k_select};
 use ncd_datatype::{
-    matrix_column_type, DualContextEngine, EngineParams, OpCounts, PackEngine,
-    SingleContextEngine,
+    matrix_column_type, DualContextEngine, EngineParams, OpCounts, PackEngine, SingleContextEngine,
 };
 
 fn bench_pack_engines(c: &mut Criterion) {
@@ -17,17 +16,13 @@ fn bench_pack_engines(c: &mut Criterion) {
         let src = vec![7u8; bytes];
         let col = matrix_column_type(n, n, 3).expect("column type");
         group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(
-            BenchmarkId::new("single_context", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut e = SingleContextEngine::new(&col, n, EngineParams::default());
-                    let mut counts = OpCounts::default();
-                    e.pack_all(&src, &mut counts).expect("pack")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("single_context", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = SingleContextEngine::new(&col, n, EngineParams::default());
+                let mut counts = OpCounts::default();
+                e.pack_all(&src, &mut counts).expect("pack")
+            })
+        });
         group.bench_with_input(BenchmarkId::new("dual_context", n), &n, |b, _| {
             b.iter(|| {
                 let mut e = DualContextEngine::new(&col, n, EngineParams::default());

@@ -5,32 +5,42 @@
 //! Paper result: the baseline's search share grows to dominate as the
 //! matrix grows; the optimized engine eliminates search entirely, leaving
 //! communication dominant.
+//!
+//! Pass `--report json` (or set `NCD_REPORT=json`) to also write a
+//! machine-readable run report — the plotted series plus the cluster-wide
+//! metrics snapshot — to `target/figures/<name>.json`.
 
-use ncd_bench::{aggregate, report, time_phase, Series};
+use ncd_bench::{aggregate, report_with_metrics, time_phase_metrics, Series};
 use ncd_core::MpiConfig;
 use ncd_datatype::{matrix_column_type, Datatype};
-use ncd_simnet::{ClusterConfig, CostKind, Tag};
+use ncd_simnet::{ClusterConfig, CostKind, MetricsRegistry, Tag};
 
-fn breakdown(n: usize, cfg: MpiConfig) -> (f64, f64, f64) {
+fn breakdown(n: usize, cfg: MpiConfig) -> (f64, f64, f64, MetricsRegistry) {
     let bytes = n * n * 24;
-    let (_, stats) = time_phase(ClusterConfig::uniform(2), cfg, 1, move |comm, _| {
-        let col = matrix_column_type(n, n, 3).expect("column type");
-        if comm.rank() == 0 {
-            let src = vec![1u8; bytes];
-            comm.send(&src, &col, n, 1, Tag(1));
-        } else {
-            let mut dst = vec![0u8; bytes];
-            let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
-            comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
-        }
-    });
+    let (_, stats, metrics) =
+        time_phase_metrics(ClusterConfig::uniform(2), cfg, 1, move |comm, _| {
+            let col = matrix_column_type(n, n, 3).expect("column type");
+            if comm.rank() == 0 {
+                let src = vec![1u8; bytes];
+                comm.send(&src, &col, n, 1, Tag(1));
+            } else {
+                let mut dst = vec![0u8; bytes];
+                let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
+                comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
+            }
+        });
     let total = aggregate(&stats);
     // "Comm" from the application's view includes time blocked on the wire.
     let comm_frac = total.fraction(CostKind::Comm) + total.fraction(CostKind::Wait);
     let pack_frac = total.fraction(CostKind::Pack);
     let search_frac = total.fraction(CostKind::Search);
     let scale = 100.0 / (comm_frac + pack_frac + search_frac).max(f64::MIN_POSITIVE);
-    (comm_frac * scale, pack_frac * scale, search_frac * scale)
+    (
+        comm_frac * scale,
+        pack_frac * scale,
+        search_frac * scale,
+        metrics,
+    )
 }
 
 fn main() {
@@ -42,13 +52,21 @@ fn main() {
         let mut comm_s = Series::new("comm-%");
         let mut pack_s = Series::new("pack-%");
         let mut search_s = Series::new("search-%");
+        let mut merged = MetricsRegistry::enabled();
         for &n in &sizes {
-            let (c, p, s) = breakdown(n, cfg.clone());
+            let (c, p, s, m) = breakdown(n, cfg.clone());
             let label = format!("{n}x{n}");
             comm_s.push(label.clone(), c);
             pack_s.push(label.clone(), p);
             search_s.push(label, s);
+            merged.merge(&m);
         }
-        report(name, "matrix", "% of time", &[comm_s, pack_s, search_s]);
+        report_with_metrics(
+            name,
+            "matrix",
+            "% of time",
+            &[comm_s, pack_s, search_s],
+            Some(&merged),
+        );
     }
 }

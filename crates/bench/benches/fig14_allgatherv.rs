@@ -18,19 +18,14 @@ use ncd_core::MpiConfig;
 use ncd_simnet::{ClusterConfig, SimTime};
 
 fn allgatherv_latency(nprocs: usize, outlier_doubles: usize, cfg: MpiConfig) -> SimTime {
-    let (t, _) = time_phase(
-        ClusterConfig::uniform(nprocs),
-        cfg,
-        5,
-        move |comm, _| {
-            let mut counts = vec![8usize; nprocs];
-            counts[0] = outlier_doubles * 8;
-            let me = comm.rank();
-            let send = vec![me as u8; counts[me]];
-            let mut recv = vec![0u8; counts.iter().sum()];
-            comm.allgatherv(&send, &counts, &mut recv);
-        },
-    );
+    let (t, _) = time_phase(ClusterConfig::uniform(nprocs), cfg, 5, move |comm, _| {
+        let mut counts = vec![8usize; nprocs];
+        counts[0] = outlier_doubles * 8;
+        let me = comm.rank();
+        let send = vec![me as u8; counts[me]];
+        let mut recv = vec![0u8; counts.iter().sum()];
+        comm.allgatherv(&send, &counts, &mut recv);
+    });
     t
 }
 

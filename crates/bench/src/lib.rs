@@ -8,7 +8,7 @@
 //! by reps** — the way MPI benchmarks report collective latency.
 
 use ncd_core::{Comm, MpiConfig};
-use ncd_simnet::{Cluster, ClusterConfig, SimTime, Stats};
+use ncd_simnet::{Cluster, ClusterConfig, MetricsRegistry, SimTime, Stats};
 
 /// Run `body` on a cluster and return the per-iteration completion time
 /// (max over ranks), plus each rank's stats for breakdown reporting.
@@ -41,6 +41,49 @@ where
     let tmax = out.iter().map(|(t, _)| *t).max().expect("nonempty cluster");
     let stats = out.into_iter().map(|(_, s)| s).collect();
     (SimTime::from_ns(tmax.as_ns() / reps as u64), stats)
+}
+
+/// [`time_phase`] with the metrics registry enabled on every rank: also
+/// returns the cluster-wide merge of the per-rank registries collected
+/// over the measured (post-warmup) iterations.
+pub fn time_phase_metrics<F>(
+    cluster_cfg: ClusterConfig,
+    mpi_cfg: MpiConfig,
+    reps: usize,
+    body: F,
+) -> (SimTime, Vec<Stats>, MetricsRegistry)
+where
+    F: Fn(&mut Comm, usize) + Send + Sync,
+{
+    assert!(reps > 0);
+    let out = Cluster::new(cluster_cfg).run(|rank| {
+        rank.enable_metrics();
+        let mut comm = Comm::new(rank, mpi_cfg.clone());
+        body(&mut comm, usize::MAX); // warmup
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        let _ = comm.rank_mut().take_stats();
+        let _ = comm.rank_mut().take_metrics(); // drop warmup metrics
+        for it in 0..reps {
+            body(&mut comm, it);
+        }
+        let t = comm.rank_ref().now();
+        let stats = comm.rank_ref().stats().clone();
+        let metrics = comm.rank_mut().take_metrics();
+        (t, stats, metrics)
+    });
+    let tmax = out
+        .iter()
+        .map(|(t, _, _)| *t)
+        .max()
+        .expect("nonempty cluster");
+    let mut merged = MetricsRegistry::enabled();
+    let mut stats = Vec::with_capacity(out.len());
+    for (_, s, m) in out {
+        merged.merge(&m);
+        stats.push(s);
+    }
+    (SimTime::from_ns(tmax.as_ns() / reps as u64), stats, merged)
 }
 
 /// Aggregate per-rank stats into one cluster-wide breakdown.
@@ -80,8 +123,21 @@ impl Series {
 }
 
 /// Print an aligned table of several series sharing the x axis, and write
-/// the same data as CSV under `target/figures/<name>.csv`.
+/// the same data as CSV under `target/figures/<name>.csv`. When a JSON
+/// report is requested (see [`json_report_requested`]) the series are also
+/// written to `target/figures/<name>.json`; benches that collect metrics
+/// use [`report_with_metrics`] to include the registry snapshot.
 pub fn report(name: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    report_impl(name, x_label, y_label, series, None)
+}
+
+fn report_impl(
+    name: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    metrics: Option<&MetricsRegistry>,
+) {
     println!("\n=== {name} ({y_label}) ===");
     print!("{:>14}", x_label);
     for s in series {
@@ -130,6 +186,87 @@ pub fn report(name: &str, x_label: &str, y_label: &str, series: &[Series]) {
         }
         let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
     }
+
+    if json_report_requested() {
+        write_json_report(name, x_label, y_label, series, metrics);
+    }
+}
+
+/// Whether a machine-readable JSON report was requested, via
+/// `--report json` / `--report=json` on the command line or
+/// `NCD_REPORT=json` in the environment.
+pub fn json_report_requested() -> bool {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--report=json" {
+            return true;
+        }
+        if a == "--report" && args.next().as_deref() == Some("json") {
+            return true;
+        }
+    }
+    std::env::var("NCD_REPORT").as_deref() == Ok("json")
+}
+
+/// [`report`], plus — when `--report json` (or `NCD_REPORT=json`) is in
+/// effect — a machine-readable run report written to
+/// `target/figures/<name>.json`: the same series as the CSV, and a
+/// snapshot of the cluster-merged metrics registry when one was collected.
+pub fn report_with_metrics(
+    name: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    metrics: Option<&MetricsRegistry>,
+) {
+    report_impl(name, x_label, y_label, series, metrics)
+}
+
+fn write_json_report(
+    name: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    metrics: Option<&MetricsRegistry>,
+) {
+    let esc = ncd_simnet::export::json_escape;
+    let mut out = format!(
+        "{{\"name\":\"{}\",\"x_label\":\"{}\",\"y_label\":\"{}\",\"series\":[",
+        esc(name),
+        esc(x_label),
+        esc(y_label)
+    );
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"label\":\"{}\",\"points\":[", esc(&s.label)));
+        for (j, (x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let y_json = if y.is_finite() {
+                y.to_string()
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!("[\"{}\",{y_json}]", esc(x)));
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    if let Some(m) = metrics {
+        out.push_str(",\"metrics\":");
+        out.push_str(&ncd_simnet::metrics_json(m));
+    }
+    out.push('}');
+    let dir = std::path::Path::new("target").join("figures");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if std::fs::write(&path, out).is_ok() {
+            println!("json report: {}", path.display());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +304,51 @@ mod tests {
         s.push("1", 2.0);
         s.push("2", 4.0);
         report("unit_test_fig", "x", "y", &[s]);
+    }
+
+    #[test]
+    fn time_phase_metrics_collects_cluster_registry() {
+        let (_, stats, metrics) = time_phase_metrics(
+            ClusterConfig::uniform(2),
+            MpiConfig::optimized(),
+            2,
+            |comm, _| {
+                let counts = vec![16usize; 2];
+                let send = vec![1u8; 16];
+                let mut recv = vec![0u8; 32];
+                comm.allgatherv(&send, &counts, &mut recv);
+            },
+        );
+        assert_eq!(stats.len(), 2);
+        // 2 ranks x 2 measured reps (warmup metrics dropped).
+        let h = metrics
+            .histogram("allgatherv", "bytes", "adaptive")
+            .expect("adaptive histogram");
+        assert_eq!(h.count(), 4);
+        // The flat-time counters mirror Stats exactly, cluster-wide.
+        let total: u64 = aggregate(&stats).total().as_ns();
+        let counted: u64 = ncd_simnet::CostKind::ALL
+            .iter()
+            .map(|k| metrics.counter("time", k.label(), ""))
+            .sum();
+        assert_eq!(counted, total);
+    }
+
+    #[test]
+    fn json_report_writes_valid_file_when_requested() {
+        let mut s = Series::new("baseline");
+        s.push("64", 1.5);
+        std::env::set_var("NCD_REPORT", "json");
+        let mut reg = MetricsRegistry::enabled();
+        reg.counter_add("a", "b", "c", 7);
+        report_with_metrics("unit_test_json_fig", "n", "us", &[s], Some(&reg));
+        std::env::remove_var("NCD_REPORT");
+        let path = std::path::Path::new("target/figures/unit_test_json_fig.json");
+        let json = std::fs::read_to_string(path).expect("json report written");
+        assert!(json.starts_with("{\"name\":\"unit_test_json_fig\""));
+        assert!(json.contains("\"points\":[[\"64\",1.5]]"));
+        assert!(json.contains("\"key\":\"a/b/c\",\"value\":7"));
+        assert!(json.ends_with("}"));
     }
 
     #[test]

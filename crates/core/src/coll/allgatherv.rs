@@ -15,10 +15,10 @@
 
 use ncd_simnet::CostKind;
 
-use crate::comm::Comm;
 use crate::coll::{coll_tag, CollOp};
+use crate::comm::Comm;
 use crate::config::MpiFlavor;
-use crate::select::{detect_outliers, VolumeShape};
+use crate::select::{detect_outliers, detect_outliers_with_ratio, VolumeShape};
 
 /// Which data-movement pattern an allgatherv uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +29,17 @@ pub enum AllgathervAlgorithm {
     RecursiveDoubling,
     /// ceil(log2 N) phases of send-to-(i+2^p); works for any N.
     Dissemination,
+}
+
+impl AllgathervAlgorithm {
+    /// Stable lowercase name used as the metric/trace algorithm label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllgathervAlgorithm::Ring => "ring",
+            AllgathervAlgorithm::RecursiveDoubling => "recursive_doubling",
+            AllgathervAlgorithm::Dissemination => "dissemination",
+        }
+    }
 }
 
 fn is_pow2(n: usize) -> bool {
@@ -57,6 +68,31 @@ impl Comm<'_> {
         let ns = passes as f64 * counts.len() as f64 * 2.0;
         self.rank_mut().charge_cpu(CostKind::Comm, ns);
         let algo = self.allgatherv_choose(counts);
+        if self.rank_ref().metrics().is_enabled() {
+            // The auto-selected path is additionally tracked under the
+            // "adaptive" label, so selection-policy behaviour is queryable
+            // separately from explicitly-pinned algorithm runs.
+            let total: usize = counts.iter().sum();
+            self.rank_mut()
+                .metric_observe("allgatherv", "bytes", "adaptive", total as u64);
+            self.rank_mut()
+                .metric_counter_add("allgatherv", "selected", algo.label(), 1);
+            if self.config().flavor == MpiFlavor::Optimized {
+                let cfg = self.config();
+                let (shape, ratio) =
+                    detect_outliers_with_ratio(counts, cfg.outlier_fraction, cfg.outlier_ratio);
+                let verdict = match shape {
+                    VolumeShape::Outliers => "outliers",
+                    VolumeShape::Uniform => "uniform",
+                };
+                self.rank_mut()
+                    .metric_counter_add("allgatherv", "verdict", verdict, 1);
+                if ratio.is_finite() {
+                    self.rank_mut()
+                        .metric_gauge_set("allgatherv", "outlier_ratio", verdict, ratio);
+                }
+            }
+        }
         self.allgatherv_with(algo, send, counts, recvbuf);
     }
 
@@ -118,6 +154,13 @@ impl Comm<'_> {
             })
             .collect();
 
+        if self.rank_ref().metrics().is_enabled() {
+            self.rank_mut()
+                .metric_counter_add("allgatherv", "invocations", algo.label(), 1);
+            self.rank_mut()
+                .metric_observe("allgatherv", "bytes", algo.label(), total as u64);
+        }
+
         // Place own contribution.
         recvbuf[displs[rank]..displs[rank] + counts[rank]].copy_from_slice(send);
 
@@ -141,6 +184,9 @@ impl Comm<'_> {
         let right = (rank + 1) % size;
         let left = (rank + size - 1) % size;
         for step in 0..size - 1 {
+            self.rank_mut().trace_round("allgatherv/ring", step as u32);
+            self.rank_mut()
+                .metric_counter_add("allgatherv", "rounds", "ring", 1);
             let send_idx = (rank + size - step) % size;
             let recv_idx = (rank + size - step - 1) % size;
             let tag = coll_tag(CollOp::Allgatherv, step as u32);
@@ -163,6 +209,10 @@ impl Comm<'_> {
         let mut mask = 1usize;
         let mut phase = 0u32;
         while mask < size {
+            self.rank_mut()
+                .trace_round("allgatherv/recursive_doubling", phase);
+            self.rank_mut()
+                .metric_counter_add("allgatherv", "rounds", "recursive_doubling", 1);
             let partner = rank ^ mask;
             let my_group_start = (rank / mask) * mask;
             let their_group_start = (partner / mask) * mask;
@@ -199,6 +249,10 @@ impl Comm<'_> {
         let mut owned = 1usize; // blocks (rank - j) % size for j < owned
         let mut phase = 0u32;
         while owned < size {
+            self.rank_mut()
+                .trace_round("allgatherv/dissemination", phase);
+            self.rank_mut()
+                .metric_counter_add("allgatherv", "rounds", "dissemination", 1);
             let delta = owned; // 2^phase, capped by ownership growth
             let send_cnt = owned.min(size - owned);
             let dst = (rank + delta) % size;
@@ -335,14 +389,67 @@ mod tests {
         assert_eq!(base[3].1, expected);
         assert_eq!(opt[3].1, expected);
         // The binomial movement of the outlier should beat the ring.
-        let tmax = |v: &[(AllgathervAlgorithm, Vec<u8>, SimTime)]| {
-            v.iter().map(|x| x.2).max().unwrap()
-        };
+        let tmax =
+            |v: &[(AllgathervAlgorithm, Vec<u8>, SimTime)]| v.iter().map(|x| x.2).max().unwrap();
         assert!(
             tmax(&opt) < tmax(&base),
             "optimized {:?} should beat baseline {:?}",
             tmax(&opt),
             tmax(&base)
+        );
+    }
+
+    #[test]
+    fn ring_and_adaptive_metrics_are_separately_keyed() {
+        // One run does an explicitly-pinned ring allgatherv AND an
+        // auto-selected one; the registry must keep them apart, and the
+        // outlier detector must leave its verdict and computed ratio.
+        let mut counts = vec![8usize; 16];
+        counts[2] = 64 * 1024; // outlier => Optimized picks recursive doubling
+        let regs = Cluster::new(ClusterConfig::uniform(16)).run(move |rank| {
+            rank.enable_metrics();
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let me = comm.rank();
+            let send = pattern(me, counts[me]);
+            let total: usize = counts.iter().sum();
+            let mut recv = vec![0u8; total];
+            comm.allgatherv_with(AllgathervAlgorithm::Ring, &send, &counts, &mut recv);
+            comm.allgatherv(&send, &counts, &mut recv);
+            comm.rank_mut().take_metrics()
+        });
+        let mut merged = ncd_simnet::MetricsRegistry::enabled();
+        for r in &regs {
+            merged.merge(r);
+        }
+        let ring = merged
+            .histogram("allgatherv", "bytes", "ring")
+            .expect("ring histogram");
+        let adaptive = merged
+            .histogram("allgatherv", "bytes", "adaptive")
+            .expect("adaptive histogram");
+        assert_eq!(ring.count(), 16, "one pinned-ring call per rank");
+        assert_eq!(adaptive.count(), 16, "one auto-selected call per rank");
+        // The auto-selected algorithm also gets its own histogram, distinct
+        // from the pinned ring's.
+        let rd = merged
+            .histogram("allgatherv", "bytes", "recursive_doubling")
+            .expect("chosen-algorithm histogram");
+        assert_eq!(rd.count(), 16);
+        // Verdict counter + the evidence gauge behind it.
+        assert_eq!(merged.counter("allgatherv", "verdict", "outliers"), 16);
+        assert_eq!(merged.counter("allgatherv", "verdict", "uniform"), 0);
+        let ratio = merged
+            .gauge("allgatherv", "outlier_ratio", "outliers")
+            .expect("ratio gauge");
+        assert!(
+            (ratio - (64.0 * 1024.0 / 8.0)).abs() < 1e-9,
+            "ratio {ratio}"
+        );
+        // Rounds were counted for both patterns that actually ran.
+        assert_eq!(merged.counter("allgatherv", "rounds", "ring"), 16 * 15);
+        assert_eq!(
+            merged.counter("allgatherv", "rounds", "recursive_doubling"),
+            16 * 4
         );
     }
 

@@ -18,8 +18,8 @@
 
 use ncd_datatype::Datatype;
 
-use crate::comm::Comm;
 use crate::coll::{coll_tag, CollOp};
+use crate::comm::Comm;
 use crate::config::MpiFlavor;
 
 /// One peer's slot in an alltoallw: `count` instances of `dtype` located at
@@ -56,6 +56,16 @@ pub enum AlltoallwSchedule {
     Binned,
 }
 
+impl AlltoallwSchedule {
+    /// Stable lowercase name used as the metric/trace algorithm label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlltoallwSchedule::RoundRobin => "round_robin",
+            AlltoallwSchedule::Binned => "binned",
+        }
+    }
+}
+
 impl Comm<'_> {
     /// General all-to-all with per-peer counts and datatypes.
     ///
@@ -90,6 +100,32 @@ impl Comm<'_> {
         let size = self.size();
         assert_eq!(sends.len(), size, "one send slot per rank");
         assert_eq!(recvs.len(), size, "one recv slot per rank");
+        if self.rank_ref().metrics().is_enabled() {
+            let label = schedule.label();
+            let total: usize = sends.iter().map(WPeer::bytes).sum();
+            self.rank_mut()
+                .metric_counter_add("alltoallw", "invocations", label, 1);
+            self.rank_mut()
+                .metric_observe("alltoallw", "bytes", label, total as u64);
+            // Bin membership of the outgoing exchanges (self included),
+            // recorded for both schedules so the zero-bin exemption the
+            // binned schedule exploits is visible in baseline runs too.
+            let threshold = self.config().small_msg_threshold;
+            let (mut zero, mut small, mut large) = (0u64, 0u64, 0u64);
+            for s in sends {
+                match s.bytes() {
+                    0 => zero += 1,
+                    b if b <= threshold => small += 1,
+                    _ => large += 1,
+                }
+            }
+            self.rank_mut()
+                .metric_counter_add("alltoallw", "bin_zero", label, zero);
+            self.rank_mut()
+                .metric_counter_add("alltoallw", "bin_small", label, small);
+            self.rank_mut()
+                .metric_counter_add("alltoallw", "bin_large", label, large);
+        }
         match schedule {
             AlltoallwSchedule::RoundRobin => self.a2aw_round_robin(sendbuf, sends, recvbuf, recvs),
             AlltoallwSchedule::Binned => self.a2aw_binned(sendbuf, sends, recvbuf, recvs),
@@ -119,11 +155,16 @@ impl Comm<'_> {
         let rank = self.rank();
         self.a2aw_self_copy(sendbuf, &sends[rank], recvbuf, &recvs[rank]);
         for i in 1..size {
+            self.rank_mut()
+                .trace_round("alltoallw/round_robin", i as u32);
+            self.rank_mut()
+                .metric_counter_add("alltoallw", "rounds", "round_robin", 1);
             let dst = (rank + i) % size;
             let src = (rank + size - i) % size;
             let tag = coll_tag(CollOp::Alltoallw, i as u32);
             let s = &sends[dst];
-            let payload = self.prepare_send(&sendbuf[s.offset.min(sendbuf.len())..], &s.dtype, s.count);
+            let payload =
+                self.prepare_send(&sendbuf[s.offset.min(sendbuf.len())..], &s.dtype, s.count);
             self.send_grp(dst, tag, payload);
             let (data, _) = self.recv_grp(Some(src), tag);
             let r = &recvs[src];
@@ -161,7 +202,11 @@ impl Comm<'_> {
         }
         // Process (pack + send) small first, then large: remote peers with
         // cheap messages are never stuck behind expensive preprocessing.
-        for &dst in small.iter().chain(large.iter()) {
+        for (round, &dst) in small.iter().chain(large.iter()).enumerate() {
+            self.rank_mut()
+                .trace_round("alltoallw/binned", round as u32);
+            self.rank_mut()
+                .metric_counter_add("alltoallw", "rounds", "binned", 1);
             let s = &sends[dst];
             let tag = coll_tag(CollOp::Alltoallw, 0);
             let payload = self.prepare_send(&sendbuf[s.offset..], &s.dtype, s.count);
@@ -175,7 +220,10 @@ impl Comm<'_> {
             .collect();
         sources.sort_by_key(|&src| {
             let b = recvs[src].bytes();
-            (if b <= threshold { 0 } else { 1 }, (src + size - rank) % size)
+            (
+                if b <= threshold { 0 } else { 1 },
+                (src + size - rank) % size,
+            )
         });
         for src in sources {
             let tag = coll_tag(CollOp::Alltoallw, 0);
@@ -247,7 +295,11 @@ mod tests {
                     let pred = (rank + n - 1) % n;
                     let succ = (rank + 1) % n;
                     assert_eq!(recv[0], pred as f64 + 0.5, "{schedule:?} n={n} rank={rank}");
-                    assert_eq!(recv[1], succ as f64 + 0.25, "{schedule:?} n={n} rank={rank}");
+                    assert_eq!(
+                        recv[1],
+                        succ as f64 + 0.25,
+                        "{schedule:?} n={n} rank={rank}"
+                    );
                 }
             }
         }
@@ -265,6 +317,44 @@ mod tests {
     }
 
     #[test]
+    fn bin_membership_counters_are_recorded() {
+        let n = 8usize;
+        let regs = Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            rank.enable_metrics();
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            let me = comm.rank();
+            let (vals, sends, recvs) = ring_specs(me, n);
+            let sendbuf = f64s_to_bytes(&vals);
+            let mut recvbuf = vec![0u8; 16];
+            comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+            comm.rank_mut().take_metrics()
+        });
+        let mut merged = ncd_simnet::MetricsRegistry::enabled();
+        for r in &regs {
+            merged.merge(r);
+        }
+        // Each rank's slot vector: 2 real 8-byte (small) sends, n-2 zeros.
+        assert_eq!(
+            merged.counter("alltoallw", "bin_small", "binned"),
+            2 * n as u64
+        );
+        assert_eq!(
+            merged.counter("alltoallw", "bin_zero", "binned"),
+            (n as u64 - 2) * n as u64
+        );
+        assert_eq!(merged.counter("alltoallw", "bin_large", "binned"), 0);
+        assert_eq!(
+            merged.counter("alltoallw", "invocations", "binned"),
+            n as u64
+        );
+        // Binned schedule actually sent only the two real messages.
+        assert_eq!(
+            merged.counter("alltoallw", "rounds", "binned"),
+            2 * n as u64
+        );
+    }
+
+    #[test]
     fn dense_full_exchange_matches_alltoall_semantics() {
         // Every pair exchanges one distinct double: both schedules must
         // deliver the same matrix transposition.
@@ -277,9 +367,7 @@ mod tests {
                 let me = comm.rank();
                 let vals: Vec<f64> = (0..n).map(|j| (me * 10 + j) as f64).collect();
                 let sendbuf = f64s_to_bytes(&vals);
-                let slots: Vec<WPeer> = (0..n)
-                    .map(|j| WPeer::new(j * 8, 1, dtc.clone()))
-                    .collect();
+                let slots: Vec<WPeer> = (0..n).map(|j| WPeer::new(j * 8, 1, dtc.clone())).collect();
                 let mut recvbuf = vec![0u8; n * 8];
                 comm.alltoallw_with(schedule, &sendbuf, &slots, &mut recvbuf, &slots);
                 bytes_to_f64s(&recvbuf)

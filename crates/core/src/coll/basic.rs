@@ -5,9 +5,8 @@
 //! binomial broadcast/reduce); they are uniform-volume operations the paper
 //! does not redesign, but the PETSc layer's setup phases need them.
 
-
-use crate::comm::{bytes_to_f64s, f64s_to_bytes, Comm};
 use crate::coll::{coll_tag, CollOp};
+use crate::comm::{bytes_to_f64s, f64s_to_bytes, Comm};
 
 impl Comm<'_> {
     /// Dissemination barrier: ceil(log2 N) rounds of empty messages.
@@ -230,7 +229,10 @@ mod tests {
                     c.bcast(&mut buf, root);
                     buf
                 });
-                assert!(out.iter().all(|b| b == &vec![7u8, 8, 9]), "n={n} root={root}");
+                assert!(
+                    out.iter().all(|b| b == &vec![7u8, 8, 9]),
+                    "n={n} root={root}"
+                );
             }
         }
     }
@@ -307,7 +309,11 @@ mod tests {
         });
         for (i, recv) in out.iter().enumerate() {
             for j in 0..n {
-                assert_eq!(&recv[j * 2..j * 2 + 2], &[j as u8, i as u8], "rank {i} block {j}");
+                assert_eq!(
+                    &recv[j * 2..j * 2 + 2],
+                    &[j as u8, i as u8],
+                    "rank {i} block {j}"
+                );
             }
         }
     }

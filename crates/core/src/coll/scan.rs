@@ -3,8 +3,8 @@
 //! libraries lean on (ownership-range computation, distributed dot
 //! products over sub-communicators, diagonal assembly).
 
-use crate::comm::{bytes_to_f64s, f64s_to_bytes, Comm};
 use crate::coll::{coll_tag, CollOp};
+use crate::comm::{bytes_to_f64s, f64s_to_bytes, Comm};
 
 impl Comm<'_> {
     /// Inclusive prefix sum: rank r returns `sum(data of ranks 0..=r)`,
@@ -68,11 +68,8 @@ impl Comm<'_> {
         let size = self.size();
         assert_eq!(data.len(), block * size, "reduce_scatter_block size");
         let reduced = self.reduce_sum_f64(data, 0);
-        let parts: Option<Vec<Vec<u8>>> = reduced.map(|full| {
-            full.chunks(block)
-                .map(f64s_to_bytes)
-                .collect()
-        });
+        let parts: Option<Vec<Vec<u8>>> =
+            reduced.map(|full| full.chunks(block).map(f64s_to_bytes).collect());
         let mine = self.scatterv(parts.as_deref(), 0);
         bytes_to_f64s(&mine)
     }

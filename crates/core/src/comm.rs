@@ -221,6 +221,39 @@ impl<'a> Comm<'a> {
         }
     }
 
+    /// Record executed datatype-engine op counts in the metrics registry,
+    /// keyed by the engine (or unpack path) that executed them. No-op when
+    /// metrics are disabled; never touches the simulated clock.
+    fn record_engine_metrics(&mut self, algo: &str, c: &OpCounts) {
+        if !self.rank.metrics().is_enabled() {
+            return;
+        }
+        self.rank
+            .metric_counter_add("engine", "invocations", algo, 1);
+        self.rank
+            .metric_observe("engine", "bytes", algo, c.total_bytes());
+        if c.searched_segments > 0 {
+            self.rank
+                .metric_counter_add("engine", "searched_segments", algo, c.searched_segments);
+        }
+        if c.lookahead_segments > 0 {
+            self.rank.metric_counter_add(
+                "engine",
+                "lookahead_segments",
+                algo,
+                c.lookahead_segments,
+            );
+        }
+        if c.packed_blocks > 0 {
+            self.rank
+                .metric_counter_add("engine", "packed_blocks", algo, c.packed_blocks);
+        }
+        if c.direct_blocks > 0 {
+            self.rank
+                .metric_counter_add("engine", "direct_blocks", algo, c.direct_blocks);
+        }
+    }
+
     /// Send `count` instances of `dt` taken from `buf` to `dst`.
     ///
     /// Contiguous datatypes take the fast path (no engine, no extra cost —
@@ -240,12 +273,17 @@ impl<'a> Comm<'a> {
         if dt.is_contiguous() {
             return buf[..total].to_vec();
         }
-        let mut engine = self.cfg.engine_kind().build(dt, count, self.cfg.engine.clone());
+        let mut engine = self
+            .cfg
+            .engine_kind()
+            .build(dt, count, self.cfg.engine.clone());
         let mut counts = OpCounts::default();
         let payload = engine
             .pack_all(buf, &mut counts)
             .expect("datatype out of bounds during send");
         self.charge_op_counts(&counts);
+        let name = engine.name();
+        self.record_engine_metrics(name, &counts);
         payload
     }
 
@@ -266,7 +304,13 @@ impl<'a> Comm<'a> {
 
     /// Scatter received wire bytes into the typed receive buffer, charging
     /// unpack costs.
-    pub(crate) fn deliver_recv(&mut self, buf: &mut [u8], dt: &Datatype, count: usize, bytes: &[u8]) {
+    pub(crate) fn deliver_recv(
+        &mut self,
+        buf: &mut [u8],
+        dt: &Datatype,
+        count: usize,
+        bytes: &[u8],
+    ) {
         let total = dt.size() * count;
         assert!(
             bytes.len() <= total,
@@ -286,6 +330,7 @@ impl<'a> Comm<'a> {
             .unpack(buf, bytes)
             .expect("datatype out of bounds during receive");
         self.charge_op_counts(&counts);
+        self.record_engine_metrics("unpack", &counts);
     }
 
     /// Combined send-then-receive (safe under the transport's eager sends).
@@ -330,7 +375,11 @@ pub fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
 
 /// Reinterpret little-endian bytes as f64s. Panics on ragged lengths.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert_eq!(bytes.len() % 8, 0, "byte stream is not a whole number of f64s");
+    assert_eq!(
+        bytes.len() % 8,
+        0,
+        "byte stream is not a whole number of f64s"
+    );
     bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))

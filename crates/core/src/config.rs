@@ -79,8 +79,14 @@ mod tests {
 
     #[test]
     fn flavors_map_to_engines() {
-        assert_eq!(MpiConfig::baseline().engine_kind(), EngineKind::SingleContext);
-        assert_eq!(MpiConfig::optimized().engine_kind(), EngineKind::DualContext);
+        assert_eq!(
+            MpiConfig::baseline().engine_kind(),
+            EngineKind::SingleContext
+        );
+        assert_eq!(
+            MpiConfig::optimized().engine_kind(),
+            EngineKind::DualContext
+        );
     }
 
     #[test]

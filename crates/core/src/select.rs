@@ -102,25 +102,38 @@ pub enum VolumeShape {
 /// a set whose bulk quantile is zero but whose maximum is not is Outliers
 /// (division by zero means "infinitely skewed").
 pub fn detect_outliers(volumes: &[usize], fraction: f64, ratio_threshold: f64) -> VolumeShape {
+    detect_outliers_with_ratio(volumes, fraction, ratio_threshold).0
+}
+
+/// [`detect_outliers`], but also returning the computed max/bulk ratio so
+/// callers can report the evidence behind the verdict. Degenerate cases
+/// report a ratio of `0.0` (too small or all-zero sets) or `f64::INFINITY`
+/// (zero bulk with a nonzero maximum).
+pub fn detect_outliers_with_ratio(
+    volumes: &[usize],
+    fraction: f64,
+    ratio_threshold: f64,
+) -> (VolumeShape, f64) {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     if volumes.len() < 2 {
-        return VolumeShape::Uniform;
+        return (VolumeShape::Uniform, 0.0);
     }
     let mut set: Vec<u64> = volumes.iter().map(|&v| v as u64).collect();
     let n = set.len();
     let max = k_select(&mut set, n - 1);
     if max == 0 {
-        return VolumeShape::Uniform;
+        return (VolumeShape::Uniform, 0.0);
     }
     let k_bulk = (((n as f64) * fraction).ceil() as usize).clamp(1, n) - 1;
     let bulk = k_select(&mut set, k_bulk);
     if bulk == 0 {
-        return VolumeShape::Outliers;
+        return (VolumeShape::Outliers, f64::INFINITY);
     }
-    if max as f64 / bulk as f64 > ratio_threshold {
-        VolumeShape::Outliers
+    let ratio = max as f64 / bulk as f64;
+    if ratio > ratio_threshold {
+        (VolumeShape::Outliers, ratio)
     } else {
-        VolumeShape::Uniform
+        (VolumeShape::Uniform, ratio)
     }
 }
 
@@ -164,7 +177,9 @@ mod tests {
         let mut x = 0x1234_5678u64;
         let v: Vec<u64> = (0..5000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> 33
             })
             .collect();
@@ -219,7 +234,10 @@ mod tests {
 
     #[test]
     fn all_zero_is_uniform() {
-        assert_eq!(detect_outliers(&[0, 0, 0, 0], 0.9, 8.0), VolumeShape::Uniform);
+        assert_eq!(
+            detect_outliers(&[0, 0, 0, 0], 0.9, 8.0),
+            VolumeShape::Uniform
+        );
     }
 
     #[test]
@@ -234,5 +252,29 @@ mod tests {
         vols[0] = 500; // 5x the bulk
         assert_eq!(detect_outliers(&vols, 0.9, 8.0), VolumeShape::Uniform);
         assert_eq!(detect_outliers(&vols, 0.9, 4.0), VolumeShape::Outliers);
+    }
+
+    #[test]
+    fn ratio_is_reported_with_the_verdict() {
+        let mut vols = vec![100usize; 10];
+        vols[0] = 500;
+        let (shape, ratio) = detect_outliers_with_ratio(&vols, 0.9, 4.0);
+        assert_eq!(shape, VolumeShape::Outliers);
+        assert!((ratio - 5.0).abs() < 1e-12, "ratio {ratio}");
+
+        let (shape, ratio) = detect_outliers_with_ratio(&[7, 7, 7, 7], 0.9, 8.0);
+        assert_eq!(shape, VolumeShape::Uniform);
+        assert!((ratio - 1.0).abs() < 1e-12);
+
+        let mut zeros = vec![0usize; 20];
+        zeros[7] = 9;
+        let (shape, ratio) = detect_outliers_with_ratio(&zeros, 0.9, 8.0);
+        assert_eq!(shape, VolumeShape::Outliers);
+        assert!(ratio.is_infinite());
+
+        assert_eq!(
+            detect_outliers_with_ratio(&[], 0.9, 8.0),
+            (VolumeShape::Uniform, 0.0)
+        );
     }
 }

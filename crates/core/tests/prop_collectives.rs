@@ -3,15 +3,15 @@
 //! (nonuniform, sparse, zero-containing) workloads — only their timing may
 //! differ. Selection must match sorting.
 
-use ncd_core::{
-    k_select, AllgathervAlgorithm, AlltoallwSchedule, Comm, MpiConfig, WPeer,
-};
+use ncd_core::{k_select, AllgathervAlgorithm, AlltoallwSchedule, Comm, MpiConfig, WPeer};
 use ncd_datatype::Datatype;
 use ncd_simnet::{Cluster, ClusterConfig};
 use proptest::prelude::*;
 
 fn block(rank: usize, len: usize) -> Vec<u8> {
-    (0..len).map(|i| ((rank * 37 + i * 11) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((rank * 37 + i * 11) % 251) as u8)
+        .collect()
 }
 
 proptest! {

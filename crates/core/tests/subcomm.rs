@@ -124,8 +124,8 @@ fn non_member_with_sub_returns_none() {
 fn world_traffic_does_not_leak_into_groups() {
     let out = with_n(4, |comm| {
         let group = comm.split(0, comm.rank()); // everyone, but new context
-        // Send a world message and a group message with the same tag; the
-        // group receive must get the group payload.
+                                                // Send a world message and a group message with the same tag; the
+                                                // group receive must get the group payload.
         if comm.rank() == 0 {
             comm.send_grp(1, Tag(5), vec![1]); // world context
             comm.with_sub(&group, |sub| sub.send_grp(1, Tag(5), vec![2]));

@@ -189,7 +189,12 @@ impl Datatype {
 
     /// `count` blocks of `blocklen` children, block starts `stride` child
     /// extents apart (MPI_Type_vector).
-    pub fn vector(count: usize, blocklen: usize, stride: i64, child: &Datatype) -> Result<Datatype> {
+    pub fn vector(
+        count: usize,
+        blocklen: usize,
+        stride: i64,
+        child: &Datatype,
+    ) -> Result<Datatype> {
         Self::commit(Kind::Vector {
             count,
             blocklen,
@@ -541,9 +546,7 @@ fn flatten(kind: &Kind, base: i64, sink: &mut Sink) -> Result<()> {
             for d in (0..ndims.saturating_sub(1)).rev() {
                 strides[d] = strides[d + 1] * sizes[d + 1] as i64;
             }
-            subarray_walk(
-                sizes, subsizes, starts, &strides, child, 0, base, sink,
-            )
+            subarray_walk(sizes, subsizes, starts, &strides, child, 0, base, sink)
         }
         Kind::Resized { child, .. } => flatten_committed(child, base, sink),
     }
@@ -643,7 +646,13 @@ mod tests {
         assert_eq!(t.size(), 48);
         assert_eq!(t.num_segments(), 3);
         assert_eq!(t.segments()[1], Segment { offset: 40, len: 8 });
-        assert_eq!(t.segments()[2], Segment { offset: 72, len: 24 });
+        assert_eq!(
+            t.segments()[2],
+            Segment {
+                offset: 72,
+                len: 24
+            }
+        );
     }
 
     #[test]
@@ -768,7 +777,13 @@ mod tests {
         // +0 segment of the next, so they coalesce: (0,8) (16,16) (40,16)
         // (64,8).
         assert_eq!(outer.num_segments(), 4);
-        assert_eq!(outer.segments()[1], Segment { offset: 16, len: 16 });
+        assert_eq!(
+            outer.segments()[1],
+            Segment {
+                offset: 16,
+                len: 16
+            }
+        );
     }
 
     #[test]
@@ -786,7 +801,12 @@ mod tests {
         let elem = Datatype::contiguous(3, &Datatype::double()).unwrap();
         let col = Datatype::vector(8, 1, 8, &elem).unwrap();
         assert_eq!(col.avg_segment_len(), 24);
-        assert_eq!(Datatype::contiguous(0, &Datatype::double()).unwrap().avg_segment_len(), 0);
+        assert_eq!(
+            Datatype::contiguous(0, &Datatype::double())
+                .unwrap()
+                .avg_segment_len(),
+            0
+        );
     }
 
     #[test]

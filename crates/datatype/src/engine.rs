@@ -67,6 +67,10 @@ pub struct OpCounts {
     pub direct_segments: u64,
     /// Bytes shipped directly.
     pub direct_bytes: u64,
+    /// Pipeline blocks that went through the intermediate-copy path.
+    pub packed_blocks: u64,
+    /// Pipeline blocks shipped directly from user memory.
+    pub direct_blocks: u64,
 }
 
 impl OpCounts {
@@ -77,6 +81,8 @@ impl OpCounts {
         self.packed_bytes += o.packed_bytes;
         self.direct_segments += o.direct_segments;
         self.direct_bytes += o.direct_bytes;
+        self.packed_blocks += o.packed_blocks;
+        self.direct_blocks += o.direct_blocks;
     }
 
     pub fn total_bytes(&self) -> u64 {
@@ -181,8 +187,7 @@ impl PackEngine for SingleContextEngine {
         // ranges seen (they double as the iovec in the dense case).
         let mut window = Vec::with_capacity(self.params.lookahead_segments);
         let mut window_bytes = 0usize;
-        while window.len() < self.params.lookahead_segments
-            && window_bytes < self.params.block_size
+        while window.len() < self.params.lookahead_segments && window_bytes < self.params.block_size
         {
             match self
                 .cursor
@@ -205,6 +210,7 @@ impl PackEngine for SingleContextEngine {
                 gather(src, &window, &mut data)?;
                 counts.direct_segments += window.len() as u64;
                 counts.direct_bytes += window_bytes as u64;
+                counts.direct_blocks += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Direct,
@@ -232,6 +238,7 @@ impl PackEngine for SingleContextEngine {
                 }
                 counts.packed_segments += segs;
                 counts.packed_bytes += packed as u64;
+                counts.packed_blocks += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Packed,
@@ -294,6 +301,7 @@ impl PackEngine for DualContextEngine {
                 }
                 counts.direct_segments += segs;
                 counts.direct_bytes += shipped as u64;
+                counts.direct_blocks += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Direct,
@@ -317,6 +325,7 @@ impl PackEngine for DualContextEngine {
                 }
                 counts.packed_segments += segs;
                 counts.packed_bytes += packed as u64;
+                counts.packed_blocks += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Packed,
@@ -497,6 +506,7 @@ mod tests {
             assert_eq!(c.packed_bytes, 0, "{}: dense must not copy", e.name());
             assert_eq!(c.direct_bytes, 8 * 4096);
             assert_eq!(c.searched_segments, 0, "{}: dense never searches", e.name());
+            assert!(c.direct_blocks > 0 && c.packed_blocks == 0);
         }
     }
 
@@ -517,6 +527,8 @@ mod tests {
         }
         assert_eq!(blocks.len(), 3); // 192 bytes / 64
         assert!(blocks.iter().all(|b| b.mode == BlockMode::Packed));
+        assert_eq!(counts.packed_blocks, 3);
+        assert_eq!(counts.direct_blocks, 0);
     }
 
     #[test]
@@ -560,7 +572,9 @@ mod tests {
         let packed = naive_pack(&m, &col, 1);
 
         let mut at_once = vec![0u8; m.len()];
-        Unpacker::new(&col, 1).unpack(&mut at_once, &packed).unwrap();
+        Unpacker::new(&col, 1)
+            .unpack(&mut at_once, &packed)
+            .unwrap();
 
         let mut pieces = vec![0u8; m.len()];
         let mut u = Unpacker::new(&col, 1);

@@ -34,11 +34,7 @@ fn all_block_sizes_produce_the_same_stream() {
                 let (b, cb) = stream(&mut DualContextEngine::new(&col, 32, params), &src);
                 assert_eq!(a, reference, "single bs={block_size} la={lookahead}");
                 assert_eq!(b, reference, "dual bs={block_size} la={lookahead}");
-                assert_eq!(
-                    ca.total_bytes(),
-                    cb.total_bytes(),
-                    "bytes moved must agree"
-                );
+                assert_eq!(ca.total_bytes(), cb.total_bytes(), "bytes moved must agree");
                 assert_eq!(cb.searched_segments, 0, "dual never searches");
             }
         }

@@ -32,8 +32,11 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                 // stride >= blocklen keeps blocks disjoint (MPI receive-safe).
                 Datatype::vector(c, b, b as i64 + extra, &t).expect("vector")
             }),
-            (proptest::collection::vec((0i64..12, 1usize..3), 1..4), inner.clone()).prop_map(
-                |(mut blocks, t)| {
+            (
+                proptest::collection::vec((0i64..12, 1usize..3), 1..4),
+                inner.clone()
+            )
+                .prop_map(|(mut blocks, t)| {
                     // Disjoint ascending blocks.
                     blocks.sort();
                     let mut disp = 0i64;
@@ -42,8 +45,7 @@ fn arb_datatype() -> impl Strategy<Value = Datatype> {
                         disp = *d + *len as i64;
                     }
                     Datatype::indexed(&blocks, &t).expect("indexed")
-                }
-            ),
+                }),
             (0i64..4, inner.clone()).prop_map(|(pad, t)| {
                 let extent = t.extent().max(0) + pad;
                 Datatype::resized(t.lb(), extent, &t).expect("resized")
@@ -65,7 +67,11 @@ fn naive_pack(dt: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
 /// Buffer big enough for `count` replicas of `dt` with arbitrary content.
 fn buffer_for(dt: &Datatype, count: usize) -> Vec<u8> {
     let span = (dt.extent().unsigned_abs() as usize) * count
-        + dt.segments().iter().map(|s| s.end().max(0) as usize).max().unwrap_or(0)
+        + dt.segments()
+            .iter()
+            .map(|s| s.end().max(0) as usize)
+            .max()
+            .unwrap_or(0)
         + 64;
     (0..span).map(|i| (i % 251) as u8).collect()
 }

@@ -24,9 +24,9 @@ use std::sync::Arc;
 
 use ncd_core::Comm;
 
+use crate::is::IndexSet;
 use crate::layout::Layout;
 use crate::scatter::{ScatterBackend, VecScatter};
-use crate::is::IndexSet;
 use crate::vec::PVec;
 
 /// Discretization stencil shape (paper Figure 3).
@@ -423,8 +423,13 @@ impl DistributedArray {
         global: &mut PVec,
         backend: ScatterBackend,
     ) {
-        self.ghost_scatter
-            .apply_reverse(comm, local, global, backend, crate::scatter::InsertMode::Add);
+        self.ghost_scatter.apply_reverse(
+            comm,
+            local,
+            global,
+            backend,
+            crate::scatter::InsertMode::Add,
+        );
     }
 
     /// Extract the owned values from a local form back into the global
@@ -448,8 +453,7 @@ impl DistributedArray {
     pub fn owned_points(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
         let (s, l) = (self.own_start, self.own_len);
         (s[2]..s[2] + l[2]).flat_map(move |k| {
-            (s[1]..s[1] + l[1])
-                .flat_map(move |j| (s[0]..s[0] + l[0]).map(move |i| [i, j, k]))
+            (s[1]..s[1] + l[1]).flat_map(move |j| (s[0]..s[0] + l[0]).map(move |i| [i, j, k]))
         })
     }
 }
@@ -692,6 +696,9 @@ mod add_tests {
                 g.local().to_vec()
             })
         };
-        assert_eq!(run(ScatterBackend::HandTuned), run(ScatterBackend::Datatype));
+        assert_eq!(
+            run(ScatterBackend::HandTuned),
+            run(ScatterBackend::Datatype)
+        );
     }
 }

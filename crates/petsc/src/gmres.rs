@@ -217,7 +217,15 @@ mod tests {
                 let mut b = PVec::zeros(layout.clone(), comm.rank());
                 b.set_all(1.0);
                 let mut x = PVec::zeros(layout, comm.rank());
-                let res = gmres(comm, &a, &IdentityPc, 30, &b, &mut x, &KspSettings::default());
+                let res = gmres(
+                    comm,
+                    &a,
+                    &IdentityPc,
+                    30,
+                    &b,
+                    &mut x,
+                    &KspSettings::default(),
+                );
                 check(comm, &a, &x, &b, 1e-6);
                 res
             });
@@ -267,14 +275,25 @@ mod tests {
             let mut b = PVec::zeros(layout.clone(), comm.rank());
             b.set_all(1.0);
             let mut x1 = PVec::zeros(layout.clone(), comm.rank());
-            let plain = gmres(comm, &a, &IdentityPc, 30, &b, &mut x1, &KspSettings::default());
+            let plain = gmres(
+                comm,
+                &a,
+                &IdentityPc,
+                30,
+                &b,
+                &mut x1,
+                &KspSettings::default(),
+            );
             let mut x2 = PVec::zeros(layout, comm.rank());
             let jac = gmres(comm, &a, &pc, 30, &b, &mut x2, &KspSettings::default());
             check(comm, &a, &x2, &b, 1e-5);
             (plain.iterations, jac.iterations)
         });
         let (plain, jac) = out[0];
-        assert!(jac <= plain, "Jacobi ({jac}) should not be slower ({plain})");
+        assert!(
+            jac <= plain,
+            "Jacobi ({jac}) should not be slower ({plain})"
+        );
     }
 
     #[test]
@@ -284,7 +303,15 @@ mod tests {
             let layout = a.row_layout().clone();
             let b = PVec::zeros(layout.clone(), comm.rank());
             let mut x = PVec::zeros(layout, comm.rank());
-            gmres(comm, &a, &IdentityPc, 10, &b, &mut x, &KspSettings::default())
+            gmres(
+                comm,
+                &a,
+                &IdentityPc,
+                10,
+                &b,
+                &mut x,
+                &KspSettings::default(),
+            )
         });
         assert!(out[0].converged);
         assert_eq!(out[0].iterations, 0);

@@ -72,12 +72,7 @@ impl JacobiPc {
 impl Preconditioner for JacobiPc {
     fn apply(&self, comm: &mut Comm, r: &PVec, z: &mut PVec, _backend: ScatterBackend) {
         assert_eq!(r.local_size(), self.inv_diag.len(), "Jacobi size mismatch");
-        for ((zi, ri), di) in z
-            .local_mut()
-            .iter_mut()
-            .zip(r.local())
-            .zip(&self.inv_diag)
-        {
+        for ((zi, ri), di) in z.local_mut().iter_mut().zip(r.local()).zip(&self.inv_diag) {
             *zi = ri * di;
         }
         comm.rank_mut().compute_flops(self.inv_diag.len() as u64);
@@ -369,14 +364,7 @@ mod tests {
                 let mut b = PVec::zeros(layout.clone(), comm.rank());
                 b.set_all(1.0);
                 let mut x = PVec::zeros(layout, comm.rank());
-                let res = cg(
-                    comm,
-                    &a,
-                    &IdentityPc,
-                    &b,
-                    &mut x,
-                    &KspSettings::default(),
-                );
+                let res = cg(comm, &a, &IdentityPc, &b, &mut x, &KspSettings::default());
                 check_solution(comm, &a, &x, &b, 1e-6);
                 res
             });

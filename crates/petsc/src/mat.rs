@@ -74,8 +74,14 @@ impl AijMat {
     /// Add `v` to entry (grow, gcol). Any rank may contribute to any row.
     pub fn add_value(&mut self, grow: usize, gcol: usize, v: f64) {
         assert!(!self.assembled, "matrix already assembled");
-        assert!(grow < self.row_layout.global_size(), "row {grow} out of range");
-        assert!(gcol < self.col_layout.global_size(), "col {gcol} out of range");
+        assert!(
+            grow < self.row_layout.global_size(),
+            "row {grow} out of range"
+        );
+        assert!(
+            gcol < self.col_layout.global_size(),
+            "col {gcol} out of range"
+        );
         self.pending.push((grow, gcol, v));
     }
 
@@ -118,7 +124,9 @@ impl AijMat {
                 continue;
             }
             let n = u64::from_le_bytes(
-                recv_counts[peer * 8..peer * 8 + 8].try_into().expect("8 bytes"),
+                recv_counts[peer * 8..peer * 8 + 8]
+                    .try_into()
+                    .expect("8 bytes"),
             );
             if n == 0 {
                 continue;
@@ -180,8 +188,7 @@ impl AijMat {
             .collect();
 
         // Build the ghost gather plan (collective).
-        let (plan, buf_layout) =
-            VecScatter::gather_plan(comm, self.col_layout.clone(), &ghost_set);
+        let (plan, buf_layout) = VecScatter::gather_plan(comm, self.col_layout.clone(), &ghost_set);
 
         self.row_ptr = row_ptr;
         self.cols = cols;
@@ -249,7 +256,6 @@ impl AijMat {
         d
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -392,7 +398,11 @@ mod tests {
             }
             a.assemble(comm);
             let (cs, ce) = cols.range(comm.rank());
-            let x = PVec::from_local(cols.clone(), comm.rank(), (cs..ce).map(|g| g as f64).collect());
+            let x = PVec::from_local(
+                cols.clone(),
+                comm.rank(),
+                (cs..ce).map(|g| g as f64).collect(),
+            );
             let mut y = PVec::zeros(rows, comm.rank());
             a.mat_mult(comm, &x, &mut y, ScatterBackend::HandTuned);
             y.local().to_vec()

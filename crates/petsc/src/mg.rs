@@ -386,10 +386,25 @@ impl Multigrid {
     }
 
     /// Recursive V-cycle on level `lev`: improve `x` for `A_lev x = b`.
+    ///
+    /// Each level runs inside a `mg_vcycle_l<lev>` profiling stage, with
+    /// nested `smooth`/`residual`/`restrict`/`interp`/`coarse_solve`
+    /// stages, so a `-log_view`-style report shows where V-cycle time goes
+    /// per level.
     pub fn vcycle(&self, comm: &mut Comm, lev: usize, b: &PVec, x: &mut PVec) {
+        let stage = format!("mg_vcycle_l{lev}");
+        comm.rank_mut().stage_begin(&stage);
+        comm.rank_mut()
+            .metric_counter_add("mg", "vcycle", &stage[10..], 1);
+        self.vcycle_inner(comm, lev, b, x);
+        comm.rank_mut().stage_end(&stage);
+    }
+
+    fn vcycle_inner(&self, comm: &mut Comm, lev: usize, b: &PVec, x: &mut PVec) {
         let level = &self.levels[lev];
         if lev == self.levels.len() - 1 {
             // Coarse solve: CG to a loose tolerance.
+            comm.rank_mut().stage_begin("coarse_solve");
             let op = LaplacianOp::new(&level.da, level.h);
             let settings = KspSettings {
                 rtol: self.coarse_rtol,
@@ -398,26 +413,37 @@ impl Multigrid {
                 ..Default::default()
             };
             cg(comm, &op, &IdentityPc, b, x, &settings);
+            comm.rank_mut().stage_end("coarse_solve");
             return;
         }
         for _ in 0..self.nu_pre {
+            comm.rank_mut().stage_begin("smooth");
             self.smooth(comm, lev, b, x);
+            comm.rank_mut().stage_end("smooth");
         }
         // r = b - A x
+        comm.rank_mut().stage_begin("residual");
         let op = LaplacianOp::new(&level.da, level.h);
         let mut r = PVec::zeros(level.da.global_layout().clone(), self.rank);
         op.apply(comm, x, &mut r, self.backend);
         r.scale(comm, -1.0);
         r.axpy(comm, 1.0, b);
+        comm.rank_mut().stage_end("residual");
         // Coarse correction.
         let coarse_da = &self.levels[lev + 1].da;
         let mut cb = PVec::zeros(coarse_da.global_layout().clone(), self.rank);
+        comm.rank_mut().stage_begin("restrict");
         self.restrict(comm, lev, &r, &mut cb);
+        comm.rank_mut().stage_end("restrict");
         let mut cx = PVec::zeros(coarse_da.global_layout().clone(), self.rank);
         self.vcycle(comm, lev + 1, &cb, &mut cx);
+        comm.rank_mut().stage_begin("interp");
         self.interp_add(comm, lev, &cx, x);
+        comm.rank_mut().stage_end("interp");
         for _ in 0..self.nu_post {
+            comm.rank_mut().stage_begin("smooth");
             self.smooth(comm, lev, b, x);
+            comm.rank_mut().stage_end("smooth");
         }
     }
 }
@@ -678,7 +704,10 @@ mod tests {
             (res.converged, res.iterations, x.sum(comm))
         });
         let (conv, iters, sum) = out[0];
-        assert!(conv, "MG-Richardson failed to converge in {iters} iterations");
+        assert!(
+            conv,
+            "MG-Richardson failed to converge in {iters} iterations"
+        );
         assert!(iters < 60);
         // The solution of -∇²u = 1 with zero BCs is positive everywhere.
         assert!(sum > 0.0);

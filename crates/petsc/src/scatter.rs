@@ -38,6 +38,16 @@ pub enum ScatterBackend {
     Datatype,
 }
 
+impl ScatterBackend {
+    /// Stable lowercase name used as the metric algorithm label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScatterBackend::HandTuned => "hand_tuned",
+            ScatterBackend::Datatype => "datatype",
+        }
+    }
+}
+
 const SETUP_PAIRS_TAG: Tag = Tag(0x4000_0001);
 const SETUP_DSTS_TAG: Tag = Tag(0x4000_0002);
 const DATA_TAG: Tag = Tag(0x4000_0010);
@@ -121,7 +131,10 @@ impl VecScatter {
         // Build the destination layout from everyone's request count.
         let mut counts = vec![0u8; 8 * comm.size()];
         comm.allgather(&(needed.len() as u64).to_le_bytes(), &mut counts);
-        let sizes: Vec<usize> = bytes_to_u64s(&counts).into_iter().map(|c| c as usize).collect();
+        let sizes: Vec<usize> = bytes_to_u64s(&counts)
+            .into_iter()
+            .map(|c| c as usize)
+            .collect();
         let dst_layout = Layout::from_local_sizes(&sizes);
         let (base, _) = dst_layout.range(comm.rank());
         let dst: Vec<usize> = (0..needed.len()).map(|i| base + i).collect();
@@ -234,7 +247,8 @@ impl VecScatter {
         // Phase 4: prebuild the alltoallw slots (the Datatype backend's
         // plan). The self slot carries the purely local pairs.
         let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty type");
-        let mut send_types: Vec<WPeer> = (0..size).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+        let mut send_types: Vec<WPeer> =
+            (0..size).map(|_| WPeer::new(0, 0, empty.clone())).collect();
         let mut recv_types = send_types.clone();
         for s in &sends {
             let dt = hindexed_from_f64_indices(&s.src_offsets).expect("send datatype");
@@ -247,8 +261,16 @@ impl VecScatter {
         if !local_pairs.is_empty() {
             let src_off: Vec<usize> = local_pairs.iter().map(|&(s, _)| s).collect();
             let dst_off: Vec<usize> = local_pairs.iter().map(|&(_, d)| d).collect();
-            send_types[rank] = WPeer::new(0, 1, hindexed_from_f64_indices(&src_off).expect("self send type"));
-            recv_types[rank] = WPeer::new(0, 1, hindexed_from_f64_indices(&dst_off).expect("self recv type"));
+            send_types[rank] = WPeer::new(
+                0,
+                1,
+                hindexed_from_f64_indices(&src_off).expect("self send type"),
+            );
+            recv_types[rank] = WPeer::new(
+                0,
+                1,
+                hindexed_from_f64_indices(&dst_off).expect("self recv type"),
+            );
         }
         let local_runs = count_runs(&local_pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>());
 
@@ -288,10 +310,26 @@ impl VecScatter {
     pub fn apply(&self, comm: &mut Comm, x: &PVec, y: &mut PVec, backend: ScatterBackend) {
         assert_eq!(x.layout(), &self.src_layout, "x layout mismatch");
         assert_eq!(y.layout(), &self.dst_layout, "y layout mismatch");
+        if comm.rank_ref().metrics().is_enabled() {
+            let label = backend.label();
+            let bytes = 8 * (self.remote_send_elems() + self.local_elems());
+            comm.rank_mut()
+                .metric_counter_add("scatter", "apply", label, 1);
+            comm.rank_mut()
+                .metric_observe("scatter", "bytes", label, bytes as u64);
+            comm.rank_mut().metric_counter_add(
+                "scatter",
+                "neighbors",
+                label,
+                self.num_neighbors() as u64,
+            );
+        }
+        comm.rank_mut().stage_begin("scatter_apply");
         match backend {
             ScatterBackend::HandTuned => self.apply_hand_tuned(comm, x, y),
             ScatterBackend::Datatype => self.apply_datatype(comm, x, y),
         }
+        comm.rank_mut().stage_end("scatter_apply");
     }
 
     fn apply_hand_tuned(&self, comm: &mut Comm, x: &PVec, y: &mut PVec) {
@@ -533,13 +571,7 @@ mod tests {
                 let (s, e) = layout.range(comm.rank());
                 let src = IndexSet::stride(s, 1, e - s);
                 let dst = IndexSet::general((s..e).map(|g| perm(g, n)).collect::<Vec<_>>());
-                let plan = VecScatter::create(
-                    comm,
-                    layout.clone(),
-                    &src,
-                    layout.clone(),
-                    &dst,
-                );
+                let plan = VecScatter::create(comm, layout.clone(), &src, layout.clone(), &dst);
                 plan.apply(comm, &x, &mut y, backend);
                 y.local().to_vec()
             });
@@ -550,7 +582,8 @@ mod tests {
             }
             for g in 0..n {
                 assert_eq!(
-                    y_global[perm(g, n)], g as f64,
+                    y_global[perm(g, n)],
+                    g as f64,
                     "{backend:?} n_ranks={n_ranks} g={g}"
                 );
             }
@@ -707,7 +740,13 @@ mod reverse_tests {
             let mut y = PVec::zeros(layout.clone(), comm.rank());
             plan.apply(comm, &x, &mut y, ScatterBackend::HandTuned);
             let mut x2 = PVec::zeros(layout, comm.rank());
-            plan.apply_reverse(comm, &y, &mut x2, ScatterBackend::HandTuned, InsertMode::Insert);
+            plan.apply_reverse(
+                comm,
+                &y,
+                &mut x2,
+                ScatterBackend::HandTuned,
+                InsertMode::Insert,
+            );
             // The permutation is total, so the reverse restores x exactly.
             assert_eq!(x.local(), x2.local());
             true
@@ -778,7 +817,13 @@ mod reverse_tests {
                 (s..e).map(|g| (g * g) as f64).collect(),
             );
             let mut x_rev = PVec::zeros(layout.clone(), comm.rank());
-            plan.apply_reverse(comm, &y, &mut x_rev, ScatterBackend::HandTuned, InsertMode::Insert);
+            plan.apply_reverse(
+                comm,
+                &y,
+                &mut x_rev,
+                ScatterBackend::HandTuned,
+                InsertMode::Insert,
+            );
 
             // Inverse plan: src = perm(g), dst = g.
             let inv_src = IndexSet::general((s..e).map(|g| (g * 7 + 3) % n).collect::<Vec<_>>());

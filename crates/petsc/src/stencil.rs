@@ -53,7 +53,11 @@ impl<'a> StencilOp<'a> {
                     e.offset
                 );
                 if d >= da.ndim() {
-                    assert_eq!(e.offset[d], 0, "offset {:?} uses unused dimension {d}", e.offset);
+                    assert_eq!(
+                        e.offset[d], 0,
+                        "offset {:?} uses unused dimension {d}",
+                        e.offset
+                    );
                 }
             }
             if nonzero_dims > 1 {
@@ -92,7 +96,11 @@ impl<'a> StencilOp<'a> {
         for dk in -1i64..=1 {
             for dj in -1i64..=1 {
                 for di in -1i64..=1 {
-                    let w = if di == 0 && dj == 0 && dk == 0 { centre } else { 1.0 };
+                    let w = if di == 0 && dj == 0 && dk == 0 {
+                        centre
+                    } else {
+                        1.0
+                    };
                     entries.push(StencilEntry::new([di, dj, dk], w));
                     total += w;
                 }

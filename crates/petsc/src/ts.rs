@@ -210,10 +210,7 @@ mod tests {
             let reference = run(comm, TsScheme::Rk4, coarse_steps * 20);
             let euler = run(comm, TsScheme::Euler, coarse_steps);
             let rk4 = run(comm, TsScheme::Rk4, coarse_steps);
-            (
-                (euler - reference).abs(),
-                (rk4 - reference).abs(),
-            )
+            ((euler - reference).abs(), (rk4 - reference).abs())
         });
         let (err_euler, err_rk4) = out[0];
         assert!(
@@ -246,7 +243,11 @@ mod tests {
             );
             u.norm_inf(comm)
         });
-        assert!(out[0] > 1e3, "explicit Euler above CFL must blow up: {}", out[0]);
+        assert!(
+            out[0] > 1e3,
+            "explicit Euler above CFL must blow up: {}",
+            out[0]
+        );
     }
 
     #[test]

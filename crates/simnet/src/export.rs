@@ -1,0 +1,312 @@
+//! Machine-readable exports: Chrome trace-event JSON for per-rank
+//! timelines, plus JSON snapshots of the metrics registry and profiler.
+//!
+//! The trace output follows the Chrome trace-event format (the JSON array
+//! flavour inside a `traceEvents` object) and loads directly into
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev): one *thread*
+//! per rank, complete (`"X"`) events for sends/receives/profiling spans,
+//! instant (`"i"`) events for marks and collective rounds. Timestamps are
+//! microseconds of simulated time with nanosecond precision.
+//!
+//! Everything here is hand-rolled string building — no serde — with a
+//! fixed field order (`name, cat, ph, ts, dur, pid, tid, s, args`) so the
+//! output is byte-stable and golden-testable.
+
+use crate::metrics::MetricsRegistry;
+use crate::profile::Profiler;
+use crate::time::SimTime;
+use crate::trace::{EventKind, TraceEvent};
+
+/// Escape a string for inclusion in a JSON string literal (quotes not
+/// included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Simulated time as a Chrome-trace timestamp: microseconds with
+/// nanosecond (3-decimal) precision.
+fn ts(t: SimTime) -> String {
+    format!("{}.{:03}", t.as_ns() / 1_000, t.as_ns() % 1_000)
+}
+
+fn complete_event(
+    out: &mut String,
+    name: &str,
+    cat: &str,
+    start: SimTime,
+    end: SimTime,
+    rank: usize,
+    args: &str,
+) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{rank}",
+        json_escape(name),
+        ts(start),
+        ts(end.saturating_sub(start)),
+    ));
+    if !args.is_empty() {
+        out.push_str(&format!(",\"args\":{{{args}}}"));
+    }
+    out.push('}');
+}
+
+fn instant_event(out: &mut String, name: &str, cat: &str, at: SimTime, rank: usize) {
+    // "s":"t" scopes the instant to its thread (rank) lane.
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{rank},\"s\":\"t\"}}",
+        json_escape(name),
+        ts(at),
+    ));
+}
+
+/// Serialize per-rank traces (indexed by rank, as returned by
+/// [`crate::Cluster::run`] collecting [`crate::Rank::take_trace`]) into
+/// Chrome trace-event JSON.
+pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    // Metadata: name the process and one thread per rank, so the viewer
+    // shows "rank N" lanes in order.
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"simnet\"}}",
+    );
+    for rank in 0..traces.len() {
+        out.push_str(&format!(
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"args\":{{\"name\":\"rank {rank}\"}}}}"
+        ));
+    }
+    for (rank, events) in traces.iter().enumerate() {
+        for e in events {
+            out.push(',');
+            match &e.kind {
+                EventKind::Send { dst, bytes } => complete_event(
+                    &mut out,
+                    &format!("send to {dst}"),
+                    "comm",
+                    e.start,
+                    e.end,
+                    rank,
+                    &format!("\"dst\":{dst},\"bytes\":{bytes}"),
+                ),
+                EventKind::Recv { src, bytes } => complete_event(
+                    &mut out,
+                    &format!("recv from {src}"),
+                    "comm",
+                    e.start,
+                    e.end,
+                    rank,
+                    &format!("\"src\":{src},\"bytes\":{bytes}"),
+                ),
+                EventKind::Span { name } => {
+                    complete_event(&mut out, name, "stage", e.start, e.end, rank, "")
+                }
+                EventKind::Mark { label } => instant_event(&mut out, label, "mark", e.start, rank),
+                EventKind::Round { op, round } => instant_event(
+                    &mut out,
+                    &format!("{op} round {round}"),
+                    "round",
+                    e.start,
+                    rank,
+                ),
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Write [`chrome_trace_json`] output to `path` (creating parent
+/// directories).
+pub fn write_chrome_trace(
+    path: impl AsRef<std::path::Path>,
+    traces: &[Vec<TraceEvent>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, chrome_trace_json(traces))
+}
+
+/// JSON snapshot of a metrics registry: counters, gauges, and histograms
+/// with count/sum/min/max, p50/p90/p99, and the non-empty log₂ buckets as
+/// `[upper_bound, count]` pairs.
+pub fn metrics_json(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"counters\":[");
+    for (i, (k, v)) in reg.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"value\":{v}}}",
+            json_escape(&k.path())
+        ));
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, (k, v)) in reg.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"value\":{v}}}",
+            json_escape(&k.path())
+        ));
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, (k, h)) in reg.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            json_escape(&k.path()),
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+        ));
+        for (j, (bound, count)) in h.nonzero_buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{bound},{count}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON snapshot of a profiler's accumulated stages.
+pub fn profile_json(p: &Profiler) -> String {
+    let mut out = String::from("[");
+    for (i, (path, s)) in p.stages().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"stage\":\"{}\",\"count\":{},\"inclusive_ns\":{},\"exclusive_ns\":{}}}",
+            json_escape(path),
+            s.count,
+            s.inclusive.as_ns(),
+            s.exclusive.as_ns(),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t"), "x\\n\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn ts_is_us_with_ns_precision() {
+        assert_eq!(ts(SimTime(0)), "0.000");
+        assert_eq!(ts(SimTime(1)), "0.001");
+        assert_eq!(ts(SimTime(1_234)), "1.234");
+        assert_eq!(ts(SimTime(5_000_042)), "5000.042");
+    }
+
+    #[test]
+    fn empty_trace_has_only_metadata() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}"));
+        assert!(json.contains("process_name"));
+        assert!(!json.contains("thread_name"));
+    }
+
+    #[test]
+    fn every_kind_serializes() {
+        let events = vec![
+            TraceEvent {
+                kind: EventKind::Send { dst: 1, bytes: 64 },
+                start: SimTime(0),
+                end: SimTime(1_000),
+            },
+            TraceEvent {
+                kind: EventKind::Recv { src: 1, bytes: 64 },
+                start: SimTime(1_000),
+                end: SimTime(2_000),
+            },
+            TraceEvent {
+                kind: EventKind::Mark {
+                    label: "phase".to_string(),
+                },
+                start: SimTime(2_000),
+                end: SimTime(2_000),
+            },
+            TraceEvent {
+                kind: EventKind::Span {
+                    name: "solve/smooth".to_string(),
+                },
+                start: SimTime(0),
+                end: SimTime(2_000),
+            },
+            TraceEvent {
+                kind: EventKind::Round {
+                    op: "allgatherv/ring".to_string(),
+                    round: 3,
+                },
+                start: SimTime(500),
+                end: SimTime(500),
+            },
+        ];
+        let json = chrome_trace_json(&[events]);
+        assert!(json.contains("\"name\":\"send to 1\""));
+        assert!(json.contains("\"name\":\"recv from 1\""));
+        assert!(json.contains("\"name\":\"phase\""));
+        assert!(json.contains("\"name\":\"solve/smooth\""));
+        assert!(json.contains("\"name\":\"allgatherv/ring round 3\""));
+        assert!(json.contains("\"tid\":0"));
+        assert!(json.contains("\"dur\":1.000"));
+    }
+
+    #[test]
+    fn metrics_json_lists_all_families() {
+        let mut r = MetricsRegistry::enabled();
+        r.counter_add("a", "b", "c", 3);
+        r.gauge_set("g", "h", "", 1.5);
+        r.observe("x", "y", "z", 100);
+        let json = metrics_json(&r);
+        assert!(json.contains("\"key\":\"a/b/c\",\"value\":3"));
+        assert!(json.contains("\"key\":\"g/h\",\"value\":1.5"));
+        assert!(json.contains("\"key\":\"x/y/z\",\"count\":1"));
+        assert!(json.contains("\"buckets\":[[127,1]]"));
+    }
+
+    #[test]
+    fn profile_json_lists_stages() {
+        let mut p = Profiler::enabled();
+        p.begin("solve", SimTime(0));
+        p.end("solve", SimTime(100));
+        let json = profile_json(&p);
+        assert_eq!(
+            json,
+            "[{\"stage\":\"solve\",\"count\":1,\"inclusive_ns\":100,\"exclusive_ns\":100}]"
+        );
+    }
+}

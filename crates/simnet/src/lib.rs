@@ -42,13 +42,19 @@
 //! assert!(times[1] > times[0]); // the receiver waited for the wire
 //! ```
 
+pub mod export;
 pub mod mailbox;
+pub mod metrics;
+pub mod profile;
 pub mod runtime;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use export::{chrome_trace_json, metrics_json, profile_json, write_chrome_trace};
 pub use mailbox::{NetMsg, Tag, ANY_TAG};
+pub use metrics::{Histogram, MetricKey, MetricsRegistry};
+pub use profile::{Profiler, StageStats};
 pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
 pub use stats::{CostKind, Stats};
 pub use time::{CostModel, SimTime};

@@ -1,0 +1,478 @@
+//! Per-rank metrics registry: named counters, gauges and log₂-bucketed
+//! histograms keyed by `(subsystem, op, algorithm)`.
+//!
+//! The flat [`crate::Stats`] struct answers "where did the lifetime total
+//! go"; this registry answers the distribution questions the datatype
+//! literature demands (per-operation, per-size, per-algorithm): is
+//! `allgatherv/ring` slower than `allgatherv/recursive_doubling` *for this
+//! volume shape*, what is the p99 packed-block size, how often did the
+//! outlier detector fire. Registries are per rank (no locks — each rank is
+//! a thread that owns its own) and [`MetricsRegistry::merge`]able into a
+//! cluster-wide view after the run.
+//!
+//! Recording is gated on an `enabled` flag that defaults to off; a disabled
+//! registry performs no allocation and no map lookups, so instrumented hot
+//! paths cost one branch — the same contract as [`crate::trace`].
+
+use std::collections::BTreeMap;
+
+/// Identifies one metric stream. `algorithm` distinguishes competing
+/// implementations of the same operation (`ring` vs `recursive_doubling`,
+/// `single-context` vs `dual-context`); leave it empty when there is only
+/// one.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    pub subsystem: String,
+    pub op: String,
+    pub algorithm: String,
+}
+
+impl MetricKey {
+    pub fn new(subsystem: &str, op: &str, algorithm: &str) -> Self {
+        MetricKey {
+            subsystem: subsystem.to_string(),
+            op: op.to_string(),
+            algorithm: algorithm.to_string(),
+        }
+    }
+
+    /// `subsystem/op` or `subsystem/op/algorithm` — the display form.
+    pub fn path(&self) -> String {
+        if self.algorithm.is_empty() {
+            format!("{}/{}", self.subsystem, self.op)
+        } else {
+            format!("{}/{}/{}", self.subsystem, self.op, self.algorithm)
+        }
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i` (1..=64)
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index of a value: 0 for 0, otherwise its bit length.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` — the value a quantile query
+/// reports for samples landing in that bucket.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in ns, sizes in
+/// bytes, counts). Constant memory, exact count/sum/min/max, quantiles
+/// resolved to the bucket's upper bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value (0 on an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value below which a fraction `q` (in `[0, 1]`) of the samples
+    /// fall, resolved to the containing bucket's upper bound. Returns 0 on
+    /// an empty histogram. Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the sample the quantile refers to (1-based, ceil — the
+        // "nearest rank" definition, exact for q=1.0).
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, for export.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bound(i), c))
+    }
+}
+
+/// Per-rank registry of named metrics; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// A disabled registry: every record call is a no-op.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An enabled registry (used by tests and merge targets).
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `delta` to a counter (creating it at zero).
+    pub fn counter_add(&mut self, subsystem: &str, op: &str, algorithm: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self
+            .counters
+            .entry(MetricKey::new(subsystem, op, algorithm))
+            .or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest observed value.
+    pub fn gauge_set(&mut self, subsystem: &str, op: &str, algorithm: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges
+            .insert(MetricKey::new(subsystem, op, algorithm), value);
+    }
+
+    /// Record one sample into a histogram (creating it empty).
+    pub fn observe(&mut self, subsystem: &str, op: &str, algorithm: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(MetricKey::new(subsystem, op, algorithm))
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, subsystem: &str, op: &str, algorithm: &str) -> u64 {
+        self.counters
+            .get(&MetricKey::new(subsystem, op, algorithm))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Latest value of a gauge, if ever set.
+    pub fn gauge(&self, subsystem: &str, op: &str, algorithm: &str) -> Option<f64> {
+        self.gauges
+            .get(&MetricKey::new(subsystem, op, algorithm))
+            .copied()
+    }
+
+    /// A histogram, if any sample was ever recorded under the key.
+    pub fn histogram(&self, subsystem: &str, op: &str, algorithm: &str) -> Option<&Histogram> {
+        self.histograms
+            .get(&MetricKey::new(subsystem, op, algorithm))
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another rank's registry into this one: counters and histogram
+    /// buckets add; gauges keep the maximum (the only order-independent
+    /// choice for a last-value metric aggregated across ranks).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| *g = g.max(v))
+                .or_insert(v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Human-readable dump: counters, gauges, then histograms with
+    /// count/mean/p50/p90/p99/max.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {:<46} {v}\n", k.path()));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {:<46} {v:.3}\n", k.path()));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "histograms: {:<34} {:>9} {:>12} {:>10} {:>10} {:>10} {:>12}\n",
+                "", "count", "mean", "p50", "p90", "p99", "max"
+            ));
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<44} {:>9} {:>12.1} {:>10} {:>10} {:>10} {:>12}\n",
+                    k.path(),
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounds_and_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // p50 of 1..=1000 is 500, whose bucket [256,512) reports 511.
+        assert_eq!(p50, 511);
+        assert_eq!(h.quantile(1.0), 1023);
+        // Rank clamps to the first sample: value 1 lives in bucket [1,2),
+        // whose reported bound is 1.
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [3u64, 7, 900, 0, 15] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [1u64, 1 << 40, 12] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a", "b", "c", 5);
+        r.observe("a", "b", "c", 5);
+        r.gauge_set("a", "b", "c", 5.0);
+        assert!(r.is_empty());
+        assert_eq!(r.counter("a", "b", "c"), 0);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = MetricsRegistry::enabled();
+        r.counter_add("coll", "rounds", "ring", 7);
+        r.counter_add("coll", "rounds", "ring", 3);
+        r.gauge_set("coll", "ratio", "", 4.5);
+        r.gauge_set("coll", "ratio", "", 2.5);
+        r.observe("coll", "bytes", "ring", 1024);
+        assert_eq!(r.counter("coll", "rounds", "ring"), 10);
+        assert_eq!(r.gauge("coll", "ratio", ""), Some(2.5));
+        assert_eq!(r.histogram("coll", "bytes", "ring").unwrap().count(), 1);
+        assert_eq!(r.histogram("coll", "bytes", "x"), None);
+    }
+
+    #[test]
+    fn registry_merge_sums_counters_and_maxes_gauges() {
+        let mut a = MetricsRegistry::enabled();
+        let mut b = MetricsRegistry::enabled();
+        a.counter_add("s", "o", "", 2);
+        b.counter_add("s", "o", "", 5);
+        a.gauge_set("s", "g", "", 1.0);
+        b.gauge_set("s", "g", "", 9.0);
+        b.gauge_set("s", "g2", "", -3.0);
+        a.observe("s", "h", "", 8);
+        b.observe("s", "h", "", 64);
+        a.merge(&b);
+        assert_eq!(a.counter("s", "o", ""), 7);
+        assert_eq!(a.gauge("s", "g", ""), Some(9.0));
+        assert_eq!(a.gauge("s", "g2", ""), Some(-3.0));
+        assert_eq!(a.histogram("s", "h", "").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn key_paths_elide_empty_algorithm() {
+        assert_eq!(MetricKey::new("a", "b", "").path(), "a/b");
+        assert_eq!(MetricKey::new("a", "b", "c").path(), "a/b/c");
+    }
+
+    #[test]
+    fn render_lists_everything() {
+        let mut r = MetricsRegistry::enabled();
+        r.counter_add("engine", "search", "single-context", 42);
+        r.observe("engine", "bytes", "dual-context", 4096);
+        let s = r.render();
+        assert!(s.contains("engine/search/single-context"));
+        assert!(s.contains("42"));
+        assert!(s.contains("engine/bytes/dual-context"));
+    }
+}

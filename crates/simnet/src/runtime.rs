@@ -12,6 +12,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::mailbox::{Mailbox, NetMsg, Tag};
+use crate::metrics::MetricsRegistry;
+use crate::profile::Profiler;
 use crate::stats::{CostKind, Stats};
 use crate::time::{CostModel, SimTime};
 use crate::trace::{EventKind, TraceEvent};
@@ -153,6 +155,8 @@ impl Cluster {
                             ),
                             stats: Stats::new(),
                             trace: None,
+                            metrics: MetricsRegistry::new(),
+                            profiler: Profiler::new(),
                         };
                         f(&mut rank)
                     })
@@ -182,6 +186,8 @@ pub struct Rank {
     rng: StdRng,
     stats: Stats,
     trace: Option<Vec<TraceEvent>>,
+    metrics: MetricsRegistry,
+    profiler: Profiler,
 }
 
 impl Rank {
@@ -220,21 +226,144 @@ impl Rank {
 
     /// Drain the recorded timeline (empty if tracing was never enabled).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.take().inspect(|_t| {
-            self.trace = Some(Vec::new());
-        }).unwrap_or_default()
+        self.trace
+            .take()
+            .inspect(|_t| {
+                self.trace = Some(Vec::new());
+            })
+            .unwrap_or_default()
     }
 
     /// Record a zero-length marker event at the current simulated time.
-    pub fn trace_mark(&mut self, label: &'static str) {
+    /// Accepts owned or borrowed labels, so dynamically-named phase markers
+    /// (`format!("vcycle-{i}")`) work; the allocation only happens when
+    /// tracing is enabled for `&str` callers via `Into`.
+    pub fn trace_mark(&mut self, label: impl Into<String>) {
         let now = self.now;
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent {
-                kind: EventKind::Mark { label },
+                kind: EventKind::Mark {
+                    label: label.into(),
+                },
                 start: now,
                 end: now,
             });
         }
+    }
+
+    /// Record a zero-length collective-round event (`op` names the
+    /// collective and algorithm, e.g. `"allgatherv/ring"`). No-op when
+    /// tracing is off.
+    pub fn trace_round(&mut self, op: &str, round: u32) {
+        let now = self.now;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::Round {
+                    op: op.to_string(),
+                    round,
+                },
+                start: now,
+                end: now,
+            });
+        }
+    }
+
+    /// Whether tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Start recording named metrics (see [`crate::metrics`]). Off by
+    /// default; when off, every metric call is a no-op.
+    pub fn enable_metrics(&mut self) {
+        self.metrics.enable();
+    }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Take the accumulated metrics, leaving a fresh registry with the
+    /// same enabled state.
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        let enabled = self.metrics.is_enabled();
+        let mut fresh = MetricsRegistry::new();
+        if enabled {
+            fresh.enable();
+        }
+        std::mem::replace(&mut self.metrics, fresh)
+    }
+
+    /// Add `delta` to the counter keyed `(subsystem, op, algorithm)`.
+    pub fn metric_counter_add(&mut self, subsystem: &str, op: &str, algorithm: &str, delta: u64) {
+        self.metrics.counter_add(subsystem, op, algorithm, delta);
+    }
+
+    /// Set the gauge keyed `(subsystem, op, algorithm)`.
+    pub fn metric_gauge_set(&mut self, subsystem: &str, op: &str, algorithm: &str, value: f64) {
+        self.metrics.gauge_set(subsystem, op, algorithm, value);
+    }
+
+    /// Record one histogram sample under `(subsystem, op, algorithm)`.
+    pub fn metric_observe(&mut self, subsystem: &str, op: &str, algorithm: &str, value: u64) {
+        self.metrics.observe(subsystem, op, algorithm, value);
+    }
+
+    /// Start hierarchical stage profiling (see [`crate::profile`]). Off by
+    /// default; when off, stage calls are no-ops.
+    pub fn enable_profiling(&mut self) {
+        self.profiler.enable();
+    }
+
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Take the accumulated profile, leaving a fresh profiler with the
+    /// same enabled state. Panics if stages are still open.
+    pub fn take_profile(&mut self) -> Profiler {
+        assert_eq!(
+            self.profiler.depth(),
+            0,
+            "take_profile with stages still open"
+        );
+        let enabled = self.profiler.is_enabled();
+        let mut fresh = Profiler::new();
+        if enabled {
+            fresh.enable();
+        }
+        std::mem::replace(&mut self.profiler, fresh)
+    }
+
+    /// Open a profiling stage at the current simulated time.
+    pub fn stage_begin(&mut self, name: &str) {
+        let now = self.now;
+        self.profiler.begin(name, now);
+    }
+
+    /// Close the innermost profiling stage (must be named `name`). If
+    /// tracing is also enabled, the closed stage is mirrored into the
+    /// trace as a [`EventKind::Span`].
+    pub fn stage_end(&mut self, name: &str) {
+        let now = self.now;
+        if let Some(closed) = self.profiler.end(name, now) {
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent {
+                    kind: EventKind::Span { name: closed.path },
+                    start: closed.start,
+                    end: closed.end,
+                });
+            }
+        }
+    }
+
+    /// Run `f` inside a profiling stage named `name` (closure form of
+    /// [`Rank::stage_begin`]/[`Rank::stage_end`]).
+    pub fn stage<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.stage_begin(name);
+        let r = f(self);
+        self.stage_end(name);
+        r
     }
 
     /// Deterministic per-operation jitter in `[0, noise_ns)`.
@@ -246,11 +375,22 @@ impl Rank {
         }
     }
 
+    /// Charge a span to both the flat [`Stats`] and (when enabled) the
+    /// per-kind `time/<label>` counter of the metrics registry, keeping
+    /// the two accounting layers in exact agreement.
+    fn charge_span(&mut self, kind: CostKind, span: SimTime) {
+        self.stats.charge(kind, span);
+        if self.metrics.is_enabled() {
+            self.metrics
+                .counter_add("time", kind.label(), "", span.as_ns());
+        }
+    }
+
     /// Charge `ns` of *CPU* time (scaled by this rank's speed) to `kind`.
     pub fn charge_cpu(&mut self, kind: CostKind, ns: f64) {
         let span = SimTime::from_ns_f64(ns / self.speed);
         self.now += span;
-        self.stats.charge(kind, span);
+        self.charge_span(kind, span);
     }
 
     /// Charge `ns` of *fixed-rate* time (wire or memory, not CPU-speed
@@ -258,7 +398,7 @@ impl Rank {
     pub fn charge_fixed(&mut self, kind: CostKind, ns: f64) {
         let span = SimTime::from_ns_f64(ns);
         self.now += span;
-        self.stats.charge(kind, span);
+        self.charge_span(kind, span);
     }
 
     /// Charge application compute time for `flops` floating point ops.
@@ -339,13 +479,18 @@ impl Rank {
     }
 
     /// Like [`Rank::recv_bytes`] but within a communicator context.
-    pub fn recv_bytes_ctx(&mut self, src: Option<usize>, tag: Tag, context: u32) -> (Vec<u8>, usize) {
+    pub fn recv_bytes_ctx(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        context: u32,
+    ) -> (Vec<u8>, usize) {
         let trace_start = self.now;
         let msg = self.mailbox.recv_match(src, tag, context);
         if msg.arrival > self.now {
             let wait = msg.arrival - self.now;
             self.now = msg.arrival;
-            self.stats.charge(CostKind::Wait, wait);
+            self.charge_span(CostKind::Wait, wait);
         }
         let overhead = self.cost.recv_overhead_ns + self.jitter_ns();
         self.charge_cpu(CostKind::Comm, overhead);
@@ -386,7 +531,7 @@ impl Rank {
     pub fn advance_to(&mut self, t: SimTime) {
         if t > self.now {
             let wait = t - self.now;
-            self.stats.charge(CostKind::Wait, wait);
+            self.charge_span(CostKind::Wait, wait);
             self.now = t;
         }
     }

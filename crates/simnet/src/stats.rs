@@ -24,6 +24,29 @@ pub enum CostKind {
     Wait,
 }
 
+impl CostKind {
+    /// Stable lowercase name, used as the metric key for per-kind time
+    /// counters (`time/<label>` in the registry).
+    pub fn label(self) -> &'static str {
+        match self {
+            CostKind::Comm => "comm",
+            CostKind::Pack => "pack",
+            CostKind::Search => "search",
+            CostKind::Compute => "compute",
+            CostKind::Wait => "wait",
+        }
+    }
+
+    /// All categories, in display order.
+    pub const ALL: [CostKind; 5] = [
+        CostKind::Comm,
+        CostKind::Pack,
+        CostKind::Search,
+        CostKind::Compute,
+        CostKind::Wait,
+    ];
+}
+
 /// Accumulated simulated-time and operation counters for one rank.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {

@@ -18,8 +18,15 @@ pub enum EventKind {
     Send { dst: usize, bytes: usize },
     /// A message was received (the span includes any blocking wait).
     Recv { src: usize, bytes: usize },
-    /// A user-defined marker (phase boundaries and the like).
-    Mark { label: &'static str },
+    /// A user-defined marker (phase boundaries and the like). Owned so
+    /// markers can be dynamically named (`format!("vcycle-{i}")`).
+    Mark { label: String },
+    /// A closed profiling stage (see [`crate::profile`]), mirrored into
+    /// the trace so exports show the stage hierarchy over the messages.
+    Span { name: String },
+    /// One round of a multi-round collective (`op` names the collective
+    /// and algorithm, e.g. `allgatherv/ring`); a zero-length instant.
+    Round { op: String, round: u32 },
 }
 
 /// One traced span of simulated time on one rank.
@@ -36,9 +43,35 @@ impl TraceEvent {
     }
 }
 
+/// Drawing priority of an event kind when several overlap in one timeline
+/// cell: mark > round > recv > send > span > idle. Higher wins.
+fn cell_priority(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Mark { .. } => 5,
+        EventKind::Round { .. } => 4,
+        EventKind::Recv { .. } => 3,
+        EventKind::Send { .. } => 2,
+        EventKind::Span { .. } => 1,
+    }
+}
+
+fn cell_char(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Send { .. } => b's',
+        EventKind::Recv { .. } => b'r',
+        EventKind::Mark { .. } => b'|',
+        EventKind::Span { .. } => b'=',
+        EventKind::Round { .. } => b'^',
+    }
+}
+
 /// Render a set of per-rank traces as an ASCII timeline: one row per rank,
 /// `width` columns spanning `[0, horizon]`, with `s`/`r` cells for
-/// send/receive activity and `.` for idle/compute time.
+/// send/receive activity, `=` for profiling spans, `|`/`^` for marks and
+/// collective rounds, and `.` for idle/compute time. When events overlap
+/// in a cell the highest-priority one wins (mark > round > recv > send >
+/// span > idle), so zero-length markers are never hidden by the activity
+/// around them.
 pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
     let horizon = traces
         .iter()
@@ -50,16 +83,17 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
     let mut out = String::new();
     for (rank, events) in traces.iter().enumerate() {
         let mut row = vec![b'.'; width];
+        let mut prio = vec![0u8; width];
         for e in events {
             let a = (e.start.as_ns() * width as u64 / horizon) as usize;
             let b = ((e.end.as_ns() * width as u64).div_ceil(horizon) as usize).min(width);
-            let ch = match e.kind {
-                EventKind::Send { .. } => b's',
-                EventKind::Recv { .. } => b'r',
-                EventKind::Mark { .. } => b'|',
-            };
-            for c in row.iter_mut().take(b.max(a + 1)).skip(a) {
-                *c = ch;
+            let ch = cell_char(&e.kind);
+            let p = cell_priority(&e.kind);
+            for i in a.min(width)..b.max(a + 1).min(width) {
+                if p > prio[i] {
+                    prio[i] = p;
+                    row[i] = ch;
+                }
             }
         }
         out.push_str(&format!(
@@ -132,9 +166,119 @@ mod tests {
         assert_eq!(out[0].len(), 1);
         assert_eq!(
             out[0][0].kind,
-            EventKind::Mark { label: "phase-1" }
+            EventKind::Mark {
+                label: "phase-1".to_string()
+            }
         );
         assert!(out[0][0].start > SimTime::ZERO);
+    }
+
+    #[test]
+    fn dynamically_named_marks_are_recorded() {
+        let out = Cluster::new(ClusterConfig::uniform(1)).run(|rank| {
+            rank.enable_tracing();
+            for i in 0..3 {
+                rank.compute_flops(100);
+                rank.trace_mark(format!("vcycle-{i}"));
+            }
+            rank.take_trace()
+        });
+        let labels: Vec<_> = out[0]
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Mark { label } => label.clone(),
+                other => panic!("expected mark, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(labels, vec!["vcycle-0", "vcycle-1", "vcycle-2"]);
+    }
+
+    #[test]
+    fn overlap_priority_mark_beats_recv_beats_send() {
+        // All four kinds cover the same cell range; the rendered row must
+        // show the highest-priority kind, not the last-pushed one.
+        let span = |kind| TraceEvent {
+            kind,
+            start: SimTime(0),
+            end: SimTime(100),
+        };
+        let events = vec![
+            span(EventKind::Mark {
+                label: "m".to_string(),
+            }),
+            span(EventKind::Recv { src: 0, bytes: 1 }),
+            span(EventKind::Send { dst: 0, bytes: 1 }),
+            span(EventKind::Span {
+                name: "stage".to_string(),
+            }),
+        ];
+        let art = render_timeline(&[events], 10);
+        // The mark is zero-width priority-wise irrelevant here: it covers
+        // the whole range, so every cell shows '|'.
+        assert!(
+            art.contains("||||||||||"),
+            "mark must win everywhere:\n{art}"
+        );
+
+        // Without the mark, recv wins over send and span.
+        let events = vec![
+            span(EventKind::Send { dst: 0, bytes: 1 }),
+            span(EventKind::Span {
+                name: "stage".to_string(),
+            }),
+            span(EventKind::Recv { src: 0, bytes: 1 }),
+        ];
+        let art = render_timeline(&[events], 10);
+        assert!(
+            art.contains("rrrrrrrrrr"),
+            "recv must win over send/span:\n{art}"
+        );
+
+        // Send beats span; span beats idle.
+        let events = vec![
+            TraceEvent {
+                kind: EventKind::Span {
+                    name: "stage".to_string(),
+                },
+                start: SimTime(0),
+                end: SimTime(100),
+            },
+            TraceEvent {
+                kind: EventKind::Send { dst: 0, bytes: 1 },
+                start: SimTime(0),
+                end: SimTime(50),
+            },
+        ];
+        let art = render_timeline(&[events], 10);
+        assert!(
+            art.contains("sssss====="),
+            "send over span over idle:\n{art}"
+        );
+    }
+
+    #[test]
+    fn zero_length_mark_survives_on_top_of_long_send() {
+        // A send spans the whole timeline; a mark in the middle must still
+        // be visible (the old renderer let later events overwrite it).
+        let events = vec![
+            TraceEvent {
+                kind: EventKind::Mark {
+                    label: "m".to_string(),
+                },
+                start: SimTime(50),
+                end: SimTime(50),
+            },
+            TraceEvent {
+                kind: EventKind::Send { dst: 0, bytes: 1 },
+                start: SimTime(0),
+                end: SimTime(100),
+            },
+        ];
+        let art = render_timeline(&[events], 10);
+        assert!(
+            art.contains("sssss|ssss"),
+            "mark must not be hidden:\n{art}"
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property tests for the metrics histograms: cluster-wide merging must be
+//! indistinguishable from recording every sample into one histogram, and
+//! quantiles must behave like quantiles.
+
+use ncd_simnet::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+proptest! {
+    /// Merging per-rank histograms equals one histogram fed all samples,
+    /// regardless of how samples are sharded across ranks.
+    #[test]
+    fn merge_of_shards_equals_whole(
+        samples in proptest::collection::vec(0u64..u64::MAX, 0..200),
+        nshards in 1usize..8,
+    ) {
+        let mut whole = Histogram::new();
+        let mut shards = vec![Histogram::new(); nshards];
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            shards[i % nshards].record(v);
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.sum(), whole.sum());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Quantiles are monotone in q and bracketed by the recorded extremes'
+    /// bucket bounds.
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", vals);
+        }
+        // Bucket bounds only round *up*: the low quantile can't undershoot
+        // the smallest sample, and the high one can't undershoot the max.
+        prop_assert!(vals[0] >= h.min());
+        prop_assert!(*vals.last().unwrap() >= h.max());
+    }
+
+    /// Registry-level merge behaves like the histogram-level one for every
+    /// key, and counters sum.
+    #[test]
+    fn registry_merge_matches_direct_recording(
+        samples in proptest::collection::vec((0u8..3, 0u64..u64::MAX), 0..100),
+    ) {
+        let keys = ["ring", "recursive_doubling", "dissemination"];
+        let mut whole = MetricsRegistry::enabled();
+        let mut a = MetricsRegistry::enabled();
+        let mut b = MetricsRegistry::enabled();
+        for (i, &(k, v)) in samples.iter().enumerate() {
+            let algo = keys[k as usize];
+            whole.observe("allgatherv", "bytes", algo, v);
+            whole.counter_add("allgatherv", "rounds", algo, 1);
+            let shard = if i % 2 == 0 { &mut a } else { &mut b };
+            shard.observe("allgatherv", "bytes", algo, v);
+            shard.counter_add("allgatherv", "rounds", algo, 1);
+        }
+        let mut merged = MetricsRegistry::enabled();
+        merged.merge(&a);
+        merged.merge(&b);
+        for algo in keys {
+            prop_assert_eq!(
+                merged.counter("allgatherv", "rounds", algo),
+                whole.counter("allgatherv", "rounds", algo)
+            );
+            let (m, w) = (
+                merged.histogram("allgatherv", "bytes", algo),
+                whole.histogram("allgatherv", "bytes", algo),
+            );
+            match (m, w) {
+                (None, None) => {}
+                (Some(m), Some(w)) => {
+                    prop_assert_eq!(m.count(), w.count());
+                    prop_assert_eq!(m.sum(), w.sum());
+                    prop_assert_eq!(m.p50(), w.p50());
+                    prop_assert_eq!(m.p99(), w.p99());
+                }
+                _ => prop_assert!(false, "key present on one side only"),
+            }
+        }
+    }
+}

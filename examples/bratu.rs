@@ -22,9 +22,21 @@ fn main() {
     println!("Bratu problem on a {N}x{N} grid, lambda = {lambda}, {RANKS} ranks\n");
 
     for (label, cfg, backend) in [
-        ("MVAPICH2-0.9.5", MpiConfig::baseline(), ScatterBackend::Datatype),
-        ("MVAPICH2-New", MpiConfig::optimized(), ScatterBackend::Datatype),
-        ("hand-tuned", MpiConfig::optimized(), ScatterBackend::HandTuned),
+        (
+            "MVAPICH2-0.9.5",
+            MpiConfig::baseline(),
+            ScatterBackend::Datatype,
+        ),
+        (
+            "MVAPICH2-New",
+            MpiConfig::optimized(),
+            ScatterBackend::Datatype,
+        ),
+        (
+            "hand-tuned",
+            MpiConfig::optimized(),
+            ScatterBackend::HandTuned,
+        ),
     ] {
         let out = Cluster::new(ClusterConfig::paper_testbed(RANKS)).run(|rank| {
             let mut comm = Comm::new(rank, cfg.clone());

@@ -72,7 +72,10 @@ fn main() {
         (checked, npoints, comm.rank_ref().now())
     });
 
-    println!("{N}x{N} grid, 4 interlaced fields ({}), {RANKS} ranks\n", FIELDS.join(", "));
+    println!(
+        "{N}x{N} grid, 4 interlaced fields ({}), {RANKS} ranks\n",
+        FIELDS.join(", ")
+    );
     for (rank, (checked, npoints, t)) in out.iter().enumerate() {
         println!(
             "rank {rank}: verified {checked} interlaced values over {npoints} local points, done at {t}"

@@ -51,9 +51,21 @@ fn solve(cfg: MpiConfig, backend: ScatterBackend) -> (SimTime, usize, f64) {
 fn main() {
     println!("-∇²u = f on a {GRID}³ grid, 3-level multigrid, {RANKS} simulated ranks\n");
     let configs = [
-        ("hand-tuned", MpiConfig::optimized(), ScatterBackend::HandTuned),
-        ("MVAPICH2-0.9.5", MpiConfig::baseline(), ScatterBackend::Datatype),
-        ("MVAPICH2-New", MpiConfig::optimized(), ScatterBackend::Datatype),
+        (
+            "hand-tuned",
+            MpiConfig::optimized(),
+            ScatterBackend::HandTuned,
+        ),
+        (
+            "MVAPICH2-0.9.5",
+            MpiConfig::baseline(),
+            ScatterBackend::Datatype,
+        ),
+        (
+            "MVAPICH2-New",
+            MpiConfig::optimized(),
+            ScatterBackend::Datatype,
+        ),
     ];
     let mut results = Vec::new();
     for (label, cfg, backend) in configs {

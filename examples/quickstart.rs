@@ -40,9 +40,7 @@ fn main() {
             )
         });
         let (t, search, pack) = &out[0];
-        println!(
-            "{label:>16}: sender done at {t}, search time {search}, pack time {pack}"
-        );
+        println!("{label:>16}: sender done at {t}, search time {search}, pack time {pack}");
     }
     println!("\nThe baseline loses its datatype context to look-ahead and re-searches");
     println!("from the start on every pipeline block; the dual-context engine never");

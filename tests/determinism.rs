@@ -31,7 +31,14 @@ fn complex_workload(seed: u64) -> Vec<(SimTime, u64, f64)> {
         let mut b = PVec::zeros(op_da.global_layout().clone(), comm.rank());
         b.set_all(1.0);
         let mut x = PVec::zeros(op_da.global_layout().clone(), comm.rank());
-        let res = cg(&mut comm, &op, &IdentityPc, &b, &mut x, &KspSettings::default());
+        let res = cg(
+            &mut comm,
+            &op,
+            &IdentityPc,
+            &b,
+            &mut x,
+            &KspSettings::default(),
+        );
         assert!(res.converged);
 
         (

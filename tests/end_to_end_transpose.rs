@@ -15,7 +15,11 @@ fn transpose(n: usize, cfg: MpiConfig) -> (Vec<u8>, SimTime, SimTime) {
         if comm.rank() == 0 {
             let src: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
             comm.send(&src, &col, n, 1, Tag(0));
-            (Vec::new(), comm.rank_ref().now(), comm.rank_ref().stats().search)
+            (
+                Vec::new(),
+                comm.rank_ref().now(),
+                comm.rank_ref().stats().search,
+            )
         } else {
             let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("row type");
             let mut dst = vec![0u8; bytes];
@@ -34,7 +38,10 @@ fn both_flavors_transpose_identically() {
     let n = 64;
     let (base_bytes, t_base, search_base) = transpose(n, MpiConfig::baseline());
     let (opt_bytes, t_opt, search_opt) = transpose(n, MpiConfig::optimized());
-    assert_eq!(base_bytes, opt_bytes, "implementations must move identical bytes");
+    assert_eq!(
+        base_bytes, opt_bytes,
+        "implementations must move identical bytes"
+    );
 
     // The received stream is exactly the column-major pack of the source.
     let col = matrix_column_type(n, n, 3).expect("column type");

@@ -1,0 +1,180 @@
+//! Cross-layer checks on the observability layer:
+//!
+//! 1. The metrics registry's mirrored time counters agree with the legacy
+//!    [`Stats`] accounting on the Figure 13 transpose — within 1%, and in
+//!    fact exactly, since both are fed from the same charge sites.
+//! 2. The paper's qualitative claim read back through metrics alone: the
+//!    single-context engine's search share grows with the matrix, the
+//!    dual-context engine's stays at zero.
+//! 3. Turning every observability feature on changes nothing about the
+//!    simulated timings: instrumentation must never touch the clock.
+
+use nucomm::core::{Comm, MpiConfig};
+use nucomm::datatype::{matrix_column_type, Datatype};
+use nucomm::simnet::{Cluster, ClusterConfig, CostKind, MetricsRegistry, SimTime, Stats, Tag};
+
+/// The Figure 13 workload: rank 0 sends `n` strided columns, rank 1
+/// receives them contiguously. Returns per-rank stats and the cluster-wide
+/// merged metrics registry.
+fn transpose_run(n: usize, cfg: MpiConfig) -> (Vec<Stats>, MetricsRegistry) {
+    let out = Cluster::new(ClusterConfig::uniform(2)).run(|rank| {
+        rank.enable_metrics();
+        let mut comm = Comm::new(rank, cfg.clone());
+        let bytes = n * n * 24;
+        let col = matrix_column_type(n, n, 3).expect("column type");
+        if comm.rank() == 0 {
+            let src = vec![1u8; bytes];
+            comm.send(&src, &col, n, 1, Tag(7));
+        } else {
+            let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("row type");
+            let mut dst = vec![0u8; bytes];
+            comm.recv(&mut dst, &row, 1, Some(0), Tag(7));
+        }
+        (
+            comm.rank_ref().stats().clone(),
+            comm.rank_mut().take_metrics(),
+        )
+    });
+    let mut merged = MetricsRegistry::enabled();
+    for (_, m) in &out {
+        merged.merge(m);
+    }
+    (out.into_iter().map(|(s, _)| s).collect(), merged)
+}
+
+#[test]
+fn metrics_time_counters_agree_with_stats_within_one_percent() {
+    for cfg in [MpiConfig::baseline(), MpiConfig::optimized()] {
+        let (stats, metrics) = transpose_run(256, cfg);
+        let mut total = Stats::new();
+        for s in &stats {
+            total.merge(s);
+        }
+        for kind in CostKind::ALL {
+            let from_stats = match kind {
+                CostKind::Comm => total.comm,
+                CostKind::Pack => total.pack,
+                CostKind::Search => total.search,
+                CostKind::Compute => total.compute,
+                CostKind::Wait => total.wait,
+            }
+            .as_ns();
+            let from_metrics = metrics.counter("time", kind.label(), "");
+            let diff = from_stats.abs_diff(from_metrics);
+            assert!(
+                diff as f64 <= 0.01 * from_stats.max(1) as f64,
+                "{kind:?}: stats={from_stats}ns metrics={from_metrics}ns differ by >1%"
+            );
+        }
+        assert_eq!(
+            total.total().as_ns(),
+            CostKind::ALL
+                .iter()
+                .map(|k| metrics.counter("time", k.label(), ""))
+                .sum::<u64>(),
+            "mirrored counters must reproduce the Stats total exactly"
+        );
+    }
+}
+
+#[test]
+fn search_share_grows_single_context_and_stays_zero_dual() {
+    let search_ns = |metrics: &MetricsRegistry| metrics.counter("time", "search", "");
+    let searched = |metrics: &MetricsRegistry, engine: &str| {
+        metrics.counter("engine", "searched_segments", engine)
+    };
+
+    let (_, small_base) = transpose_run(64, MpiConfig::baseline());
+    let (_, large_base) = transpose_run(512, MpiConfig::baseline());
+    assert!(
+        search_ns(&large_base) > search_ns(&small_base),
+        "baseline search time must grow with the matrix: {} !> {}",
+        search_ns(&large_base),
+        search_ns(&small_base)
+    );
+    assert!(
+        searched(&large_base, "single-context") > searched(&small_base, "single-context"),
+        "baseline must walk more segments on the larger matrix"
+    );
+
+    let (_, large_opt) = transpose_run(512, MpiConfig::optimized());
+    assert_eq!(
+        search_ns(&large_opt),
+        0,
+        "dual-context engine must charge no search time"
+    );
+    assert_eq!(
+        searched(&large_opt, "dual-context"),
+        0,
+        "dual-context engine must walk no segments"
+    );
+    // Both flavors still pack the same noncontiguous source.
+    assert!(searched(&large_base, "single-context") > 0);
+    assert!(large_opt.counter("engine", "invocations", "dual-context") > 0);
+}
+
+/// The workload for the no-overhead check: an allgatherv (multi-round
+/// collective, exercises rounds instrumentation) followed by an alltoallw
+/// (bin counters) and a strided send/recv pair (engine counters).
+fn busy_workload(rank: &mut nucomm::simnet::Rank, cfg: &MpiConfig, observed: bool) -> SimTime {
+    if observed {
+        rank.enable_metrics();
+        rank.enable_tracing();
+        rank.enable_profiling();
+        rank.stage_begin("workload");
+    }
+    let mut comm = Comm::new(rank, cfg.clone());
+    let n = comm.size();
+    let me = comm.rank();
+
+    let counts: Vec<usize> = (0..n).map(|r| 64 * (r + 1)).collect();
+    let mine = vec![me as u8; counts[me]];
+    let mut gathered = vec![0u8; counts.iter().sum()];
+    comm.allgatherv(&mine, &counts, &mut gathered);
+
+    let m = Datatype::contiguous(128, &Datatype::byte()).expect("block");
+    let empty = Datatype::contiguous(0, &Datatype::byte()).expect("empty");
+    let succ = (me + 1) % n;
+    let mut sends: Vec<nucomm::core::WPeer> = (0..n)
+        .map(|_| nucomm::core::WPeer::new(0, 0, empty.clone()))
+        .collect();
+    let mut recvs = sends.clone();
+    sends[succ] = nucomm::core::WPeer::new(0, 1, m.clone());
+    recvs[(me + n - 1) % n] = nucomm::core::WPeer::new(0, 1, m.clone());
+    let sendbuf = vec![me as u8; 128];
+    let mut recvbuf = vec![0u8; 128];
+    comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+
+    let col = matrix_column_type(32, 32, 3).expect("column type");
+    let bytes = 32 * 32 * 24;
+    if me == 0 {
+        comm.send(&vec![2u8; bytes], &col, 32, 1, Tag(9));
+    } else if me == 1 {
+        let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("row");
+        let mut dst = vec![0u8; bytes];
+        comm.recv(&mut dst, &row, 1, Some(0), Tag(9));
+    }
+    comm.barrier();
+    if observed {
+        comm.rank_mut().stage_end("workload");
+    }
+    comm.rank_ref().now()
+}
+
+#[test]
+fn observability_disabled_and_enabled_produce_identical_times() {
+    for cfg in [MpiConfig::baseline(), MpiConfig::optimized()] {
+        for ranks in [4, 8] {
+            let quiet = Cluster::new(ClusterConfig::paper_testbed(ranks))
+                .run(|rank| busy_workload(rank, &cfg, false));
+            let observed = Cluster::new(ClusterConfig::paper_testbed(ranks))
+                .run(|rank| busy_workload(rank, &cfg, true));
+            assert_eq!(
+                quiet, observed,
+                "metrics/tracing/profiling must not perturb simulated time \
+                 ({:?}, {ranks} ranks)",
+                cfg.flavor
+            );
+        }
+    }
+}

@@ -53,7 +53,8 @@ fn alltoallw_skew_claim() {
             let pred = (me + size - 1) % size;
             let m = Datatype::contiguous(100, &Datatype::double()).expect("matrix");
             let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
-            let mut sends: Vec<WPeer> = (0..size).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+            let mut sends: Vec<WPeer> =
+                (0..size).map(|_| WPeer::new(0, 0, empty.clone())).collect();
             let mut recvs = sends.clone();
             sends[succ] = WPeer::new(0, 1, m.clone());
             recvs[pred] = WPeer::new(0, 1, m.clone());
@@ -178,5 +179,8 @@ fn multigrid_claim() {
     assert!((norm_hand - norm_opt).abs() < 1e-12);
     // Optimized beats baseline; hand-tuned is at least in the same class.
     assert!(t_opt < t_base, "optimized {t_opt} vs baseline {t_base}");
-    assert!(t_hand.as_ns() < t_base.as_ns(), "hand-tuned {t_hand} vs baseline {t_base}");
+    assert!(
+        t_hand.as_ns() < t_base.as_ns(),
+        "hand-tuned {t_hand} vs baseline {t_base}"
+    );
 }

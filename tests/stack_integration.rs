@@ -41,13 +41,7 @@ fn scatter_results_invariant_across_configs() {
         let flat: Vec<f64> = out.into_iter().flatten().collect();
         match &reference {
             None => reference = Some(flat),
-            Some(r) => assert_eq!(
-                r,
-                &flat,
-                "config {:?}/{:?} diverged",
-                cfg.flavor,
-                backend
-            ),
+            Some(r) => assert_eq!(r, &flat, "config {:?}/{:?} diverged", cfg.flavor, backend),
         }
     }
 }

@@ -1,0 +1,521 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses. The
+//! container building this repo has no network access to crates.io, so the
+//! workspace vendors the API surface its property tests need: strategies
+//! (ranges, tuples, `Just`, `prop_oneof!`, `prop_map`, `prop_recursive`,
+//! `collection::vec`, `any::<bool>()`), the `proptest!` test macro, and the
+//! `prop_assert*` family.
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases are
+//! reported but **not shrunk**. Every case is generated from a fixed seed,
+//! so failures reproduce deterministically across runs, which is what the
+//! repo's CI needs from these tests.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A source of random values of one type.
+    ///
+    /// Unlike upstream there is no value tree: `sample` draws a finished
+    /// value directly, and failing inputs are not shrunk.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Build a depth-bounded recursive strategy: `recurse` receives a
+        /// strategy for the shallower levels and wraps it one level deeper.
+        /// The result samples uniformly over all unrolled depths, so leaves
+        /// and deep nestings both occur.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+            for _ in 0..depth {
+                let shallower = Union::new(levels.clone()).boxed();
+                levels.push(recurse(shallower).boxed());
+            }
+            Union::new(levels).boxed()
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0usize..self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Half-open numeric ranges are strategies, as upstream.
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy + 'static,
+        Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($( self.$idx.sample(rng), )+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Permitted lengths for a generated collection.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.0.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A` (`any::<bool>()` etc.).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// The RNG every strategy samples from.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed test case (no shrinking: the failure aborts the test with
+    /// the case number, which reproduces because the seed is fixed).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            // Fixed seed: failures reproduce run-to-run and machine-to-
+            // machine.
+            TestRunner {
+                config,
+                rng: TestRng::seed_from_u64(0x_5EED_CAFE_F00D_u64),
+            }
+        }
+
+        /// Sample `config.cases` inputs and run `test` on each, panicking
+        /// on the first failure.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) {
+            for case in 0..self.config.cases {
+                let value = strategy.sample(&mut self.rng);
+                if let Err(e) = test(value) {
+                    panic!(
+                        "proptest: case {}/{} failed: {}",
+                        case + 1,
+                        self.config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each body runs once per sampled case inside a
+/// closure returning `Result<(), TestCaseError>`, which is what lets the
+/// `prop_assert*` macros abort a case with `return Err(..)`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $p:pat in $s:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __strategy = ( $( $s, )+ );
+                let mut __runner = $crate::test_runner::TestRunner::new(__config);
+                __runner.run(
+                    &__strategy,
+                    |( $( $p, )+ )| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $p:pat in $s:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config(<$crate::test_runner::Config as ::std::default::Default>::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $( $p in $s ),+ ) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice among strategy arms (all arms must yield the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $arm:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert!(
+            ($left) == ($right),
+            "assertion failed: `left == right`: {} vs {}",
+            stringify!($left),
+            stringify!($right)
+        )
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        $crate::prop_assert!(
+            ($left) == ($right),
+            "assertion failed: `{} == {}`: {}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+)
+        )
+    };
+}
+
+/// Assert two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert!(
+            ($left) != ($right),
+            "assertion failed: `left != right`: {} vs {}",
+            stringify!($left),
+            stringify!($right)
+        )
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        $crate::prop_assert!(
+            ($left) != ($right),
+            "assertion failed: `{} != {}`: {}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+)
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (0usize..4, -3i64..3)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 4);
+            prop_assert!((-3..3).contains(&b));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(0u8..10, 3..7), w in crate::collection::vec(0u8..10, 5)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert_eq!(w.len(), 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_and_recursive(n in prop_oneof![Just(1u32), Just(2u32), (10u32..20).prop_map(|v| v * 2)]) {
+            prop_assert!(n == 1 || n == 2 || (20..40).contains(&n), "n = {}", n);
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf,
+        Node(Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf => 0,
+            Tree::Node(inner) => 1 + depth(inner),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursion_is_depth_bounded(t in Just(Tree::Leaf).prop_recursive(3, 8, 1, |inner| {
+            inner.prop_map(|t| Tree::Node(Box::new(t)))
+        })) {
+            prop_assert!(depth(&t) <= 3, "depth {}", depth(&t));
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
+            runner.run(&(0u64..10,), |(v,)| {
+                crate::prop_assert!(v > 1_000, "v was {}", v);
+                Ok(())
+            });
+        });
+        assert!(result.is_err());
+    }
+}

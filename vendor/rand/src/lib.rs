@@ -1,0 +1,169 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen_range` over
+//! primitive ranges. The container building this repo has no network
+//! access to crates.io, so the workspace vendors the API surface it needs.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than rand's ChaCha-based `StdRng`, which is fine here: the
+//! simulated cluster only requires that the stream be deterministic for a
+//! given seed, not that it match any particular upstream generator.
+
+use std::ops::Range;
+
+/// Core generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `u64` convenience constructor is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open, as in rand 0.8).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform u64 in `[0, n)` without modulo bias (Lemire's method would be
+/// fancier; rejection sampling on the top bits is simple and exact).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "empty range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the workspace's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0.0f64..1500.0);
+            assert!((0.0..1500.0).contains(&v));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let u = rng.gen_range(3usize..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX / 2)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX / 2)).collect();
+        assert_ne!(va, vb);
+    }
+}
