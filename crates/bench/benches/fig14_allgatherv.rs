@@ -13,7 +13,7 @@
 //! Paper result: both series grow, the baseline faster; ~20% improvement
 //! at 64 processes / 32 KB.
 
-use ncd_bench::{improvement_pct, report, time_phase, Series};
+use ncd_bench::{baseline_gate, improvement_pct, report, smoke_mode, time_phase, Series};
 use ncd_core::MpiConfig;
 use ncd_simnet::{ClusterConfig, SimTime};
 
@@ -30,40 +30,60 @@ fn allgatherv_latency(nprocs: usize, outlier_doubles: usize, cfg: MpiConfig) -> 
 }
 
 fn main() {
-    // (a) Varying outlier size at 64 processes.
+    // `--smoke` shrinks both sweeps so CI can gate every push; the
+    // baseline store keys smoke and full snapshots separately.
+    let smoke = smoke_mode();
+    let (procs_a, max_exp) = if smoke { (16, 4) } else { (64, 7) };
+
+    // (a) Varying outlier size.
     let mut base_a = Series::new("MVAPICH2-0.9.5");
     let mut new_a = Series::new("MVAPICH2-New");
     let mut imp_a = Series::new("improvement-%");
-    for exp in 0..=7 {
+    for exp in 0..=max_exp {
         let m = 4usize.pow(exp); // 1, 4, 16, ..., 16384 doubles
-        let tb = allgatherv_latency(64, m, MpiConfig::baseline());
-        let tn = allgatherv_latency(64, m, MpiConfig::optimized());
+        let tb = allgatherv_latency(procs_a, m, MpiConfig::baseline());
+        let tn = allgatherv_latency(procs_a, m, MpiConfig::optimized());
         base_a.push(m.to_string(), tb.as_us());
         new_a.push(m.to_string(), tn.as_us());
         imp_a.push(m.to_string(), improvement_pct(tb, tn));
     }
+    // Gate the raw latencies only: improvement-% is higher-is-better and
+    // derived from the gated series anyway.
+    let series_a = [base_a, new_a, imp_a];
+    baseline_gate("fig14a_allgatherv_size", &series_a[..2]);
     report(
         "fig14a_allgatherv_size",
         "msg (doubles)",
-        "latency (usec), 64 procs",
-        &[base_a, new_a, imp_a],
+        if smoke {
+            "latency (usec), 16 procs"
+        } else {
+            "latency (usec), 64 procs"
+        },
+        &series_a,
     );
 
     // (b) Varying process count with a 32 KB outlier.
+    let procs_b: &[usize] = if smoke {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
     let mut base_b = Series::new("MVAPICH2-0.9.5");
     let mut new_b = Series::new("MVAPICH2-New");
     let mut imp_b = Series::new("improvement-%");
-    for &n in &[2usize, 4, 8, 16, 32, 64] {
+    for &n in procs_b {
         let tb = allgatherv_latency(n, 4096, MpiConfig::baseline());
         let tn = allgatherv_latency(n, 4096, MpiConfig::optimized());
         base_b.push(n.to_string(), tb.as_us());
         new_b.push(n.to_string(), tn.as_us());
         imp_b.push(n.to_string(), improvement_pct(tb, tn));
     }
+    let series_b = [base_b, new_b, imp_b];
+    baseline_gate("fig14b_allgatherv_procs", &series_b[..2]);
     report(
         "fig14b_allgatherv_procs",
         "processes",
         "latency (usec), 32KB outlier",
-        &[base_b, new_b, imp_b],
+        &series_b,
     );
 }

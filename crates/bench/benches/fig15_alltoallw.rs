@@ -14,7 +14,7 @@
 //!
 //! Paper result: ~50% improvement at 32 processes, >88% at 128.
 
-use ncd_bench::{improvement_pct, report, time_phase, Series};
+use ncd_bench::{baseline_gate, improvement_pct, report, smoke_mode, time_phase, Series};
 use ncd_core::{MpiConfig, WPeer};
 use ncd_datatype::Datatype;
 use ncd_simnet::{ClusterConfig, SimTime};
@@ -50,20 +50,26 @@ fn ring_exchange_latency(nprocs: usize, cfg: MpiConfig) -> SimTime {
 }
 
 fn main() {
+    // `--smoke` shrinks the sweep so CI can gate every push; smoke and
+    // full baselines are stored separately.
+    let procs: &[usize] = if smoke_mode() {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
     let mut base = Series::new("MVAPICH2-0.9.5");
     let mut new = Series::new("MVAPICH2-New");
     let mut imp = Series::new("improvement-%");
-    for &n in &[2usize, 4, 8, 16, 32, 64, 128] {
+    for &n in procs {
         let tb = ring_exchange_latency(n, MpiConfig::baseline());
         let tn = ring_exchange_latency(n, MpiConfig::optimized());
         base.push(n.to_string(), tb.as_us());
         new.push(n.to_string(), tn.as_us());
         imp.push(n.to_string(), improvement_pct(tb, tn));
     }
-    report(
-        "fig15_alltoallw",
-        "processes",
-        "latency (usec)",
-        &[base, new, imp],
-    );
+    // Gate the raw latencies; improvement-% is higher-is-better and
+    // derived from them.
+    let series = [base, new, imp];
+    baseline_gate("fig15_alltoallw", &series[..2]);
+    report("fig15_alltoallw", "processes", "latency (usec)", &series);
 }

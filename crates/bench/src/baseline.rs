@@ -1,0 +1,493 @@
+//! Benchmark baseline store and regression gate.
+//!
+//! The simulation is deterministic (seeded jitter, logical clocks), so a
+//! bench series is exactly reproducible — which makes regression checking
+//! trivial and byte-stable: `--baseline write` snapshots every gated
+//! series to `benches/baselines/<name>.<smoke|full>.json`, and
+//! `--baseline check` re-runs the bench and fails with a readable diff
+//! table when any point got slower than the committed snapshot by more
+//! than the tolerance (default 10%, `--tolerance <pct>` or
+//! `NCD_BASELINE_TOL`). The tolerance absorbs *intentional* cost-model
+//! retuning; a change that regresses a schedule or datatype path shows up
+//! as an exact, explainable delta.
+//!
+//! Only lower-is-better series (latencies) should be gated — benches pass
+//! those explicitly to [`crate::baseline_gate`] and keep derived
+//! higher-is-better series (improvement %) out of the snapshot.
+
+use std::path::PathBuf;
+
+use crate::Series;
+
+/// What [`crate::baseline_gate`] should do, from `--baseline write|check`
+/// (or `NCD_BASELINE=write|check`). Unrecognized values abort rather than
+/// silently skipping the gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// No baseline handling (the default).
+    Off,
+    /// Snapshot the gated series to the baseline store.
+    Write,
+    /// Compare against the stored snapshot; exit nonzero on regression.
+    Check,
+}
+
+/// Parse the baseline mode from an explicit argument list + env value
+/// (separated from the process globals for testability).
+pub fn mode_from(args: &[String], env: Option<&str>) -> BaselineMode {
+    let mut found: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--baseline=") {
+            found = Some(v);
+        } else if a == "--baseline" {
+            found = it.next().map(String::as_str);
+        }
+    }
+    match found.or(env) {
+        None => BaselineMode::Off,
+        Some("write") => BaselineMode::Write,
+        Some("check") => BaselineMode::Check,
+        Some(other) => panic!("--baseline must be 'write' or 'check', got {other:?}"),
+    }
+}
+
+/// The baseline mode requested for this process.
+pub fn baseline_mode() -> BaselineMode {
+    let args: Vec<String> = std::env::args().collect();
+    let env = std::env::var("NCD_BASELINE").ok();
+    mode_from(&args, env.as_deref())
+}
+
+/// Relative tolerance in percent before a slower point counts as a
+/// regression (`--tolerance <pct>`, `--tolerance=<pct>`, or
+/// `NCD_BASELINE_TOL`; default 10).
+pub fn tolerance_pct() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    let mut found: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--tolerance=") {
+            found = Some(v.to_string());
+        } else if a == "--tolerance" {
+            found = it.next().cloned();
+        }
+    }
+    let found = found.or_else(|| std::env::var("NCD_BASELINE_TOL").ok());
+    match found {
+        None => 10.0,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("--tolerance must be a number, got {v:?}")),
+    }
+}
+
+/// Directory the snapshots are committed under (inside the bench crate, so
+/// `check` compares against the repository state, not a build artifact).
+pub fn baseline_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/baselines"))
+}
+
+/// Snapshot path for a bench: smoke and full runs measure different
+/// problem sizes, so they get separate files.
+pub fn baseline_path(name: &str, smoke: bool) -> PathBuf {
+    let mode = if smoke { "smoke" } else { "full" };
+    baseline_dir().join(format!("{name}.{mode}.json"))
+}
+
+/// Serialize series to the byte-stable snapshot format (same hand-rolled
+/// JSON style as the simnet exports; deterministic input ⇒ identical
+/// bytes on every write).
+pub fn snapshot_json(name: &str, smoke: bool, series: &[Series]) -> String {
+    let esc = ncd_simnet::export::json_escape;
+    let mut out = format!(
+        "{{\"name\":\"{}\",\"mode\":\"{}\",\"series\":[",
+        esc(name),
+        if smoke { "smoke" } else { "full" }
+    );
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"label\":\"{}\",\"points\":[", esc(&s.label)));
+        for (j, (x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[\"{}\",{y}]", esc(x)));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Parse a snapshot produced by [`snapshot_json`] back into series.
+/// Panics with a position on malformed input (a corrupted baseline file
+/// should fail loudly, not silently pass the gate).
+pub fn parse_snapshot(text: &str) -> Vec<Series> {
+    let mut p = Scanner {
+        s: text.as_bytes(),
+        pos: 0,
+    };
+    p.expect_str("{\"name\":");
+    let _ = p.string();
+    p.expect_str(",\"mode\":");
+    let _ = p.string();
+    p.expect_str(",\"series\":[");
+    let mut series = Vec::new();
+    if p.peek() != b']' {
+        loop {
+            p.expect_str("{\"label\":");
+            let label = p.string();
+            p.expect_str(",\"points\":[");
+            let mut s = Series::new(label);
+            if p.peek() != b']' {
+                loop {
+                    p.expect(b'[');
+                    let x = p.string();
+                    p.expect(b',');
+                    let y = p.number();
+                    p.expect(b']');
+                    s.push(x, y);
+                    match p.bump() {
+                        b',' => continue,
+                        b']' => break,
+                        c => panic!("expected ',' or ']' got '{}' at {}", c as char, p.pos),
+                    }
+                }
+            } else {
+                p.bump();
+            }
+            p.expect(b'}');
+            series.push(s);
+            match p.bump() {
+                b',' => continue,
+                b']' => break,
+                c => panic!("expected ',' or ']' got '{}' at {}", c as char, p.pos),
+            }
+        }
+    } else {
+        p.bump();
+    }
+    p.expect(b'}');
+    series
+}
+
+/// Fixed-grammar scanner for the snapshot format: the writer is ours and
+/// byte-stable, so this only needs to read exactly what
+/// [`snapshot_json`] emits (plus JSON string escapes).
+struct Scanner<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn peek(&self) -> u8 {
+        assert!(self.pos < self.s.len(), "unexpected end of baseline file");
+        self.s[self.pos]
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn expect(&mut self, c: u8) {
+        let got = self.bump();
+        assert_eq!(
+            got as char,
+            c as char,
+            "baseline parse error at byte {}",
+            self.pos - 1
+        );
+    }
+
+    fn expect_str(&mut self, s: &str) {
+        for &c in s.as_bytes() {
+            self.expect(c);
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                b'"' => return out,
+                b'\\' => match self.bump() {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.bump() as char)
+                                .to_digit(16)
+                                .expect("hex digit in \\u escape");
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).expect("valid scalar"));
+                    }
+                    c => panic!("bad escape '\\{}' at {}", c as char, self.pos),
+                },
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> f64 {
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_digit() || b"-+.eE".contains(&self.s[self.pos]))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos]).expect("ascii number");
+        text.parse()
+            .unwrap_or_else(|_| panic!("bad number '{text}' at {start}"))
+    }
+}
+
+/// One point that moved beyond tolerance (or disappeared/appeared).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    pub series: String,
+    pub x: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Percent change relative to the baseline (positive = slower). NaN
+    /// for shape mismatches (missing series/point).
+    pub delta_pct: f64,
+}
+
+/// Compare current series against a baseline (both lower-is-better).
+/// Returns every regression: points slower than `baseline * (1 + tol%)`,
+/// plus any shape mismatch (series or points missing on either side) —
+/// a renamed or dropped series must not silently pass the gate.
+/// Faster-than-baseline points are *not* regressions.
+pub fn check_series(baseline: &[Series], current: &[Series], tol_pct: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.label == b.label) else {
+            out.push(Regression {
+                series: b.label.clone(),
+                x: "<series missing from current run>".to_string(),
+                baseline: f64::NAN,
+                current: f64::NAN,
+                delta_pct: f64::NAN,
+            });
+            continue;
+        };
+        for (x, by) in &b.points {
+            let Some((_, cy)) = c.points.iter().find(|(cx, _)| cx == x) else {
+                out.push(Regression {
+                    series: b.label.clone(),
+                    x: format!("{x} <point missing from current run>"),
+                    baseline: *by,
+                    current: f64::NAN,
+                    delta_pct: f64::NAN,
+                });
+                continue;
+            };
+            if *cy > by * (1.0 + tol_pct / 100.0) {
+                out.push(Regression {
+                    series: b.label.clone(),
+                    x: x.clone(),
+                    baseline: *by,
+                    current: *cy,
+                    delta_pct: 100.0 * (cy - by) / by,
+                });
+            }
+        }
+        for (x, _) in &c.points {
+            if !b.points.iter().any(|(bx, _)| bx == x) {
+                out.push(Regression {
+                    series: b.label.clone(),
+                    x: format!("{x} <point not in baseline; re-run --baseline write>"),
+                    baseline: f64::NAN,
+                    current: f64::NAN,
+                    delta_pct: f64::NAN,
+                });
+            }
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.label == c.label) {
+            out.push(Regression {
+                series: c.label.clone(),
+                x: "<series not in baseline; re-run --baseline write>".to_string(),
+                baseline: f64::NAN,
+                current: f64::NAN,
+                delta_pct: f64::NAN,
+            });
+        }
+    }
+    out
+}
+
+/// Render regressions as the diff table the gate prints on failure.
+pub fn render_regressions(name: &str, regs: &[Regression], tol_pct: f64) -> String {
+    let mut out = format!(
+        "baseline check FAILED for {name} ({} regression(s), tolerance {tol_pct}%):\n",
+        regs.len()
+    );
+    out.push_str(&format!(
+        "{:<28} {:<44} {:>12} {:>12} {:>8}\n",
+        "series", "x", "baseline", "current", "delta"
+    ));
+    for r in regs {
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        let delta = if r.delta_pct.is_nan() {
+            "-".to_string()
+        } else {
+            format!("+{:.1}%", r.delta_pct)
+        };
+        out.push_str(&format!(
+            "{:<28} {:<44} {:>12} {:>12} {:>8}\n",
+            r.series,
+            r.x,
+            fmt(r.baseline),
+            fmt(r.current),
+            delta,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(&str, f64)]) -> Series {
+        let mut s = Series::new(label);
+        for (x, y) in pts {
+            s.push(*x, *y);
+        }
+        s
+    }
+
+    #[test]
+    fn mode_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(mode_from(&args(&["bench"]), None), BaselineMode::Off);
+        assert_eq!(
+            mode_from(&args(&["bench", "--baseline", "write"]), None),
+            BaselineMode::Write
+        );
+        assert_eq!(
+            mode_from(&args(&["bench", "--baseline=check"]), None),
+            BaselineMode::Check
+        );
+        assert_eq!(
+            mode_from(&args(&["bench"]), Some("check")),
+            BaselineMode::Check
+        );
+        // Command line wins over the environment.
+        assert_eq!(
+            mode_from(&args(&["bench", "--baseline=write"]), Some("check")),
+            BaselineMode::Write
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 'write' or 'check'")]
+    fn bad_mode_panics() {
+        mode_from(
+            &["bench".to_string(), "--baseline=frobnicate".to_string()],
+            None,
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = vec![
+            series("ring", &[("2", 10.5), ("4", 21.25)]),
+            series("rd \"x\"", &[("8", 3.0)]),
+        ];
+        let json = snapshot_json("fig14", true, &s);
+        assert!(json.starts_with("{\"name\":\"fig14\",\"mode\":\"smoke\""));
+        let back = parse_snapshot(&json);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].label, "ring");
+        assert_eq!(
+            back[0].points,
+            vec![("2".to_string(), 10.5), ("4".to_string(), 21.25)]
+        );
+        assert_eq!(back[1].label, "rd \"x\"");
+        assert_eq!(back[1].points, vec![("8".to_string(), 3.0)]);
+        // Byte stability: re-serializing the parse gives identical bytes.
+        assert_eq!(snapshot_json("fig14", true, &back), json);
+    }
+
+    #[test]
+    fn identical_series_pass_check() {
+        let base = vec![series("a", &[("1", 100.0), ("2", 200.0)])];
+        let cur = vec![series("a", &[("1", 100.0), ("2", 200.0)])];
+        assert!(check_series(&base, &cur, 10.0).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        let base = vec![series("a", &[("1", 100.0)])];
+        let slower_ok = vec![series("a", &[("1", 109.0)])];
+        assert!(check_series(&base, &slower_ok, 10.0).is_empty());
+
+        // Synthetically slowed series: +50% must fail the 10% gate.
+        let slowed = vec![series("a", &[("1", 150.0)])];
+        let regs = check_series(&base, &slowed, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].x, "1");
+        assert!((regs[0].delta_pct - 50.0).abs() < 1e-9);
+        let table = render_regressions("fig", &regs, 10.0);
+        assert!(table.contains("FAILED"), "{table}");
+        assert!(table.contains("+50.0%"), "{table}");
+    }
+
+    #[test]
+    fn improvements_are_not_regressions() {
+        let base = vec![series("a", &[("1", 100.0)])];
+        let faster = vec![series("a", &[("1", 10.0)])];
+        assert!(check_series(&base, &faster, 10.0).is_empty());
+    }
+
+    #[test]
+    fn shape_mismatches_fail_the_gate() {
+        let base = vec![series("a", &[("1", 1.0), ("2", 2.0)])];
+        // Missing series.
+        assert_eq!(check_series(&base, &[], 10.0).len(), 1);
+        // Missing point.
+        let cur = vec![series("a", &[("1", 1.0)])];
+        assert_eq!(check_series(&base, &cur, 10.0).len(), 1);
+        // Extra point not covered by the baseline.
+        let cur = vec![series("a", &[("1", 1.0), ("2", 2.0), ("3", 3.0)])];
+        let regs = check_series(&base, &cur, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].x.contains("not in baseline"));
+        // Extra series not covered by the baseline.
+        let cur = vec![
+            series("a", &[("1", 1.0), ("2", 2.0)]),
+            series("b", &[("1", 1.0)]),
+        ];
+        assert_eq!(check_series(&base, &cur, 10.0).len(), 1);
+        // Renders without panicking even with NaN cells.
+        let _ = render_regressions("fig", &check_series(&base, &[], 10.0), 10.0);
+    }
+
+    #[test]
+    fn baseline_path_separates_smoke_and_full() {
+        let smoke = baseline_path("fig14_allgatherv", true);
+        let full = baseline_path("fig14_allgatherv", false);
+        assert!(smoke.ends_with("benches/baselines/fig14_allgatherv.smoke.json"));
+        assert!(full.ends_with("benches/baselines/fig14_allgatherv.full.json"));
+    }
+}

@@ -10,6 +10,66 @@
 use ncd_core::{Comm, MpiConfig};
 use ncd_simnet::{Cluster, ClusterConfig, MetricsRegistry, SimTime, Stats};
 
+pub mod baseline;
+
+pub use baseline::{baseline_mode, check_series, tolerance_pct, BaselineMode};
+
+/// Whether the bench was asked to run reduced problem sizes (`--smoke` on
+/// the command line or `NCD_SMOKE=1` in the environment) — used by CI so
+/// the full figure sweep doesn't run on every push. Baselines written in
+/// smoke mode are stored separately (see [`baseline::baseline_path`]).
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke") || std::env::var("NCD_SMOKE").as_deref() == Ok("1")
+}
+
+/// Apply the requested baseline handling to a bench's gated series.
+///
+/// * `--baseline write`: snapshot `series` under `benches/baselines/`.
+/// * `--baseline check`: compare against the committed snapshot and
+///   **exit nonzero** with a diff table when a point regressed beyond
+///   [`tolerance_pct`] (or the snapshot is missing/shape-mismatched).
+/// * otherwise: no-op.
+///
+/// Gate only lower-is-better series (latencies); derived higher-is-better
+/// series like improvement % must stay out.
+pub fn baseline_gate(name: &str, series: &[Series]) {
+    let smoke = smoke_mode();
+    let path = baseline::baseline_path(name, smoke);
+    match baseline_mode() {
+        BaselineMode::Off => {}
+        BaselineMode::Write => {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).expect("create baseline dir");
+            }
+            std::fs::write(&path, baseline::snapshot_json(name, smoke, series))
+                .expect("write baseline snapshot");
+            println!("baseline written: {}", path.display());
+        }
+        BaselineMode::Check => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!(
+                    "baseline check FAILED for {name}: cannot read {} ({e}); \
+                     run with --baseline write and commit the snapshot",
+                    path.display()
+                );
+                std::process::exit(1);
+            });
+            let base = baseline::parse_snapshot(&text);
+            let tol = tolerance_pct();
+            let regs = check_series(&base, series, tol);
+            if regs.is_empty() {
+                println!(
+                    "baseline check passed: {name} ({} series, tolerance {tol}%)",
+                    series.len()
+                );
+            } else {
+                eprint!("{}", baseline::render_regressions(name, &regs, tol));
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Run `body` on a cluster and return the per-iteration completion time
 /// (max over ranks), plus each rank's stats for breakdown reporting.
 ///

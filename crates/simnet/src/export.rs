@@ -12,6 +12,7 @@
 //! fixed field order (`name, cat, ph, ts, dur, pid, tid, s, args`) so the
 //! output is byte-stable and golden-testable.
 
+use crate::analysis::{CriticalPath, RoundAttribution};
 use crate::metrics::MetricsRegistry;
 use crate::profile::Profiler;
 use crate::time::SimTime;
@@ -90,23 +91,31 @@ pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
         for e in events {
             out.push(',');
             match &e.kind {
-                EventKind::Send { dst, bytes } => complete_event(
+                EventKind::Send { dst, bytes, seq } => complete_event(
                     &mut out,
                     &format!("send to {dst}"),
                     "comm",
                     e.start,
                     e.end,
                     rank,
-                    &format!("\"dst\":{dst},\"bytes\":{bytes}"),
+                    &format!("\"dst\":{dst},\"bytes\":{bytes},\"seq\":{seq}"),
                 ),
-                EventKind::Recv { src, bytes } => complete_event(
+                EventKind::Recv {
+                    src,
+                    bytes,
+                    seq,
+                    wait,
+                } => complete_event(
                     &mut out,
                     &format!("recv from {src}"),
                     "comm",
                     e.start,
                     e.end,
                     rank,
-                    &format!("\"src\":{src},\"bytes\":{bytes}"),
+                    &format!(
+                        "\"src\":{src},\"bytes\":{bytes},\"seq\":{seq},\"wait_ns\":{}",
+                        wait.as_ns()
+                    ),
                 ),
                 EventKind::Span { name } => {
                     complete_event(&mut out, name, "stage", e.start, e.end, rank, "")
@@ -210,6 +219,72 @@ pub fn profile_json(p: &Profiler) -> String {
     out
 }
 
+/// JSON snapshot of a critical-path analysis plus round attribution —
+/// same byte-stable hand-rolled style as the other exports, suitable for
+/// committing as a CI artifact or diffing across commits.
+pub fn analysis_json(path: &CriticalPath, attr: &RoundAttribution) -> String {
+    let mut out = format!(
+        "{{\"makespan_ns\":{},\"message_hops\":{},\"steps\":[",
+        path.makespan.as_ns(),
+        path.message_hops
+    );
+    for (i, s) in path.steps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let op = match &s.op {
+            Some(op) => format!("\"{}\"", json_escape(op)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"rank\":{},\"event\":\"{}\",\"op\":{op},\"start_ns\":{},\"end_ns\":{},\"wait_ns\":{},\"via_message\":{},\"slack_ns\":{}}}",
+            s.rank,
+            json_escape(&s.label),
+            s.start.as_ns(),
+            s.end.as_ns(),
+            s.wait.as_ns(),
+            s.via_message,
+            s.slack.as_ns(),
+        ));
+    }
+    out.push_str("],\"attribution\":[");
+    for (i, (op, ranks)) in attr.per_op.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"op\":\"{}\",\"ranks\":[", json_escape(op)));
+        for (j, s) in ranks.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rounds\":{},\"wait_ns\":{},\"transfer_ns\":{},\"msgs\":{},\"bytes\":{}}}",
+                s.rounds,
+                s.wait.as_ns(),
+                s.transfer.as_ns(),
+                s.msgs,
+                s.bytes,
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write [`analysis_json`] output to `path` (creating parent directories).
+pub fn write_analysis_json(
+    out_path: impl AsRef<std::path::Path>,
+    path: &CriticalPath,
+    attr: &RoundAttribution,
+) -> std::io::Result<()> {
+    let out_path = out_path.as_ref();
+    if let Some(parent) = out_path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(out_path, analysis_json(path, attr))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,12 +318,21 @@ mod tests {
     fn every_kind_serializes() {
         let events = vec![
             TraceEvent {
-                kind: EventKind::Send { dst: 1, bytes: 64 },
+                kind: EventKind::Send {
+                    dst: 1,
+                    bytes: 64,
+                    seq: 7,
+                },
                 start: SimTime(0),
                 end: SimTime(1_000),
             },
             TraceEvent {
-                kind: EventKind::Recv { src: 1, bytes: 64 },
+                kind: EventKind::Recv {
+                    src: 1,
+                    bytes: 64,
+                    seq: 7,
+                    wait: SimTime(250),
+                },
                 start: SimTime(1_000),
                 end: SimTime(2_000),
             },
@@ -281,6 +365,8 @@ mod tests {
         assert!(json.contains("\"name\":\"phase\""));
         assert!(json.contains("\"name\":\"solve/smooth\""));
         assert!(json.contains("\"name\":\"allgatherv/ring round 3\""));
+        assert!(json.contains("\"seq\":7"));
+        assert!(json.contains("\"wait_ns\":250"));
         assert!(json.contains("\"tid\":0"));
         assert!(json.contains("\"dur\":1.000"));
     }
@@ -296,6 +382,50 @@ mod tests {
         assert!(json.contains("\"key\":\"g/h\",\"value\":1.5"));
         assert!(json.contains("\"key\":\"x/y/z\",\"count\":1"));
         assert!(json.contains("\"buckets\":[[127,1]]"));
+    }
+
+    #[test]
+    fn analysis_json_is_well_formed() {
+        use crate::analysis::{HbGraph, OpRankStats, RoundAttribution};
+        let traces = vec![
+            vec![TraceEvent {
+                kind: EventKind::Send {
+                    dst: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+                start: SimTime(0),
+                end: SimTime(100),
+            }],
+            vec![TraceEvent {
+                kind: EventKind::Recv {
+                    src: 0,
+                    bytes: 8,
+                    seq: 0,
+                    wait: SimTime(40),
+                },
+                start: SimTime(60),
+                end: SimTime(200),
+            }],
+        ];
+        let path = HbGraph::build(&traces).critical_path();
+        let mut attr = RoundAttribution::default();
+        attr.per_op.insert(
+            "x/y".to_string(),
+            vec![OpRankStats {
+                rounds: 1,
+                wait: SimTime(40),
+                transfer: SimTime(100),
+                msgs: 2,
+                bytes: 16,
+            }],
+        );
+        let json = analysis_json(&path, &attr);
+        assert!(json.starts_with("{\"makespan_ns\":200,\"message_hops\":1,"));
+        assert!(json.contains("\"via_message\":true"));
+        assert!(json.contains("\"op\":\"x/y\""));
+        assert!(json.contains("\"wait_ns\":40"));
+        assert!(json.ends_with("]}"));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert!(times[1] > times[0]); // the receiver waited for the wire
 //! ```
 
+pub mod analysis;
 pub mod export;
 pub mod mailbox;
 pub mod metrics;
@@ -51,11 +52,17 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use export::{chrome_trace_json, metrics_json, profile_json, write_chrome_trace};
+pub use analysis::{
+    attribute_rounds, imbalance, CriticalPath, HbGraph, Imbalance, OpRankStats, PathStep,
+    RoundAttribution,
+};
+pub use export::{
+    analysis_json, chrome_trace_json, metrics_json, profile_json, write_chrome_trace,
+};
 pub use mailbox::{NetMsg, Tag, ANY_TAG};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
-pub use profile::{Profiler, StageStats};
+pub use profile::{imbalance_report, Profiler, StageStats};
 pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
 pub use stats::{CostKind, Stats};
 pub use time::{CostModel, SimTime};
-pub use trace::{render_timeline, EventKind, TraceEvent};
+pub use trace::{render_timeline, render_timeline_fit, EventKind, TraceEvent, TIMELINE_GUTTER};

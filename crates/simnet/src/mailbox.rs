@@ -33,6 +33,10 @@ pub struct NetMsg {
     pub data: Vec<u8>,
     /// Simulated time at which the last byte is available at the receiver.
     pub arrival: SimTime,
+    /// Sender-assigned correlation id (monotone per sending rank), so a
+    /// traced receive can be paired with the exact send that produced it
+    /// when building the happens-before graph (see [`crate::analysis`]).
+    pub seq: u64,
 }
 
 impl NetMsg {
@@ -111,6 +115,7 @@ mod tests {
             context: 0,
             data: vec![byte],
             arrival: SimTime::ZERO,
+            seq: 0,
         }
     }
 
@@ -130,9 +135,9 @@ mod tests {
     fn out_of_order_arrivals_are_parked_and_matched_fifo() {
         let (tx, rx) = unbounded();
         let mut mb = Mailbox::new(rx);
-        tx.send(msg(1, 5, b'a')).unwrap();
-        tx.send(msg(2, 7, b'b')).unwrap();
-        tx.send(msg(1, 5, b'c')).unwrap();
+        tx.send(msg(1, 5, b'a')).expect("mailbox channel open");
+        tx.send(msg(2, 7, b'b')).expect("mailbox channel open");
+        tx.send(msg(1, 5, b'c')).expect("mailbox channel open");
 
         // Ask for tag 7 first: the two tag-5 messages get parked.
         let m = mb.recv_match(Some(2), Tag(7), 0);
@@ -150,8 +155,8 @@ mod tests {
     fn any_source_matches_earliest_parked() {
         let (tx, rx) = unbounded();
         let mut mb = Mailbox::new(rx);
-        tx.send(msg(4, 1, b'x')).unwrap();
-        tx.send(msg(5, 1, b'y')).unwrap();
+        tx.send(msg(4, 1, b'x')).expect("mailbox channel open");
+        tx.send(msg(5, 1, b'y')).expect("mailbox channel open");
         // Park both.
         assert!(mb.probe(None, Tag(1), 0));
         let m = mb.recv_match(None, Tag(1), 0);
@@ -163,7 +168,7 @@ mod tests {
         let (tx, rx) = unbounded();
         let mut mb = Mailbox::new(rx);
         assert!(!mb.probe(Some(0), Tag(3), 0));
-        tx.send(msg(0, 3, b'z')).unwrap();
+        tx.send(msg(0, 3, b'z')).expect("mailbox channel open");
         assert!(mb.probe(Some(0), Tag(3), 0));
         assert!(mb.probe(Some(0), Tag(3), 0)); // still there
         assert_eq!(mb.recv_match(Some(0), Tag(3), 0).data, vec![b'z']);

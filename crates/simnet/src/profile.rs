@@ -194,6 +194,54 @@ impl Profiler {
     }
 }
 
+/// PETSc `-log_view`-style imbalance table across per-rank profilers:
+/// for each stage path, the max/min/avg inclusive time over ranks and the
+/// max/min ratio. A rank that never entered a stage counts as zero (so a
+/// stage run by only some ranks shows `inf` ratio — total skew).
+///
+/// This complements [`Profiler::report`], which shows the cluster-wide
+/// merged view without spread information.
+pub fn imbalance_report(per_rank: &[Profiler]) -> String {
+    use crate::analysis::{imbalance, render_ratio};
+    let mut paths: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for p in per_rank {
+        paths.extend(p.stages.keys().map(String::as_str));
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<40} {:>8} {:>14} {:>14} {:>14} {:>7}\n",
+        "stage", "count", "max", "min", "avg", "ratio"
+    ));
+    for path in paths {
+        let vals: Vec<f64> = per_rank
+            .iter()
+            .map(|p| {
+                p.stage(path)
+                    .map(|s| s.inclusive.as_ns() as f64)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let b = imbalance(&vals);
+        let count: u64 = per_rank
+            .iter()
+            .filter_map(|p| p.stage(path))
+            .map(|s| s.count)
+            .sum();
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().expect("nonempty path");
+        let label = format!("{}{leaf}", "  ".repeat(depth));
+        out.push_str(&format!(
+            "{label:<40} {:>8} {:>14} {:>14} {:>14} {:>7}\n",
+            count,
+            SimTime::from_ns(b.max as u64).to_string(),
+            SimTime::from_ns(b.min as u64).to_string(),
+            SimTime::from_ns(b.avg as u64).to_string(),
+            render_ratio(b.ratio),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +343,23 @@ mod tests {
         assert!(r.contains("  smooth"), "child must be indented:\n{r}");
         assert!(r.contains("100.0%"));
         assert!(r.contains("60.0%"));
+    }
+
+    #[test]
+    fn imbalance_report_shows_spread_and_total_skew() {
+        let mut a = Profiler::enabled();
+        a.begin("solve", t(0));
+        a.end("solve", t(100));
+        let mut b = Profiler::enabled();
+        b.begin("solve", t(0));
+        b.end("solve", t(300));
+        b.begin("pack", t(300));
+        b.end("pack", t(350));
+        let r = imbalance_report(&[a, b]);
+        assert!(r.contains("solve"), "{r}");
+        assert!(r.contains("3.0"), "solve ratio 300/100:\n{r}");
+        // Only rank 1 ran "pack": min is zero, ratio is total skew.
+        assert!(r.contains("inf"), "{r}");
     }
 
     #[test]

@@ -154,6 +154,7 @@ impl Cluster {
                                 cfg.seed ^ (rank_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                             ),
                             stats: Stats::new(),
+                            send_seq: 0,
                             trace: None,
                             metrics: MetricsRegistry::new(),
                             profiler: Profiler::new(),
@@ -185,6 +186,9 @@ pub struct Rank {
     speed: f64,
     rng: StdRng,
     stats: Stats,
+    /// Monotone per-rank message counter; stamped onto every outgoing
+    /// message as its correlation id (see [`crate::analysis`]).
+    send_seq: u64,
     trace: Option<Vec<TraceEvent>>,
     metrics: MetricsRegistry,
     profiler: Profiler,
@@ -450,9 +454,11 @@ impl Rank {
         };
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        let seq = self.send_seq;
+        self.send_seq += 1;
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent {
-                kind: EventKind::Send { dst, bytes },
+                kind: EventKind::Send { dst, bytes, seq },
                 start: trace_start,
                 end: self.now,
             });
@@ -464,6 +470,7 @@ impl Rank {
                 context,
                 data,
                 arrival,
+                seq,
             })
             .expect("destination rank hung up");
     }
@@ -487,10 +494,11 @@ impl Rank {
     ) -> (Vec<u8>, usize) {
         let trace_start = self.now;
         let msg = self.mailbox.recv_match(src, tag, context);
+        let mut waited = SimTime::ZERO;
         if msg.arrival > self.now {
-            let wait = msg.arrival - self.now;
+            waited = msg.arrival - self.now;
             self.now = msg.arrival;
-            self.charge_span(CostKind::Wait, wait);
+            self.charge_span(CostKind::Wait, waited);
         }
         let overhead = self.cost.recv_overhead_ns + self.jitter_ns();
         self.charge_cpu(CostKind::Comm, overhead);
@@ -501,6 +509,8 @@ impl Rank {
                 kind: EventKind::Recv {
                     src: msg.src,
                     bytes: msg.data.len(),
+                    seq: msg.seq,
+                    wait: waited,
                 },
                 start: trace_start,
                 end: self.now,

@@ -14,10 +14,19 @@ use crate::time::SimTime;
 /// What happened during a traced span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EventKind {
-    /// A message left this rank.
-    Send { dst: usize, bytes: usize },
+    /// A message left this rank. `seq` is the sender-assigned correlation
+    /// id carried by the message, matching the receiver's [`EventKind::Recv`].
+    Send { dst: usize, bytes: usize, seq: u64 },
     /// A message was received (the span includes any blocking wait).
-    Recv { src: usize, bytes: usize },
+    /// `(src, seq)` identifies the matching send; `wait` is the portion of
+    /// the span spent blocked because the message had not yet arrived in
+    /// simulated time (zero when it was already waiting in the mailbox).
+    Recv {
+        src: usize,
+        bytes: usize,
+        seq: u64,
+        wait: SimTime,
+    },
     /// A user-defined marker (phase boundaries and the like). Owned so
     /// markers can be dynamically named (`format!("vcycle-{i}")`).
     Mark { label: String },
@@ -65,14 +74,29 @@ fn cell_char(kind: &EventKind) -> u8 {
     }
 }
 
+/// Width of the fixed `rank NNN |` label gutter that
+/// [`render_timeline_fit`] reserves before the timeline cells (the closing
+/// `|` adds one more column).
+pub const TIMELINE_GUTTER: usize = 10;
+
+/// [`render_timeline`] sized to a terminal: `total_width` is the whole
+/// line budget *including* the label gutter and both `|` borders. Widths
+/// smaller than the gutter never underflow — the timeline degrades to a
+/// single column instead.
+pub fn render_timeline_fit(traces: &[Vec<TraceEvent>], total_width: usize) -> String {
+    render_timeline(traces, total_width.saturating_sub(TIMELINE_GUTTER + 2))
+}
+
 /// Render a set of per-rank traces as an ASCII timeline: one row per rank,
 /// `width` columns spanning `[0, horizon]`, with `s`/`r` cells for
 /// send/receive activity, `=` for profiling spans, `|`/`^` for marks and
 /// collective rounds, and `.` for idle/compute time. When events overlap
 /// in a cell the highest-priority one wins (mark > round > recv > send >
 /// span > idle), so zero-length markers are never hidden by the activity
-/// around them.
+/// around them. A `width` of zero is clamped to one column, so callers
+/// computing widths from a terminal size cannot underflow the renderer.
 pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
+    let width = width.max(1);
     let horizon = traces
         .iter()
         .flat_map(|t| t.iter().map(|e| e.end))
@@ -124,14 +148,17 @@ mod tests {
         assert_eq!(out[0].len(), 1);
         assert_eq!(out[1].len(), 1);
         match &out[0][0].kind {
-            EventKind::Send { dst, bytes } => {
+            EventKind::Send { dst, bytes, .. } => {
                 assert_eq!((*dst, *bytes), (1, 1200));
             }
             other => panic!("expected send, got {other:?}"),
         }
         match &out[1][0].kind {
-            EventKind::Recv { src, bytes } => {
+            EventKind::Recv {
+                src, bytes, wait, ..
+            } => {
                 assert_eq!((*src, *bytes), (0, 1200));
+                assert!(*wait > SimTime::ZERO, "receiver posted first, must wait");
             }
             other => panic!("expected recv, got {other:?}"),
         }
@@ -206,8 +233,17 @@ mod tests {
             span(EventKind::Mark {
                 label: "m".to_string(),
             }),
-            span(EventKind::Recv { src: 0, bytes: 1 }),
-            span(EventKind::Send { dst: 0, bytes: 1 }),
+            span(EventKind::Recv {
+                src: 0,
+                bytes: 1,
+                seq: 0,
+                wait: SimTime::ZERO,
+            }),
+            span(EventKind::Send {
+                dst: 0,
+                bytes: 1,
+                seq: 0,
+            }),
             span(EventKind::Span {
                 name: "stage".to_string(),
             }),
@@ -222,11 +258,20 @@ mod tests {
 
         // Without the mark, recv wins over send and span.
         let events = vec![
-            span(EventKind::Send { dst: 0, bytes: 1 }),
+            span(EventKind::Send {
+                dst: 0,
+                bytes: 1,
+                seq: 0,
+            }),
             span(EventKind::Span {
                 name: "stage".to_string(),
             }),
-            span(EventKind::Recv { src: 0, bytes: 1 }),
+            span(EventKind::Recv {
+                src: 0,
+                bytes: 1,
+                seq: 0,
+                wait: SimTime::ZERO,
+            }),
         ];
         let art = render_timeline(&[events], 10);
         assert!(
@@ -244,7 +289,11 @@ mod tests {
                 end: SimTime(100),
             },
             TraceEvent {
-                kind: EventKind::Send { dst: 0, bytes: 1 },
+                kind: EventKind::Send {
+                    dst: 0,
+                    bytes: 1,
+                    seq: 0,
+                },
                 start: SimTime(0),
                 end: SimTime(50),
             },
@@ -269,7 +318,11 @@ mod tests {
                 end: SimTime(50),
             },
             TraceEvent {
-                kind: EventKind::Send { dst: 0, bytes: 1 },
+                kind: EventKind::Send {
+                    dst: 0,
+                    bytes: 1,
+                    seq: 0,
+                },
                 start: SimTime(0),
                 end: SimTime(100),
             },
@@ -301,5 +354,49 @@ mod tests {
     fn empty_timeline_is_rendered_gracefully() {
         let art = render_timeline(&[vec![], vec![]], 10);
         assert!(art.contains("rank   0 |..........|"));
+    }
+
+    #[test]
+    fn one_column_render_never_underflows() {
+        // A width of 1 (and even a degenerate 0, which clamps to 1) must
+        // produce aligned single-cell rows, not panic or misalign.
+        let events = vec![TraceEvent {
+            kind: EventKind::Send {
+                dst: 0,
+                bytes: 1,
+                seq: 0,
+            },
+            start: SimTime(0),
+            end: SimTime(100),
+        }];
+        for width in [0, 1] {
+            let art = render_timeline(std::slice::from_ref(&events), width);
+            assert!(art.contains("rank   0 |s|"), "width {width}:\n{art}");
+            assert!(art.lines().all(|l| !l.contains("||")), "no empty cells");
+        }
+    }
+
+    #[test]
+    fn fit_subtracts_gutter_and_degrades_to_one_column() {
+        let events = vec![TraceEvent {
+            kind: EventKind::Send {
+                dst: 0,
+                bytes: 1,
+                seq: 0,
+            },
+            start: SimTime(0),
+            end: SimTime(100),
+        }];
+        // A generous terminal: every line fits the budget exactly or less.
+        let art = render_timeline_fit(std::slice::from_ref(&events), 40);
+        assert!(art
+            .lines()
+            .filter(|l| l.starts_with("rank"))
+            .all(|l| l.len() <= 40));
+        assert!(art.contains(&"s".repeat(40 - TIMELINE_GUTTER - 2)));
+        // A terminal narrower than the gutter: saturates to one column
+        // instead of underflowing.
+        let art = render_timeline_fit(std::slice::from_ref(&events), 3);
+        assert!(art.contains("rank   0 |s|"), "{art}");
     }
 }

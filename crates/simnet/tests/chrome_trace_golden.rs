@@ -243,7 +243,15 @@ fn fixture() -> Vec<Vec<TraceEvent>> {
                 0,
                 5_000,
             ),
-            ev(EventKind::Send { dst: 1, bytes: 256 }, 100, 1_300),
+            ev(
+                EventKind::Send {
+                    dst: 1,
+                    bytes: 256,
+                    seq: 0,
+                },
+                100,
+                1_300,
+            ),
             ev(
                 EventKind::Mark {
                     label: "phase \"two\"".to_string(),
@@ -260,7 +268,16 @@ fn fixture() -> Vec<Vec<TraceEvent>> {
                 2_000,
             ),
         ],
-        vec![ev(EventKind::Recv { src: 0, bytes: 256 }, 100, 2_345)],
+        vec![ev(
+            EventKind::Recv {
+                src: 0,
+                bytes: 256,
+                seq: 0,
+                wait: SimTime(945),
+            },
+            100,
+            2_345,
+        )],
     ]
 }
 

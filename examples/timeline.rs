@@ -13,7 +13,7 @@
 
 use nucomm::core::{Comm, MpiConfig, WPeer};
 use nucomm::datatype::Datatype;
-use nucomm::simnet::{render_timeline, write_chrome_trace, Cluster, ClusterConfig, TraceEvent};
+use nucomm::simnet::{render_timeline_fit, write_chrome_trace, Cluster, ClusterConfig, TraceEvent};
 
 const RANKS: usize = 8;
 
@@ -52,7 +52,7 @@ fn main() {
         let traces = run(cfg, RANKS);
         let total_events: usize = traces.iter().map(Vec::len).sum();
         println!("--- {label} ({total_events} message events) ---");
-        println!("{}", render_timeline(&traces, 64));
+        println!("{}", render_timeline_fit(&traces, 76)); // 76-col terminal budget
     }
     println!("The baseline's rows are full of synchronization (zero-byte");
     println!("round-robin steps with all {RANKS} peers); the optimized rows touch");
