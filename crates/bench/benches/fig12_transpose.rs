@@ -9,26 +9,32 @@
 //! matrix size, while the dual-context engine stays linear.
 //!
 //! Paper result: >85% improvement at 1024x1024, growing with size.
+//!
+//! The run collects `datatype/*` pack-pipeline metrics, so the report ends
+//! with a `-log_view`-style per-engine table (blocks, sparse/dense mix,
+//! seek segments) that makes the quadratic re-search directly visible.
 
-use ncd_bench::{improvement_pct, report, time_phase, Series};
+use ncd_bench::{improvement_pct, report_with_metrics, time_phase_metrics, Series};
 use ncd_core::MpiConfig;
 use ncd_datatype::{matrix_column_type, Datatype};
-use ncd_simnet::{ClusterConfig, SimTime, Tag};
+use ncd_simnet::{ClusterConfig, MetricsRegistry, SimTime, Tag};
 
-fn transpose_latency(n: usize, cfg: MpiConfig) -> SimTime {
+fn transpose_latency(n: usize, cfg: MpiConfig, merged: &mut MetricsRegistry) -> SimTime {
     let bytes = n * n * 24;
     let reps = if n <= 256 { 3 } else { 1 };
-    let (t, _) = time_phase(ClusterConfig::uniform(2), cfg, reps, move |comm, _| {
-        let col = matrix_column_type(n, n, 3).expect("column type");
-        if comm.rank() == 0 {
-            let src = vec![1u8; bytes];
-            comm.send(&src, &col, n, 1, Tag(1));
-        } else {
-            let mut dst = vec![0u8; bytes];
-            let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
-            comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
-        }
-    });
+    let (t, _, metrics) =
+        time_phase_metrics(ClusterConfig::uniform(2), cfg, reps, move |comm, _| {
+            let col = matrix_column_type(n, n, 3).expect("column type");
+            if comm.rank() == 0 {
+                let src = vec![1u8; bytes];
+                comm.send(&src, &col, n, 1, Tag(1));
+            } else {
+                let mut dst = vec![0u8; bytes];
+                let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
+                comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
+            }
+        });
+    merged.merge(&metrics);
     t
 }
 
@@ -37,18 +43,20 @@ fn main() {
     let mut base = Series::new("MVAPICH2-0.9.5");
     let mut new = Series::new("MVAPICH2-New");
     let mut imp = Series::new("improvement-%");
+    let mut metrics = MetricsRegistry::enabled();
     for &n in &sizes {
-        let tb = transpose_latency(n, MpiConfig::baseline());
-        let tn = transpose_latency(n, MpiConfig::optimized());
+        let tb = transpose_latency(n, MpiConfig::baseline(), &mut metrics);
+        let tn = transpose_latency(n, MpiConfig::optimized(), &mut metrics);
         let label = format!("{n}x{n}");
         base.push(label.clone(), tb.as_ms());
         new.push(label.clone(), tn.as_ms());
         imp.push(label, improvement_pct(tb, tn));
     }
-    report(
+    report_with_metrics(
         "fig12_transpose",
         "matrix",
         "latency (msec)",
         &[base, new, imp],
+        Some(&metrics),
     );
 }

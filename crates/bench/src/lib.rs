@@ -63,11 +63,92 @@ pub fn baseline_gate(name: &str, series: &[Series]) {
                     series.len()
                 );
             } else {
-                eprint!("{}", baseline::render_regressions(name, &regs, tol));
+                eprint!("{}", gate_failure_report(name, &regs, tol));
                 std::process::exit(1);
             }
         }
     }
+}
+
+/// Compose the full failure output for a baseline-gate regression: the
+/// regression diff table followed by the flight recorder's last-window
+/// events for every rank of the most recent cluster run — the moments
+/// right before the regression was measured. The dump is also written to
+/// `target/flight/<name>.flight.txt` (for CI artifact upload) and handed
+/// to the process anomaly hook ([`ncd_simnet::dump_on`]) as a
+/// [`ncd_simnet::Anomaly::BaselineRegression`].
+///
+/// Split out of [`baseline_gate`] so tests can exercise the whole failure
+/// path without exiting the process.
+pub fn gate_failure_report(name: &str, regs: &[baseline::Regression], tol: f64) -> String {
+    let mut out = baseline::render_regressions(name, regs, tol);
+    if let Some(dump) = ncd_simnet::last_run_dump() {
+        out.push_str(&dump);
+        let dir = std::path::Path::new("target").join("flight");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{name}.flight.txt"));
+            if std::fs::write(&path, &dump).is_ok() {
+                out.push_str(&format!(
+                    "flight recorder dump written: {}\n",
+                    path.display()
+                ));
+            }
+        }
+        ncd_simnet::trigger(
+            &ncd_simnet::Anomaly::BaselineRegression {
+                name: name.to_string(),
+            },
+            &dump,
+        );
+    }
+    out
+}
+
+/// `-log_view`-style summary of the datatype pack pipeline, built from the
+/// `datatype/*` metrics that the communication layer records per pipeline
+/// block. One row per engine: blocks processed, sparse/dense classification
+/// mix, total context-search segments (the quadratic signal), per-block
+/// search and look-ahead averages, and bytes produced. Returns `None` when
+/// the registry saw no datatype activity.
+pub fn datatype_report(reg: &MetricsRegistry) -> Option<String> {
+    let mut engines: Vec<String> = reg
+        .counters()
+        .filter(|(k, _)| k.subsystem == "datatype" && k.op == "blocks")
+        .map(|(k, _)| k.algorithm.clone())
+        .collect();
+    engines.sort();
+    engines.dedup();
+    if engines.is_empty() {
+        return None;
+    }
+    let mut out = String::from("\n=== datatype pack pipeline ===\n");
+    out.push_str(&format!(
+        "{:<16}{:>8}{:>8}{:>8}{:>12}{:>10}{:>12}{:>12}\n",
+        "engine", "blocks", "sparse", "dense", "seek segs", "seek/blk", "lookahd/blk", "bytes"
+    ));
+    for e in &engines {
+        let blocks = reg.counter("datatype", "blocks", e);
+        let sparse = reg.counter("datatype", "sparse_blocks", e);
+        let dense = reg.counter("datatype", "dense_blocks", e);
+        let seek = reg.counter("datatype", "seek_total", e);
+        let seek_per_block = if blocks > 0 {
+            seek as f64 / blocks as f64
+        } else {
+            0.0
+        };
+        let lookahead_per_block = reg
+            .histogram("datatype", "lookahead_window", e)
+            .map(|h| h.mean())
+            .unwrap_or(0.0);
+        let bytes = reg
+            .histogram("datatype", "block_bytes", e)
+            .map(|h| h.sum())
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "{e:<16}{blocks:>8}{sparse:>8}{dense:>8}{seek:>12}{seek_per_block:>10.1}{lookahead_per_block:>12.1}{bytes:>12}\n"
+        ));
+    }
+    Some(out)
 }
 
 /// Run `body` on a cluster and return the per-iteration completion time
@@ -218,6 +299,12 @@ fn report_impl(
             }
         }
         println!();
+    }
+
+    // The pack-pipeline summary rides along whenever the collected metrics
+    // saw datatype-engine activity (noncontiguous sends).
+    if let Some(table) = metrics.and_then(datatype_report) {
+        print!("{table}");
     }
 
     // CSV alongside (best effort; benches may run in read-only setups).
@@ -409,6 +496,87 @@ mod tests {
         assert!(json.contains("\"points\":[[\"64\",1.5]]"));
         assert!(json.contains("\"key\":\"a/b/c\",\"value\":7"));
         assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn datatype_report_summarizes_engines() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.counter_add("datatype", "blocks", "single-context", 4);
+        reg.counter_add("datatype", "sparse_blocks", "single-context", 3);
+        reg.counter_add("datatype", "dense_blocks", "single-context", 1);
+        reg.counter_add("datatype", "seek_total", "single-context", 120);
+        reg.observe("datatype", "lookahead_window", "single-context", 8);
+        reg.observe("datatype", "block_bytes", "single-context", 4096);
+        reg.counter_add("datatype", "blocks", "dual-context", 4);
+        let table = datatype_report(&reg).expect("datatype activity present");
+        assert!(table.contains("datatype pack pipeline"));
+        assert!(table.contains("single-context"));
+        assert!(table.contains("dual-context"));
+        // 120 seeks over 4 blocks = 30.0 per block.
+        assert!(table.contains("30.0"), "table:\n{table}");
+        assert!(table.contains("4096"), "table:\n{table}");
+    }
+
+    #[test]
+    fn datatype_report_empty_without_pack_activity() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.counter_add("allgatherv", "bytes", "ring", 7);
+        assert!(datatype_report(&reg).is_none());
+    }
+
+    #[test]
+    fn gate_failure_report_attaches_flight_dump() {
+        // Run a cluster with noncontiguous traffic so the flight recorder
+        // captures pack-pipeline events, then force a regression. The
+        // last-run recorder set is process-global and sibling tests also
+        // run clusters, so retry until our run is the one on record.
+        use ncd_datatype::matrix_column_type;
+        use ncd_simnet::Tag;
+        let run_cluster = || {
+            let mut cfg = MpiConfig::baseline();
+            cfg.engine.block_size = 4096;
+            Cluster::new(ClusterConfig::uniform(2)).run(move |rank| {
+                let mut comm = Comm::new(rank, cfg.clone());
+                let col = matrix_column_type(32, 32, 3).unwrap();
+                let n = 32 * 32 * 24;
+                if comm.rank() == 0 {
+                    comm.send(&vec![1u8; n], &col, 32, 1, Tag(0));
+                } else {
+                    let mut dst = vec![0u8; n];
+                    let row =
+                        ncd_datatype::Datatype::contiguous(n, &ncd_datatype::Datatype::byte())
+                            .unwrap();
+                    comm.recv(&mut dst, &row, 1, Some(0), Tag(0));
+                }
+            });
+        };
+        let regs = vec![baseline::Regression {
+            series: "latency".into(),
+            x: "1024".into(),
+            baseline: 10.0,
+            current: 20.0,
+            delta_pct: 100.0,
+        }];
+        let mut report = String::new();
+        for _ in 0..10 {
+            run_cluster();
+            report = gate_failure_report("unit_test_gate_fig", &regs, 10.0);
+            if report.contains("pack-block engine=single-context") {
+                break;
+            }
+        }
+        assert!(report.contains("baseline check FAILED"));
+        assert!(
+            report.contains("flight recorder: last events per rank"),
+            "report missing dump:\n{report}"
+        );
+        assert!(
+            report.contains("pack-block engine=single-context"),
+            "dump missing pack events:\n{report}"
+        );
+        let on_disk = std::fs::read_to_string("target/flight/unit_test_gate_fig.flight.txt")
+            .expect("flight dump written for artifact upload");
+        assert!(on_disk.contains("pack-block engine=single-context"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use ncd_datatype::{Datatype, OpCounts, Unpacker};
+use ncd_datatype::{BlockMode, Datatype, LastBlock, OpCounts, Unpacker};
 use ncd_simnet::{CostKind, Rank, Tag};
 
 use crate::config::MpiConfig;
@@ -202,6 +202,8 @@ impl<'a> Comm<'a> {
     }
 
     /// Charge the time cost of executed datatype-engine operations.
+    /// Charge the simulated clock for a batch of executed datatype engine
+    /// operations (either a whole stream, or one pipeline block's delta).
     pub(crate) fn charge_op_counts(&mut self, c: &OpCounts) {
         let model = self.rank.cost_model().clone();
         if c.searched_segments > 0 {
@@ -265,6 +267,13 @@ impl<'a> Comm<'a> {
     }
 
     /// Produce the wire bytes for a typed message, charging pack costs.
+    ///
+    /// The engine is driven block by block: each pipeline block's op-count
+    /// delta is charged to the simulated clock as it is produced, and the
+    /// block is reported through [`Rank::observe_pack_block`] — into the
+    /// always-on flight recorder, the trace's `dt` lane / Chrome datatype
+    /// track, and the `datatype/*` metrics histograms. Aggregate totals are
+    /// identical to one-shot charging up to per-charge nanosecond rounding.
     pub(crate) fn prepare_send(&mut self, buf: &[u8], dt: &Datatype, count: usize) -> Vec<u8> {
         let total = dt.size() * count;
         if total == 0 {
@@ -277,12 +286,33 @@ impl<'a> Comm<'a> {
             .cfg
             .engine_kind()
             .build(dt, count, self.cfg.engine.clone());
-        let mut counts = OpCounts::default();
-        let payload = engine
-            .pack_all(buf, &mut counts)
-            .expect("datatype out of bounds during send");
-        self.charge_op_counts(&counts);
         let name = engine.name();
+        let mut counts = OpCounts::default();
+        let mut prev = OpCounts::default();
+        let mut observer = LastBlock::default();
+        let mut payload = Vec::with_capacity(total);
+        loop {
+            let block_start = self.rank.now();
+            observer.0 = None;
+            let block = engine
+                .next_block_observed(buf, &mut counts, &mut observer)
+                .expect("datatype out of bounds during send");
+            let Some(block) = block else { break };
+            self.charge_op_counts(&op_counts_delta(&counts, &prev));
+            prev = counts;
+            if let Some(obs) = observer.0 {
+                self.rank.observe_pack_block(
+                    name,
+                    block_start,
+                    obs.index,
+                    obs.mode == BlockMode::Packed,
+                    obs.seek_segments,
+                    obs.lookahead_segments,
+                    obs.bytes,
+                );
+            }
+            payload.extend_from_slice(&block.data);
+        }
         self.record_engine_metrics(name, &counts);
         payload
     }
@@ -361,6 +391,20 @@ impl<'a> Comm<'a> {
     pub fn recv_f64s(&mut self, src: Option<usize>, tag: Tag) -> (Vec<f64>, usize) {
         let (bytes, actual) = self.recv_grp(src, tag);
         (bytes_to_f64s(&bytes), actual)
+    }
+}
+
+/// Per-block delta between two cumulative [`OpCounts`] snapshots.
+fn op_counts_delta(cur: &OpCounts, prev: &OpCounts) -> OpCounts {
+    OpCounts {
+        searched_segments: cur.searched_segments - prev.searched_segments,
+        lookahead_segments: cur.lookahead_segments - prev.lookahead_segments,
+        packed_segments: cur.packed_segments - prev.packed_segments,
+        packed_bytes: cur.packed_bytes - prev.packed_bytes,
+        direct_segments: cur.direct_segments - prev.direct_segments,
+        direct_bytes: cur.direct_bytes - prev.direct_bytes,
+        packed_blocks: cur.packed_blocks - prev.packed_blocks,
+        direct_blocks: cur.direct_blocks - prev.direct_blocks,
     }
 }
 
@@ -480,6 +524,111 @@ mod tests {
         opt.engine.block_size = 4096;
         assert!(run(base)[0] > 0, "baseline should charge search time");
         assert_eq!(run(opt)[0], 0, "optimized must never search");
+    }
+
+    #[test]
+    fn noncontiguous_send_feeds_pack_observability() {
+        // A real typed send must report every pipeline block into the
+        // datatype/* metrics, the trace's PackBlock track, and the
+        // always-on flight recorder.
+        let mut cfg = MpiConfig::baseline();
+        cfg.engine.block_size = 4096;
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(move |rank| {
+            rank.enable_tracing();
+            rank.enable_metrics();
+            let mut comm = Comm::new(rank, cfg.clone());
+            let col = matrix_column_type(64, 64, 3).unwrap();
+            let n = 64 * 64 * 24;
+            if comm.rank() == 0 {
+                let src = vec![3u8; n];
+                comm.send(&src, &col, 64, 1, Tag(0));
+                let blocks =
+                    comm.rank_ref()
+                        .metrics()
+                        .counter("datatype", "blocks", "single-context");
+                let seek =
+                    comm.rank_ref()
+                        .metrics()
+                        .counter("datatype", "seek_total", "single-context");
+                let pack_events = comm
+                    .rank_mut()
+                    .take_trace()
+                    .iter()
+                    .filter(|e| matches!(e.kind, ncd_simnet::EventKind::PackBlock { .. }))
+                    .count() as u64;
+                let flight = comm
+                    .rank_ref()
+                    .flight_recorder()
+                    .snapshot()
+                    .iter()
+                    .filter(|r| r.code == ncd_simnet::RecCode::PackBlock)
+                    .count() as u64;
+                Some((blocks, seek, pack_events, flight))
+            } else {
+                let mut dst = vec![0u8; n];
+                let row = Datatype::contiguous(n, &Datatype::byte()).unwrap();
+                comm.recv(&mut dst, &row, 1, Some(0), Tag(0));
+                None
+            }
+        });
+        let (blocks, seek, pack_events, flight) = out[0].unwrap();
+        assert!(
+            blocks > 1,
+            "expected multiple pipeline blocks, got {blocks}"
+        );
+        assert!(seek > 0, "single-context must report seek segments");
+        assert_eq!(pack_events, blocks, "one trace span per pipeline block");
+        assert_eq!(flight, blocks, "one flight-recorder event per block");
+    }
+
+    #[test]
+    fn per_block_charging_matches_engine_totals() {
+        // Driving the engine block by block must charge the same op counts
+        // (and therefore report the same metrics) as a one-shot pack.
+        let mut cfg = MpiConfig::optimized();
+        cfg.engine.block_size = 4096;
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(move |rank| {
+            rank.enable_metrics();
+            let mut comm = Comm::new(rank, cfg.clone());
+            let col = matrix_column_type(64, 64, 3).unwrap();
+            let n = 64 * 64 * 24;
+            if comm.rank() == 0 {
+                let src = vec![5u8; n];
+                comm.send(&src, &col, 64, 1, Tag(0));
+                let m = comm.rank_ref().metrics();
+                let per_block_bytes = m
+                    .histogram("datatype", "block_bytes", "dual-context")
+                    .map(|h| h.sum())
+                    .unwrap_or(0);
+                let engine_bytes = m
+                    .histogram("engine", "bytes", "dual-context")
+                    .map(|h| h.sum())
+                    .unwrap_or(0);
+                Some((
+                    engine_bytes,
+                    per_block_bytes,
+                    m.counter("datatype", "blocks", "dual-context"),
+                    m.counter("datatype", "seek_total", "dual-context"),
+                ))
+            } else {
+                let mut dst = vec![0u8; n];
+                let row = Datatype::contiguous(n, &Datatype::byte()).unwrap();
+                comm.recv(&mut dst, &row, 1, Some(0), Tag(0));
+                None
+            }
+        });
+        let (engine_bytes, per_block_bytes, blocks, seek) = out[0].unwrap();
+        assert_eq!(
+            engine_bytes,
+            64 * 64 * 24,
+            "engine totals must cover every byte"
+        );
+        assert_eq!(
+            per_block_bytes, engine_bytes,
+            "per-block observations must sum to the engine total"
+        );
+        assert!(blocks > 1);
+        assert_eq!(seek, 0, "dual-context never re-searches");
     }
 
     #[test]

@@ -133,6 +133,13 @@ impl TypeCursor {
         (out, visited)
     }
 
+    /// Ordinal of the segment the cursor currently sits in, counted across
+    /// replicas (`replica * segments_per_replica + segment`). Observability
+    /// uses this to label where a pipeline block's window began.
+    pub fn segment_ordinal(&self) -> u64 {
+        (self.rep * self.dt.num_segments() + self.seg) as u64
+    }
+
     /// Rewind to the beginning of the stream.
     pub fn rewind(&mut self) {
         self.rep = 0;

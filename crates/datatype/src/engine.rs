@@ -29,6 +29,7 @@
 use crate::cursor::{MemRange, TypeCursor};
 use crate::desc::Datatype;
 use crate::error::{Result, TypeError};
+use crate::observe::{BlockObservation, NullObserver, PackObserver};
 
 /// Tunables of the pipeline and density classifier.
 #[derive(Clone, Debug)]
@@ -112,14 +113,35 @@ pub trait PackEngine {
     fn name(&self) -> &'static str;
 
     /// Produce the next pipeline block from `src`, or `None` when the
-    /// message is complete. Operation counts accumulate into `counts`.
-    fn next_block(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Option<Block>>;
+    /// message is complete. Operation counts accumulate into `counts`, and
+    /// `observer` receives one [`BlockObservation`] per produced block.
+    fn next_block_observed(
+        &mut self,
+        src: &[u8],
+        counts: &mut OpCounts,
+        observer: &mut dyn PackObserver,
+    ) -> Result<Option<Block>>;
+
+    /// Produce the next pipeline block without observation.
+    fn next_block(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Option<Block>> {
+        self.next_block_observed(src, counts, &mut NullObserver)
+    }
 
     /// Drain the whole stream, concatenating all blocks (convenience for
     /// tests and non-pipelined callers).
     fn pack_all(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Vec<u8>> {
+        self.pack_all_observed(src, counts, &mut NullObserver)
+    }
+
+    /// Drain the whole stream under observation.
+    fn pack_all_observed(
+        &mut self,
+        src: &[u8],
+        counts: &mut OpCounts,
+        observer: &mut dyn PackObserver,
+    ) -> Result<Vec<u8>> {
         let mut out = Vec::new();
-        while let Some(b) = self.next_block(src, counts)? {
+        while let Some(b) = self.next_block_observed(src, counts, observer)? {
             out.extend_from_slice(&b.data);
         }
         Ok(out)
@@ -161,6 +183,7 @@ fn classify(ranges: &[MemRange], dense_threshold: usize) -> BlockMode {
 pub struct SingleContextEngine {
     cursor: TypeCursor,
     params: EngineParams,
+    block_index: u64,
 }
 
 impl SingleContextEngine {
@@ -168,6 +191,7 @@ impl SingleContextEngine {
         SingleContextEngine {
             cursor: TypeCursor::new(dt, count),
             params,
+            block_index: 0,
         }
     }
 }
@@ -177,11 +201,17 @@ impl PackEngine for SingleContextEngine {
         "single-context"
     }
 
-    fn next_block(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Option<Block>> {
+    fn next_block_observed(
+        &mut self,
+        src: &[u8],
+        counts: &mut OpCounts,
+        observer: &mut dyn PackObserver,
+    ) -> Result<Option<Block>> {
         if self.cursor.is_done() {
             return Ok(None);
         }
         let pre_lookahead = self.cursor.packed_offset();
+        let window_start_segment = self.cursor.segment_ordinal();
 
         // Look-ahead: advance THE context over the window, recording the
         // ranges seen (they double as the iovec in the dense case).
@@ -211,6 +241,16 @@ impl PackEngine for SingleContextEngine {
                 counts.direct_segments += window.len() as u64;
                 counts.direct_bytes += window_bytes as u64;
                 counts.direct_blocks += 1;
+                observer.on_block(&BlockObservation {
+                    index: self.block_index,
+                    mode: BlockMode::Direct,
+                    seek_segments: 0,
+                    seek_target: 0,
+                    lookahead_segments: window.len() as u64,
+                    window_start_segment,
+                    bytes: window_bytes as u64,
+                });
+                self.block_index += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Direct,
@@ -221,7 +261,8 @@ impl PackEngine for SingleContextEngine {
                 // single context has moved past it. Recover by re-searching
                 // the entire datatype from the beginning — the quadratic
                 // pathology.
-                counts.searched_segments += self.cursor.search_from_start(pre_lookahead);
+                let seek_segments = self.cursor.search_from_start(pre_lookahead);
+                counts.searched_segments += seek_segments;
 
                 let mut data = Vec::with_capacity(self.params.block_size);
                 let mut packed = 0usize;
@@ -239,6 +280,16 @@ impl PackEngine for SingleContextEngine {
                 counts.packed_segments += segs;
                 counts.packed_bytes += packed as u64;
                 counts.packed_blocks += 1;
+                observer.on_block(&BlockObservation {
+                    index: self.block_index,
+                    mode: BlockMode::Packed,
+                    seek_segments,
+                    seek_target: pre_lookahead as u64,
+                    lookahead_segments: window.len() as u64,
+                    window_start_segment,
+                    bytes: packed as u64,
+                });
+                self.block_index += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Packed,
@@ -254,6 +305,7 @@ impl PackEngine for SingleContextEngine {
 pub struct DualContextEngine {
     pack_cursor: TypeCursor,
     params: EngineParams,
+    block_index: u64,
 }
 
 impl DualContextEngine {
@@ -261,6 +313,7 @@ impl DualContextEngine {
         DualContextEngine {
             pack_cursor: TypeCursor::new(dt, count),
             params,
+            block_index: 0,
         }
     }
 }
@@ -270,10 +323,16 @@ impl PackEngine for DualContextEngine {
         "dual-context"
     }
 
-    fn next_block(&mut self, src: &[u8], counts: &mut OpCounts) -> Result<Option<Block>> {
+    fn next_block_observed(
+        &mut self,
+        src: &[u8],
+        counts: &mut OpCounts,
+        observer: &mut dyn PackObserver,
+    ) -> Result<Option<Block>> {
         if self.pack_cursor.is_done() {
             return Ok(None);
         }
+        let window_start_segment = self.pack_cursor.segment_ordinal();
 
         // Context 1 (look-ahead): a snapshot of the pack context, rolled
         // forward over the signature only. This is the "redundant parsing"
@@ -302,6 +361,16 @@ impl PackEngine for DualContextEngine {
                 counts.direct_segments += segs;
                 counts.direct_bytes += shipped as u64;
                 counts.direct_blocks += 1;
+                observer.on_block(&BlockObservation {
+                    index: self.block_index,
+                    mode: BlockMode::Direct,
+                    seek_segments: 0,
+                    seek_target: 0,
+                    lookahead_segments: visited,
+                    window_start_segment,
+                    bytes: shipped as u64,
+                });
+                self.block_index += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Direct,
@@ -326,6 +395,16 @@ impl PackEngine for DualContextEngine {
                 counts.packed_segments += segs;
                 counts.packed_bytes += packed as u64;
                 counts.packed_blocks += 1;
+                observer.on_block(&BlockObservation {
+                    index: self.block_index,
+                    mode: BlockMode::Packed,
+                    seek_segments: 0,
+                    seek_target: 0,
+                    lookahead_segments: visited,
+                    window_start_segment,
+                    bytes: packed as u64,
+                });
+                self.block_index += 1;
                 Ok(Some(Block {
                     data,
                     mode: BlockMode::Packed,
@@ -611,6 +690,122 @@ mod tests {
             nblocks += 1;
         }
         assert!(counts.lookahead_segments <= nblocks * 4);
+    }
+
+    #[test]
+    fn op_counts_merge_sums_every_field() {
+        let a = OpCounts {
+            searched_segments: 1,
+            lookahead_segments: 2,
+            packed_segments: 3,
+            packed_bytes: 4,
+            direct_segments: 5,
+            direct_bytes: 6,
+            packed_blocks: 7,
+            direct_blocks: 8,
+        };
+        let b = OpCounts {
+            searched_segments: 10,
+            lookahead_segments: 20,
+            packed_segments: 30,
+            packed_bytes: 40,
+            direct_segments: 50,
+            direct_bytes: 60,
+            packed_blocks: 70,
+            direct_blocks: 80,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(
+            merged,
+            OpCounts {
+                searched_segments: 11,
+                lookahead_segments: 22,
+                packed_segments: 33,
+                packed_bytes: 44,
+                direct_segments: 55,
+                direct_bytes: 66,
+                packed_blocks: 77,
+                direct_blocks: 88,
+            }
+        );
+        // Merging a default is the identity.
+        let mut ident = a;
+        ident.merge(&OpCounts::default());
+        assert_eq!(ident, a);
+    }
+
+    #[test]
+    fn op_counts_total_bytes_sums_both_paths() {
+        let c = OpCounts {
+            packed_bytes: 100,
+            direct_bytes: 28,
+            ..OpCounts::default()
+        };
+        assert_eq!(c.total_bytes(), 128);
+        assert_eq!(OpCounts::default().total_bytes(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_block_and_matches_counts() {
+        use crate::observe::BlockLog;
+        let (m, col) = matrix_and_column();
+        let params = EngineParams {
+            block_size: 48,
+            lookahead_segments: 4,
+            dense_threshold: 512,
+        };
+        for kind in [EngineKind::SingleContext, EngineKind::DualContext] {
+            let mut e = kind.build(&col, 1, params.clone());
+            let mut counts = OpCounts::default();
+            let mut log = BlockLog::new();
+            e.pack_all_observed(&m, &mut counts, &mut log).unwrap();
+
+            assert_eq!(
+                log.blocks.len() as u64,
+                counts.packed_blocks + counts.direct_blocks
+            );
+            // Indices are contiguous from zero, and aggregates line up with
+            // the engine's own OpCounts.
+            for (i, b) in log.blocks.iter().enumerate() {
+                assert_eq!(b.index, i as u64);
+            }
+            assert_eq!(log.total_bytes(), counts.total_bytes());
+            assert_eq!(log.total_seek(), counts.searched_segments);
+            assert_eq!(
+                log.blocks.iter().map(|b| b.lookahead_segments).sum::<u64>(),
+                counts.lookahead_segments
+            );
+            assert_eq!(log.sparse_blocks(), counts.packed_blocks);
+            assert_eq!(log.dense_blocks(), counts.direct_blocks);
+        }
+    }
+
+    #[test]
+    fn single_context_observer_reports_growing_seeks() {
+        use crate::observe::BlockLog;
+        let (m, col) = matrix_and_column();
+        let params = EngineParams {
+            block_size: 48,
+            lookahead_segments: 4,
+            dense_threshold: 512,
+        };
+        let mut e = SingleContextEngine::new(&col, 1, params.clone());
+        let mut counts = OpCounts::default();
+        let mut log = BlockLog::new();
+        e.pack_all_observed(&m, &mut counts, &mut log).unwrap();
+        // Sparse stream: every block after the first seeks further back
+        // (seek targets strictly increase with position).
+        let targets: Vec<u64> = log.blocks.iter().map(|b| b.seek_target).collect();
+        assert!(targets.windows(2).all(|w| w[0] < w[1]), "{targets:?}");
+        assert!(log.blocks.last().unwrap().seek_segments >= log.blocks[0].seek_segments);
+
+        // Dual-context on the same stream: zero seeks everywhere.
+        let mut d = DualContextEngine::new(&col, 1, params);
+        let mut dc = OpCounts::default();
+        let mut dlog = BlockLog::new();
+        d.pack_all_observed(&m, &mut dc, &mut dlog).unwrap();
+        assert!(dlog.blocks.iter().all(|b| b.seek_segments == 0));
     }
 
     #[test]

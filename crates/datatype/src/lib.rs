@@ -37,6 +37,7 @@ pub mod cursor;
 pub mod desc;
 pub mod engine;
 pub mod error;
+pub mod observe;
 pub mod pack;
 
 pub use cursor::{MemRange, TypeCursor};
@@ -46,4 +47,7 @@ pub use engine::{
     SingleContextEngine, Unpacker,
 };
 pub use error::{Result, TypeError};
-pub use pack::{hindexed_from_f64_indices, matrix_column_type, pack_all, unpack_all};
+pub use observe::{BlockLog, BlockObservation, LastBlock, NullObserver, PackObserver};
+pub use pack::{
+    hindexed_from_f64_indices, matrix_column_type, pack_all, pack_all_profiled, unpack_all,
+};

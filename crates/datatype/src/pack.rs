@@ -4,7 +4,9 @@
 
 use crate::cursor::TypeCursor;
 use crate::desc::Datatype;
+use crate::engine::{EngineKind, EngineParams, OpCounts};
 use crate::error::{Result, TypeError};
+use crate::observe::PackObserver;
 
 /// Pack `count` instances of `dt` from `src` into a fresh contiguous buffer.
 pub fn pack_all(dt: &Datatype, count: usize, src: &[u8]) -> Result<Vec<u8>> {
@@ -21,6 +23,24 @@ pub fn pack_all(dt: &Datatype, count: usize, src: &[u8]) -> Result<Vec<u8>> {
         out.extend_from_slice(&src[r.offset as usize..r.offset as usize + r.len]);
     }
     Ok(out)
+}
+
+/// Pack `count` instances of `dt` through a pipelined engine while an
+/// observer watches every block — the profiling entry point behind
+/// `examples/pack_profile.rs` and `datatype_report()`. Returns the packed
+/// bytes and the engine's executed-operation counts.
+pub fn pack_all_profiled(
+    kind: EngineKind,
+    dt: &Datatype,
+    count: usize,
+    params: EngineParams,
+    src: &[u8],
+    observer: &mut dyn PackObserver,
+) -> Result<(Vec<u8>, OpCounts)> {
+    let mut engine = kind.build(dt, count, params);
+    let mut counts = OpCounts::default();
+    let bytes = engine.pack_all_observed(src, &mut counts, observer)?;
+    Ok((bytes, counts))
 }
 
 /// Unpack a contiguous `bytes` stream into `count` instances of `dt` laid
@@ -111,6 +131,23 @@ mod tests {
         let dt = hindexed_from_f64_indices(&[]).unwrap();
         assert_eq!(dt.size(), 0);
         assert_eq!(dt.num_segments(), 0);
+    }
+
+    #[test]
+    fn pack_all_profiled_matches_plain_pack() {
+        use crate::observe::BlockLog;
+        let dt = matrix_column_type(8, 8, 3).unwrap();
+        let n = 8 * 8 * 24;
+        let src: Vec<u8> = (0..n).map(|i| (i % 241) as u8).collect();
+        let expected = pack_all(&dt, 8, &src).unwrap();
+        for kind in [EngineKind::SingleContext, EngineKind::DualContext] {
+            let mut log = BlockLog::new();
+            let (bytes, counts) =
+                pack_all_profiled(kind, &dt, 8, EngineParams::default(), &src, &mut log).unwrap();
+            assert_eq!(bytes, expected);
+            assert_eq!(log.total_bytes(), counts.total_bytes());
+            assert!(!log.blocks.is_empty());
+        }
     }
 
     #[test]

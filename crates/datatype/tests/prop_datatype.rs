@@ -9,8 +9,8 @@
 //! * cursor seek/advance agree with plain traversal.
 
 use ncd_datatype::{
-    pack_all, unpack_all, Datatype, DualContextEngine, EngineParams, OpCounts, PackEngine,
-    SingleContextEngine, TypeCursor,
+    pack_all, unpack_all, BlockLog, Datatype, DualContextEngine, EngineParams, OpCounts,
+    PackEngine, SingleContextEngine, TypeCursor,
 };
 use proptest::prelude::*;
 
@@ -104,6 +104,42 @@ proptest! {
         let got2 = dual.pack_all(&src, &mut c2).expect("dual pack");
         prop_assert_eq!(&got2, &expected);
         prop_assert_eq!(c2.searched_segments, 0);
+    }
+
+    #[test]
+    fn observer_bytes_agree_with_op_counts(
+        dt in arb_datatype(),
+        count in 1usize..4,
+        block_size in 8usize..512,
+        lookahead in 1usize..20,
+    ) {
+        // The observer's per-block report and the engine's OpCounts are two
+        // independent tallies of the same stream; they must agree byte for
+        // byte (and block for block) on arbitrary datatypes and pipeline
+        // granularities, for both engines.
+        let src = buffer_for(&dt, count);
+        let params = EngineParams {
+            block_size,
+            lookahead_segments: lookahead,
+            dense_threshold: 64,
+        };
+        let mut single = SingleContextEngine::new(&dt, count, params.clone());
+        let mut c1 = OpCounts::default();
+        let mut log1 = BlockLog::default();
+        let out1 = single.pack_all_observed(&src, &mut c1, &mut log1).expect("single pack");
+        prop_assert_eq!(log1.total_bytes(), c1.total_bytes());
+        prop_assert_eq!(log1.total_bytes() as usize, out1.len());
+        prop_assert_eq!(log1.blocks.len() as u64, c1.packed_blocks + c1.direct_blocks);
+        prop_assert_eq!(log1.total_seek(), c1.searched_segments);
+
+        let mut dual = DualContextEngine::new(&dt, count, params);
+        let mut c2 = OpCounts::default();
+        let mut log2 = BlockLog::default();
+        let out2 = dual.pack_all_observed(&src, &mut c2, &mut log2).expect("dual pack");
+        prop_assert_eq!(log2.total_bytes(), c2.total_bytes());
+        prop_assert_eq!(log2.total_bytes() as usize, out2.len());
+        prop_assert_eq!(log2.blocks.len() as u64, c2.packed_blocks + c2.direct_blocks);
+        prop_assert_eq!(log2.total_seek(), 0u64);
     }
 
     #[test]

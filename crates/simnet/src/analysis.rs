@@ -223,6 +223,12 @@ fn describe(kind: &EventKind) -> String {
         EventKind::Mark { label } => format!("mark {label}"),
         EventKind::Span { name } => format!("span {name}"),
         EventKind::Round { op, round } => format!("round {op}#{round}"),
+        EventKind::PackBlock {
+            engine,
+            index,
+            seek,
+            ..
+        } => format!("pack {engine} block {index} (seek {seek})"),
     }
 }
 
@@ -393,7 +399,7 @@ pub fn attribute_rounds(traces: &[Vec<TraceEvent>]) -> RoundAttribution {
                         s.bytes += *bytes as u64;
                     }
                 }
-                EventKind::Mark { .. } | EventKind::Span { .. } => {}
+                EventKind::Mark { .. } | EventKind::Span { .. } | EventKind::PackBlock { .. } => {}
             }
         }
     }

@@ -72,6 +72,17 @@ fn instant_event(out: &mut String, name: &str, cat: &str, at: SimTime, rank: usi
     ));
 }
 
+fn counter_event(out: &mut String, name: &str, cat: &str, at: SimTime, args: &str) {
+    // Counter ("C") events form a dedicated sampled track per name; the
+    // viewer plots args values over time. Counters are per-process, so the
+    // rank goes into the name to keep one track per rank.
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{{args}}}}}",
+        json_escape(name),
+        ts(at),
+    ));
+}
+
 /// Serialize per-rank traces (indexed by rank, as returned by
 /// [`crate::Cluster::run`] collecting [`crate::Rank::take_trace`]) into
 /// Chrome trace-event JSON.
@@ -128,6 +139,39 @@ pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
                     e.start,
                     rank,
                 ),
+                EventKind::PackBlock {
+                    engine,
+                    index,
+                    sparse,
+                    seek,
+                    lookahead,
+                    bytes,
+                } => {
+                    // The block itself as a span on the rank's lane...
+                    complete_event(
+                        &mut out,
+                        &format!("pack {engine} block {index}"),
+                        "datatype",
+                        e.start,
+                        e.end,
+                        rank,
+                        &format!(
+                            "\"engine\":\"{}\",\"sparse\":{sparse},\"seek\":{seek},\"lookahead\":{lookahead},\"bytes\":{bytes}",
+                            json_escape(engine)
+                        ),
+                    );
+                    // ...plus a per-rank counter track sampling the seek
+                    // cost, so single-cursor runs show a growing staircase
+                    // while dual-context stays flat at zero.
+                    out.push(',');
+                    counter_event(
+                        &mut out,
+                        &format!("pack seek (rank {rank})"),
+                        "datatype",
+                        e.start,
+                        &format!("\"seek\":{seek},\"lookahead\":{lookahead}"),
+                    );
+                }
             }
         }
     }
@@ -358,6 +402,18 @@ mod tests {
                 start: SimTime(500),
                 end: SimTime(500),
             },
+            TraceEvent {
+                kind: EventKind::PackBlock {
+                    engine: "single-context".to_string(),
+                    index: 2,
+                    sparse: true,
+                    seek: 16,
+                    lookahead: 4,
+                    bytes: 48,
+                },
+                start: SimTime(100),
+                end: SimTime(300),
+            },
         ];
         let json = chrome_trace_json(&[events]);
         assert!(json.contains("\"name\":\"send to 1\""));
@@ -369,6 +425,10 @@ mod tests {
         assert!(json.contains("\"wait_ns\":250"));
         assert!(json.contains("\"tid\":0"));
         assert!(json.contains("\"dur\":1.000"));
+        // PackBlock serializes as a span plus a counter sample.
+        assert!(json.contains("\"name\":\"pack single-context block 2\""));
+        assert!(json.contains("\"engine\":\"single-context\",\"sparse\":true,\"seek\":16,\"lookahead\":4,\"bytes\":48"));
+        assert!(json.contains("\"name\":\"pack seek (rank 0)\",\"cat\":\"datatype\",\"ph\":\"C\""));
     }
 
     #[test]

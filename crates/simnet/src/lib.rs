@@ -47,6 +47,7 @@ pub mod export;
 pub mod mailbox;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod runtime;
 pub mod stats;
 pub mod time;
@@ -62,6 +63,10 @@ pub use export::{
 pub use mailbox::{NetMsg, Tag, ANY_TAG};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use profile::{imbalance_report, Profiler, StageStats};
+pub use recorder::{
+    clear_dump_hook, dump_on, last_run_dump, render_dump, store_last_run, trigger, Anomaly,
+    RankRecorder, RecCode, Recorded,
+};
 pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
 pub use stats::{CostKind, Stats};
 pub use time::{CostModel, SimTime};

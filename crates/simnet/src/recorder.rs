@@ -1,0 +1,455 @@
+//! Always-on flight recorder: a fixed-capacity ring buffer of recent
+//! events per rank, plus anomaly-triggered dump hooks.
+//!
+//! Tracing ([`crate::trace`]) is opt-in and unbounded; the flight recorder
+//! is the opposite trade: **always on**, bounded, and cheap enough to leave
+//! enabled everywhere — the black box that survives a crash. Each rank owns
+//! a [`RankRecorder`] whose hot path (`record`) is lock-free: a relaxed
+//! fetch-add claims a slot and plain atomic stores fill it, with a
+//! release-ordered sequence stamp last so readers can tell complete records
+//! from in-flight ones. Recording never touches the simulated clock, so the
+//! existing no-overhead-when-disabled guarantees of the observability layer
+//! are untouched.
+//!
+//! When something goes wrong — a panic inside [`crate::Cluster::run`], a
+//! baseline-gate regression in `ncd-bench`, or a receive that waited past a
+//! configured threshold — the recent window is rendered with
+//! [`render_dump`] and handed to the process-wide hook installed with
+//! [`dump_on`] (default: stderr). The last run's recorders are also parked
+//! in a process global so out-of-runtime code (the bench baseline gate) can
+//! grab evidence after the fact via [`last_run_dump`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::time::SimTime;
+
+/// What kind of event a flight-recorder slot holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecCode {
+    Send = 1,
+    Recv = 2,
+    Mark = 3,
+    Stage = 4,
+    Round = 5,
+    PackBlock = 6,
+}
+
+impl RecCode {
+    fn from_u64(v: u64) -> Option<RecCode> {
+        match v {
+            1 => Some(RecCode::Send),
+            2 => Some(RecCode::Recv),
+            3 => Some(RecCode::Mark),
+            4 => Some(RecCode::Stage),
+            5 => Some(RecCode::Round),
+            6 => Some(RecCode::PackBlock),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded flight-recorder record. Payload word meaning per code:
+///
+/// | code        | a            | b        | c         | d         | e     |
+/// |-------------|--------------|----------|-----------|-----------|-------|
+/// | `Send`      | dst          | bytes    | msg seq   | –         | –     |
+/// | `Recv`      | src          | bytes    | wait ns   | –         | –     |
+/// | `Mark`      | label hash   | –        | –         | –         | –     |
+/// | `Stage`     | label hash   | dur ns   | –         | –         | –     |
+/// | `Round`     | op hash      | round    | –         | –         | –     |
+/// | `PackBlock` | engine hash  | index    | seek segs | la<<1\|sp | bytes |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Recorded {
+    /// Global order within the rank (1-based claim order).
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub time: SimTime,
+    pub code: RecCode,
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+    pub d: u64,
+    pub e: u64,
+}
+
+/// One ring slot: eight word-sized atomics = one cache line. `seq` is
+/// written last (release) and doubles as the "record complete" flag.
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    time: AtomicU64,
+    code: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    c: AtomicU64,
+    d: AtomicU64,
+    e: AtomicU64,
+}
+
+/// FNV-1a 64-bit — the label hash used for string payloads.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A per-rank flight recorder: fixed capacity, overwrites oldest.
+pub struct RankRecorder {
+    rank: usize,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+    /// Hash → string for label payloads (marks, stages, engine names).
+    /// Touched only on label-carrying records and renders, never on the
+    /// hot send/recv path.
+    labels: Mutex<Vec<(u64, String)>>,
+}
+
+impl RankRecorder {
+    /// `capacity` is rounded up to a power of two (minimum 8).
+    pub fn new(rank: usize, capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        RankRecorder {
+            rank,
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::default()).collect(),
+            labels: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written (not bounded by capacity).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. Lock-free; safe to call from the owning rank's
+    /// thread while other threads snapshot.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(&self, code: RecCode, time: SimTime, a: u64, b: u64, c: u64, d: u64, e: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &self.slots[(seq - 1) as usize & (self.slots.len() - 1)];
+        slot.time.store(time.as_ns(), Ordering::Relaxed);
+        slot.code.store(code as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.c.store(c, Ordering::Relaxed);
+        slot.d.store(d, Ordering::Relaxed);
+        slot.e.store(e, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Record a label-carrying event, interning the label so dumps can
+    /// print it back. Returns the label's hash.
+    pub fn record_label(&self, code: RecCode, time: SimTime, label: &str, b: u64, c: u64) -> u64 {
+        let h = self.intern(label);
+        self.record(code, time, h, b, c, 0, 0);
+        h
+    }
+
+    /// Intern `label` into the hash table without recording (used by
+    /// callers that pass the hash through [`RankRecorder::record`]).
+    pub fn intern(&self, label: &str) -> u64 {
+        let h = fnv1a(label);
+        let mut labels = self.labels.lock().expect("label table poisoned");
+        if !labels.iter().any(|(hash, _)| *hash == h) {
+            labels.push((h, label.to_string()));
+        }
+        h
+    }
+
+    fn label_of(&self, hash: u64) -> String {
+        let labels = self.labels.lock().expect("label table poisoned");
+        labels
+            .iter()
+            .find(|(h, _)| *h == hash)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| format!("#{hash:016x}"))
+    }
+
+    /// The surviving window, oldest → newest. Incomplete (torn) slots are
+    /// skipped; with a quiescent writer the snapshot is exact.
+    pub fn snapshot(&self) -> Vec<Recorded> {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let first = head.saturating_sub(cap) + 1;
+        let mut out = Vec::new();
+        for want in first..=head {
+            if head == 0 {
+                break;
+            }
+            let slot = &self.slots[(want - 1) as usize & (self.slots.len() - 1)];
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue; // overwritten or still being written
+            }
+            let code = match RecCode::from_u64(slot.code.load(Ordering::Relaxed)) {
+                Some(c) => c,
+                None => continue,
+            };
+            out.push(Recorded {
+                seq: want,
+                time: SimTime(slot.time.load(Ordering::Relaxed)),
+                code,
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+                c: slot.c.load(Ordering::Relaxed),
+                d: slot.d.load(Ordering::Relaxed),
+                e: slot.e.load(Ordering::Relaxed),
+            });
+        }
+        out
+    }
+
+    fn render_record(&self, r: &Recorded) -> String {
+        let head = format!(
+            "[rank {:>3}] #{:<6} t={:<12}",
+            self.rank,
+            r.seq,
+            r.time.as_ns()
+        );
+        let body = match r.code {
+            RecCode::Send => format!("send       dst={} bytes={} seq={}", r.a, r.b, r.c),
+            RecCode::Recv => format!("recv       src={} bytes={} wait_ns={}", r.a, r.b, r.c),
+            RecCode::Mark => format!("mark       {}", self.label_of(r.a)),
+            RecCode::Stage => format!("stage      {} dur_ns={}", self.label_of(r.a), r.b),
+            RecCode::Round => format!("round      {} #{}", self.label_of(r.a), r.b),
+            RecCode::PackBlock => format!(
+                "pack-block engine={} index={} {} seek={} lookahead={} bytes={}",
+                self.label_of(r.a),
+                r.b,
+                if r.d & 1 == 1 { "sparse" } else { "dense" },
+                r.c,
+                r.d >> 1,
+                r.e,
+            ),
+        };
+        format!("{head} {body}")
+    }
+}
+
+/// Render the recent window of every recorder as a human-readable table,
+/// one section per rank, oldest → newest.
+pub fn render_dump(recorders: &[Arc<RankRecorder>]) -> String {
+    let mut out = String::from("=== flight recorder: last events per rank ===\n");
+    for rec in recorders {
+        let snap = rec.snapshot();
+        let total = rec.recorded();
+        out.push_str(&format!(
+            "rank {:>3}: {} recorded, showing last {}\n",
+            rec.rank(),
+            total,
+            snap.len()
+        ));
+        for r in &snap {
+            out.push_str(&rec.render_record(r));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Why a flight-recorder dump was triggered.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Anomaly {
+    /// A rank's thread panicked inside [`crate::Cluster::run`].
+    Panic { rank: usize },
+    /// A receive waited longer than the configured threshold
+    /// (see [`crate::Rank::dump_on_wait_over`]).
+    LatencySpike {
+        rank: usize,
+        wait_ns: u64,
+        threshold_ns: u64,
+    },
+    /// A benchmark baseline gate detected a regression (`name` is the
+    /// benchmark's baseline name).
+    BaselineRegression { name: String },
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anomaly::Panic { rank } => write!(f, "panic on rank {rank}"),
+            Anomaly::LatencySpike {
+                rank,
+                wait_ns,
+                threshold_ns,
+            } => write!(
+                f,
+                "latency spike on rank {rank}: waited {wait_ns} ns (threshold {threshold_ns} ns)"
+            ),
+            Anomaly::BaselineRegression { name } => {
+                write!(f, "baseline regression in {name}")
+            }
+        }
+    }
+}
+
+type DumpHook = Box<dyn Fn(&Anomaly, &str) + Send + Sync>;
+
+static DUMP_HOOK: Mutex<Option<DumpHook>> = Mutex::new(None);
+static LAST_RUN: Mutex<Option<Vec<Arc<RankRecorder>>>> = Mutex::new(None);
+
+/// Install a process-wide anomaly hook: `f(anomaly, dump)` is called with
+/// the rendered flight-recorder dump whenever an anomaly fires. Replaces
+/// any previous hook. Without a hook, dumps go to stderr.
+pub fn dump_on(f: impl Fn(&Anomaly, &str) + Send + Sync + 'static) {
+    *DUMP_HOOK.lock().expect("dump hook poisoned") = Some(Box::new(f));
+}
+
+/// Remove the installed anomaly hook (dumps revert to stderr).
+pub fn clear_dump_hook() {
+    *DUMP_HOOK.lock().expect("dump hook poisoned") = None;
+}
+
+/// Fire an anomaly: route the dump to the installed hook, or stderr.
+pub fn trigger(anomaly: &Anomaly, dump: &str) {
+    let hook = DUMP_HOOK.lock().expect("dump hook poisoned");
+    match &*hook {
+        Some(f) => f(anomaly, dump),
+        None => eprintln!("flight recorder: {anomaly}\n{dump}"),
+    }
+}
+
+/// Park a run's recorders so post-run code (the bench baseline gate) can
+/// dump them after the cluster has finished. Called by
+/// [`crate::Cluster::run`]; the newest run wins.
+pub fn store_last_run(recorders: Vec<Arc<RankRecorder>>) {
+    *LAST_RUN.lock().expect("last-run store poisoned") = Some(recorders);
+}
+
+/// Render the most recent run's flight recorders, if any run has happened
+/// in this process.
+pub fn last_run_dump() -> Option<String> {
+    let last = LAST_RUN.lock().expect("last-run store poisoned");
+    last.as_ref().map(|recs| render_dump(recs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_returned_oldest_to_newest() {
+        let rec = RankRecorder::new(0, 8);
+        for i in 0..5u64 {
+            rec.record(RecCode::Send, SimTime(i * 10), i, 100, i, 0, 0);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0].seq, 1);
+        assert_eq!(snap[4].seq, 5);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(snap[3].a, 3);
+        assert_eq!(rec.recorded(), 5);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let rec = RankRecorder::new(1, 8);
+        for i in 0..20u64 {
+            rec.record(RecCode::Recv, SimTime(i), i, i, i, 0, 0);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 8, "capacity bounds the window");
+        assert_eq!(snap[0].seq, 13, "oldest surviving record");
+        assert_eq!(snap[7].seq, 20);
+        assert_eq!(rec.recorded(), 20);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(RankRecorder::new(0, 100).capacity(), 128);
+        assert_eq!(RankRecorder::new(0, 0).capacity(), 8);
+        assert_eq!(RankRecorder::new(0, 256).capacity(), 256);
+    }
+
+    #[test]
+    fn labels_render_back_in_dumps() {
+        let rec = RankRecorder::new(2, 16);
+        rec.record_label(RecCode::Mark, SimTime(5), "phase-1", 0, 0);
+        rec.record_label(RecCode::Round, SimTime(9), "allgatherv/ring", 3, 0);
+        let dump = render_dump(&[Arc::new(rec)]);
+        assert!(dump.contains("mark       phase-1"), "{dump}");
+        assert!(dump.contains("round      allgatherv/ring #3"), "{dump}");
+        assert!(dump.contains("rank   2"), "{dump}");
+    }
+
+    #[test]
+    fn pack_block_payload_decodes() {
+        let rec = RankRecorder::new(0, 16);
+        let engine = rec.intern("single-context");
+        // index 7, sparse, seek 42, lookahead 4, bytes 48
+        rec.record(
+            RecCode::PackBlock,
+            SimTime(100),
+            engine,
+            7,
+            42,
+            (4 << 1) | 1,
+            48,
+        );
+        let dump = render_dump(&[Arc::new(rec)]);
+        assert!(
+            dump.contains(
+                "pack-block engine=single-context index=7 sparse seek=42 lookahead=4 bytes=48"
+            ),
+            "{dump}"
+        );
+    }
+
+    #[test]
+    fn unknown_label_renders_as_hash() {
+        let rec = RankRecorder::new(0, 8);
+        rec.record(RecCode::Mark, SimTime(0), 0xdead_beef, 0, 0, 0, 0);
+        let dump = render_dump(&[Arc::new(rec)]);
+        assert!(dump.contains("#00000000deadbeef"), "{dump}");
+    }
+
+    #[test]
+    fn empty_recorder_dumps_cleanly() {
+        let dump = render_dump(&[Arc::new(RankRecorder::new(0, 8))]);
+        assert!(
+            dump.contains("rank   0: 0 recorded, showing last 0"),
+            "{dump}"
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a("single-context"), fnv1a("dual-context"));
+    }
+
+    #[test]
+    fn concurrent_snapshot_never_sees_torn_codes() {
+        // A writer hammers the ring while readers snapshot: every decoded
+        // record must carry a valid code and a seq within the written range.
+        let rec = Arc::new(RankRecorder::new(0, 16));
+        let w = rec.clone();
+        let writer = std::thread::spawn(move || {
+            for i in 0..50_000u64 {
+                w.record(RecCode::Send, SimTime(i), i, i, i, i, i);
+            }
+        });
+        for _ in 0..100 {
+            for r in rec.snapshot() {
+                assert!(r.seq >= 1);
+                assert_eq!(r.code, RecCode::Send);
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(rec.snapshot().len(), 16);
+    }
+}

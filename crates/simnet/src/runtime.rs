@@ -5,6 +5,7 @@
 //! the cost model. All communication is real (bytes through channels); all
 //! timing is simulated (see the crate docs for the rationale).
 
+use std::sync::Arc;
 use std::thread;
 
 use crossbeam::channel::{unbounded, Sender};
@@ -14,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use crate::mailbox::{Mailbox, NetMsg, Tag};
 use crate::metrics::MetricsRegistry;
 use crate::profile::Profiler;
+use crate::recorder::{self, Anomaly, RankRecorder, RecCode};
 use crate::stats::{CostKind, Stats};
 use crate::time::{CostModel, SimTime};
 use crate::trace::{EventKind, TraceEvent};
@@ -62,7 +64,13 @@ pub struct ClusterConfig {
     pub speeds: SpeedProfile,
     /// Seed for the deterministic per-rank jitter streams.
     pub seed: u64,
+    /// Capacity of each rank's always-on flight recorder (rounded up to a
+    /// power of two; see [`crate::recorder`]).
+    pub recorder_capacity: usize,
 }
+
+/// Default flight-recorder window per rank.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 256;
 
 impl ClusterConfig {
     /// Homogeneous, noise-free cluster — the right choice for correctness
@@ -73,6 +81,7 @@ impl ClusterConfig {
             cost: CostModel::default(),
             speeds: SpeedProfile::Uniform,
             seed: 0x5eed,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
         }
     }
 
@@ -90,6 +99,7 @@ impl ClusterConfig {
                 slow: 0.85,
             },
             seed: 0x2007,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
         }
     }
 
@@ -100,6 +110,11 @@ impl ClusterConfig {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_recorder_capacity(mut self, capacity: usize) -> Self {
+        self.recorder_capacity = capacity;
         self
     }
 }
@@ -133,9 +148,18 @@ impl Cluster {
             rxs.push(rx);
         }
 
+        // Flight recorders are created per run and parked in the process
+        // global immediately, so evidence survives even if a rank panics
+        // before the run completes.
+        let recorders: Vec<Arc<RankRecorder>> = (0..n)
+            .map(|r| Arc::new(RankRecorder::new(r, self.cfg.recorder_capacity)))
+            .collect();
+        recorder::store_last_run(recorders.clone());
+
         let f = &f;
         let cfg = &self.cfg;
         let txs = &txs;
+        let recorders = &recorders;
         let results: Vec<R> = thread::scope(|scope| {
             let handles: Vec<_> = rxs
                 .into_iter()
@@ -158,6 +182,8 @@ impl Cluster {
                             trace: None,
                             metrics: MetricsRegistry::new(),
                             profiler: Profiler::new(),
+                            recorder: recorders[rank_id].clone(),
+                            wait_spike_threshold: None,
                         };
                         f(&mut rank)
                     })
@@ -165,9 +191,14 @@ impl Cluster {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| match h.join() {
+                .enumerate()
+                .map(|(rank_id, h)| match h.join() {
                     Ok(r) => r,
-                    Err(e) => std::panic::resume_unwind(e),
+                    Err(e) => {
+                        let dump = recorder::render_dump(recorders);
+                        recorder::trigger(&Anomaly::Panic { rank: rank_id }, &dump);
+                        std::panic::resume_unwind(e)
+                    }
                 })
                 .collect()
         });
@@ -192,6 +223,12 @@ pub struct Rank {
     trace: Option<Vec<TraceEvent>>,
     metrics: MetricsRegistry,
     profiler: Profiler,
+    /// Always-on flight recorder (shared with [`Cluster::run`] and the
+    /// process-wide last-run store; see [`crate::recorder`]).
+    recorder: Arc<RankRecorder>,
+    /// When set, a receive that waits longer than this triggers a
+    /// flight-recorder dump (the latency-spike anomaly predicate).
+    wait_spike_threshold: Option<SimTime>,
 }
 
 impl Rank {
@@ -244,11 +281,11 @@ impl Rank {
     /// tracing is enabled for `&str` callers via `Into`.
     pub fn trace_mark(&mut self, label: impl Into<String>) {
         let now = self.now;
+        let label = label.into();
+        self.recorder.record_label(RecCode::Mark, now, &label, 0, 0);
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent {
-                kind: EventKind::Mark {
-                    label: label.into(),
-                },
+                kind: EventKind::Mark { label },
                 start: now,
                 end: now,
             });
@@ -260,6 +297,8 @@ impl Rank {
     /// tracing is off.
     pub fn trace_round(&mut self, op: &str, round: u32) {
         let now = self.now;
+        self.recorder
+            .record_label(RecCode::Round, now, op, round as u64, 0);
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent {
                 kind: EventKind::Round {
@@ -351,6 +390,13 @@ impl Rank {
     pub fn stage_end(&mut self, name: &str) {
         let now = self.now;
         if let Some(closed) = self.profiler.end(name, now) {
+            self.recorder.record_label(
+                RecCode::Stage,
+                closed.end,
+                &closed.path,
+                closed.end.saturating_sub(closed.start).as_ns(),
+                0,
+            );
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent {
                     kind: EventKind::Span { name: closed.path },
@@ -368,6 +414,85 @@ impl Rank {
         let r = f(self);
         self.stage_end(name);
         r
+    }
+
+    /// This rank's always-on flight recorder.
+    pub fn flight_recorder(&self) -> &Arc<RankRecorder> {
+        &self.recorder
+    }
+
+    /// Arm the latency-spike anomaly: any receive that blocks longer than
+    /// `threshold` of simulated time triggers a flight-recorder dump
+    /// through the process-wide [`crate::recorder::dump_on`] hook.
+    pub fn dump_on_wait_over(&mut self, threshold: SimTime) {
+        self.wait_spike_threshold = Some(threshold);
+    }
+
+    /// Disarm the latency-spike anomaly predicate.
+    pub fn clear_wait_spike(&mut self) {
+        self.wait_spike_threshold = None;
+    }
+
+    /// Record one datatype pack-pipeline block that executed over
+    /// `[start, now]`: always into the flight recorder; into the trace as
+    /// an [`EventKind::PackBlock`] when tracing is on; and into `datatype/*`
+    /// metrics (log₂ histograms of seek distance, look-ahead window and
+    /// block bytes, plus block counters) when metrics are on. `seek` is the
+    /// segments re-walked from the type root — the paper's quadratic
+    /// signal, always zero for the dual-context engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_pack_block(
+        &mut self,
+        engine: &str,
+        start: SimTime,
+        index: u64,
+        sparse: bool,
+        seek: u64,
+        lookahead: u64,
+        bytes: u64,
+    ) {
+        let engine_hash = self.recorder.intern(engine);
+        self.recorder.record(
+            RecCode::PackBlock,
+            self.now,
+            engine_hash,
+            index,
+            seek,
+            (lookahead << 1) | sparse as u64,
+            bytes,
+        );
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::PackBlock {
+                    engine: engine.to_string(),
+                    index,
+                    sparse,
+                    seek,
+                    lookahead,
+                    bytes,
+                },
+                start,
+                end: self.now,
+            });
+        }
+        if self.metrics.is_enabled() {
+            self.metrics
+                .observe("datatype", "seek_segments", engine, seek);
+            self.metrics
+                .observe("datatype", "lookahead_window", engine, lookahead);
+            self.metrics
+                .observe("datatype", "block_bytes", engine, bytes);
+            self.metrics.counter_add("datatype", "blocks", engine, 1);
+            self.metrics
+                .counter_add("datatype", "seek_total", engine, seek);
+            if sparse {
+                self.metrics
+                    .counter_add("datatype", "sparse_blocks", engine, 1);
+            } else {
+                self.metrics
+                    .counter_add("datatype", "dense_blocks", engine, 1);
+            }
+        }
     }
 
     /// Deterministic per-operation jitter in `[0, noise_ns)`.
@@ -456,6 +581,8 @@ impl Rank {
         self.stats.bytes_sent += bytes as u64;
         let seq = self.send_seq;
         self.send_seq += 1;
+        self.recorder
+            .record(RecCode::Send, self.now, dst as u64, bytes as u64, seq, 0, 0);
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent {
                 kind: EventKind::Send { dst, bytes, seq },
@@ -504,6 +631,15 @@ impl Rank {
         self.charge_cpu(CostKind::Comm, overhead);
         self.stats.msgs_recvd += 1;
         self.stats.bytes_recvd += msg.data.len() as u64;
+        self.recorder.record(
+            RecCode::Recv,
+            self.now,
+            msg.src as u64,
+            msg.data.len() as u64,
+            waited.as_ns(),
+            0,
+            0,
+        );
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent {
                 kind: EventKind::Recv {
@@ -515,6 +651,19 @@ impl Rank {
                 start: trace_start,
                 end: self.now,
             });
+        }
+        if let Some(threshold) = self.wait_spike_threshold {
+            if waited > threshold {
+                let dump = crate::recorder::render_dump(std::slice::from_ref(&self.recorder));
+                crate::recorder::trigger(
+                    &Anomaly::LatencySpike {
+                        rank: self.rank,
+                        wait_ns: waited.as_ns(),
+                        threshold_ns: threshold.as_ns(),
+                    },
+                    &dump,
+                );
+            }
         }
         (msg.data, msg.src)
     }
@@ -625,6 +774,7 @@ mod tests {
                 slow: 0.5,
             },
             seed: 1,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
         };
         let out = Cluster::new(cfg).run(|r| {
             r.compute_flops(1000);
@@ -685,6 +835,180 @@ mod tests {
             assert_eq!(r.now(), t);
             r.advance_to(t + SimTime(500));
             assert_eq!(r.now(), t + SimTime(500));
+        });
+    }
+
+    /// The dump hook is process-global; tests that install one must not
+    /// overlap.
+    static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn flight_recorder_is_always_on() {
+        let counts = Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            // No tracing, no metrics: the recorder still sees traffic.
+            if r.rank() == 0 {
+                r.send_bytes(1, Tag(0), vec![0u8; 64]);
+            } else {
+                let _ = r.recv_bytes(Some(0), Tag(0));
+            }
+            r.trace_mark("done");
+            r.flight_recorder().recorded()
+        });
+        assert_eq!(counts, vec![2, 2]); // send+mark / recv+mark
+        let dump = crate::recorder::last_run_dump().expect("run recorded");
+        assert!(dump.contains("send       dst=1 bytes=64"), "{dump}");
+        assert!(dump.contains("recv       src=0 bytes=64"), "{dump}");
+        assert!(dump.contains("mark       done"), "{dump}");
+    }
+
+    #[test]
+    fn recorder_capacity_is_configurable() {
+        let caps = Cluster::new(ClusterConfig::uniform(1).with_recorder_capacity(32))
+            .run(|r| r.flight_recorder().capacity());
+        assert_eq!(caps, vec![32]);
+    }
+
+    #[test]
+    fn panic_in_rank_triggers_dump_hook() {
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let seen: Arc<std::sync::Mutex<Vec<(String, String)>>> = Arc::default();
+        let sink = seen.clone();
+        crate::recorder::dump_on(move |anomaly, dump| {
+            sink.lock()
+                .unwrap()
+                .push((anomaly.to_string(), dump.to_string()));
+        });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+                if r.rank() == 1 {
+                    r.send_bytes(0, Tag(0), vec![1, 2, 3]);
+                    panic!("rank 1 exploded");
+                }
+                let _ = r.recv_bytes(Some(1), Tag(0));
+            });
+        }));
+        crate::recorder::clear_dump_hook();
+        assert!(result.is_err(), "panic must propagate");
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, "panic on rank 1");
+        assert!(
+            seen[0].1.contains("send       dst=0 bytes=3"),
+            "{}",
+            seen[0].1
+        );
+    }
+
+    #[test]
+    fn slow_sender_trips_latency_spike_predicate() {
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let seen: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
+        let sink = seen.clone();
+        crate::recorder::dump_on(move |anomaly, _dump| {
+            sink.lock().unwrap().push(anomaly.to_string());
+        });
+        Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                r.compute_flops(10_000_000); // make the peer wait
+                r.send_bytes(1, Tag(0), vec![0u8; 8]);
+            } else {
+                r.dump_on_wait_over(SimTime::from_ns(1_000));
+                let _ = r.recv_bytes(Some(0), Tag(0));
+            }
+        });
+        crate::recorder::clear_dump_hook();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1, "{seen:?}");
+        assert!(seen[0].starts_with("latency spike on rank 1"), "{seen:?}");
+    }
+
+    #[test]
+    fn fast_receives_do_not_trip_the_spike_predicate() {
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let fired: Arc<std::sync::Mutex<u32>> = Arc::default();
+        let sink = fired.clone();
+        crate::recorder::dump_on(move |_, _| *sink.lock().unwrap() += 1);
+        Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                r.send_bytes(1, Tag(0), vec![0u8; 8]);
+            } else {
+                r.compute_flops(10_000_000); // message long since arrived
+                r.dump_on_wait_over(SimTime::from_ns(1_000));
+                let _ = r.recv_bytes(Some(0), Tag(0));
+            }
+        });
+        crate::recorder::clear_dump_hook();
+        assert_eq!(*fired.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn observe_pack_block_feeds_recorder_trace_and_metrics() {
+        let out = Cluster::new(ClusterConfig::uniform(1)).run(|r| {
+            r.enable_tracing();
+            r.enable_metrics();
+            let t0 = r.now();
+            r.charge_search(10);
+            r.observe_pack_block("single-context", t0, 0, true, 10, 4, 48);
+            let t1 = r.now();
+            r.charge_copy(CostKind::Pack, 96, 1);
+            r.observe_pack_block("single-context", t1, 1, false, 0, 2, 96);
+            (
+                r.take_trace(),
+                r.take_metrics(),
+                r.flight_recorder().recorded(),
+            )
+        });
+        let (trace, metrics, recorded) = &out[0];
+        assert_eq!(*recorded, 2);
+        let packs: Vec<_> = trace
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::PackBlock {
+                    engine,
+                    index,
+                    sparse,
+                    seek,
+                    ..
+                } => Some((engine.clone(), *index, *sparse, *seek)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            packs,
+            vec![
+                ("single-context".to_string(), 0, true, 10),
+                ("single-context".to_string(), 1, false, 0)
+            ]
+        );
+        assert!(trace[0].end > trace[0].start, "span covers the charge");
+        assert_eq!(metrics.counter("datatype", "blocks", "single-context"), 2);
+        assert_eq!(
+            metrics.counter("datatype", "sparse_blocks", "single-context"),
+            1
+        );
+        assert_eq!(
+            metrics.counter("datatype", "dense_blocks", "single-context"),
+            1
+        );
+        assert_eq!(
+            metrics.counter("datatype", "seek_total", "single-context"),
+            10
+        );
+        let h = metrics
+            .histogram("datatype", "seek_segments", "single-context")
+            .expect("seek histogram exists");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn observe_pack_block_without_observability_only_hits_recorder() {
+        Cluster::new(ClusterConfig::uniform(1)).run(|r| {
+            let t0 = r.now();
+            r.observe_pack_block("dual-context", t0, 0, true, 0, 4, 48);
+            assert_eq!(r.flight_recorder().recorded(), 1);
+            assert!(r.take_trace().is_empty());
+            assert_eq!(r.metrics().counter("datatype", "blocks", "dual-context"), 0);
         });
     }
 

@@ -36,6 +36,21 @@ pub enum EventKind {
     /// One round of a multi-round collective (`op` names the collective
     /// and algorithm, e.g. `allgatherv/ring`); a zero-length instant.
     Round { op: String, round: u32 },
+    /// One pipeline block produced by a datatype pack engine (`engine` is
+    /// the engine name, e.g. `single-context`). `seek` is the number of
+    /// segments re-walked from the type root to recover a lost context —
+    /// the paper's quadratic signal, zero for dual-context — `lookahead`
+    /// the window-classification work, and `sparse` the density verdict
+    /// (true = packed through an intermediate buffer). Rendered on a
+    /// separate per-rank `dt` lane, not the message row.
+    PackBlock {
+        engine: String,
+        index: u64,
+        sparse: bool,
+        seek: u64,
+        lookahead: u64,
+        bytes: u64,
+    },
 }
 
 /// One traced span of simulated time on one rank.
@@ -61,6 +76,9 @@ fn cell_priority(kind: &EventKind) -> u8 {
         EventKind::Recv { .. } => 3,
         EventKind::Send { .. } => 2,
         EventKind::Span { .. } => 1,
+        // Pack blocks render on their own `dt` lane; priority 0 keeps them
+        // out of the message row (the row's floor is already 0).
+        EventKind::PackBlock { .. } => 0,
     }
 }
 
@@ -71,6 +89,13 @@ fn cell_char(kind: &EventKind) -> u8 {
         EventKind::Mark { .. } => b'|',
         EventKind::Span { .. } => b'=',
         EventKind::Round { .. } => b'^',
+        EventKind::PackBlock { sparse, .. } => {
+            if *sparse {
+                b'p'
+            } else {
+                b'd'
+            }
+        }
     }
 }
 
@@ -95,6 +120,12 @@ pub fn render_timeline_fit(traces: &[Vec<TraceEvent>], total_width: usize) -> St
 /// span > idle), so zero-length markers are never hidden by the activity
 /// around them. A `width` of zero is clamped to one column, so callers
 /// computing widths from a terminal size cannot underflow the renderer.
+///
+/// Ranks with [`EventKind::PackBlock`] events additionally get a `dt` lane
+/// directly under their message row, showing the pack pipeline's blocks:
+/// `p` for sparse (packed through a buffer) and `d` for dense (shipped
+/// direct). The lane shares the message row's gutter width, so both stay
+/// aligned under any `width`.
 pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
     let width = width.max(1);
     let horizon = traces
@@ -104,26 +135,55 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         .unwrap_or(SimTime::ZERO)
         .as_ns()
         .max(1);
+    let paint = |row: &mut [u8], prio: &mut [u8], e: &TraceEvent, ch: u8, p: u8| {
+        let a = (e.start.as_ns() * width as u64 / horizon) as usize;
+        let b = ((e.end.as_ns() * width as u64).div_ceil(horizon) as usize).min(width);
+        for i in a.min(width)..b.max(a + 1).min(width) {
+            if p > prio[i] {
+                prio[i] = p;
+                row[i] = ch;
+            }
+        }
+    };
     let mut out = String::new();
     for (rank, events) in traces.iter().enumerate() {
         let mut row = vec![b'.'; width];
         let mut prio = vec![0u8; width];
+        let mut dt_row = vec![b'.'; width];
+        let mut dt_prio = vec![0u8; width];
+        let mut has_dt = false;
         for e in events {
-            let a = (e.start.as_ns() * width as u64 / horizon) as usize;
-            let b = ((e.end.as_ns() * width as u64).div_ceil(horizon) as usize).min(width);
-            let ch = cell_char(&e.kind);
-            let p = cell_priority(&e.kind);
-            for i in a.min(width)..b.max(a + 1).min(width) {
-                if p > prio[i] {
-                    prio[i] = p;
-                    row[i] = ch;
-                }
+            if let EventKind::PackBlock { sparse, .. } = e.kind {
+                has_dt = true;
+                // Sparse blocks outrank dense ones when they share a cell:
+                // the pathology must stay visible at coarse widths.
+                paint(
+                    &mut dt_row,
+                    &mut dt_prio,
+                    e,
+                    cell_char(&e.kind),
+                    if sparse { 2 } else { 1 },
+                );
+            } else {
+                paint(
+                    &mut row,
+                    &mut prio,
+                    e,
+                    cell_char(&e.kind),
+                    cell_priority(&e.kind),
+                );
             }
         }
         out.push_str(&format!(
             "rank {rank:>3} |{}|\n",
             String::from_utf8(row).expect("ascii")
         ));
+        if has_dt {
+            out.push_str(&format!(
+                "  dt {rank:>3} |{}|\n",
+                String::from_utf8(dt_row).expect("ascii")
+            ));
+        }
     }
     out.push_str(&format!("horizon: {}\n", SimTime::from_ns(horizon)));
     out
@@ -374,6 +434,102 @@ mod tests {
             assert!(art.contains("rank   0 |s|"), "width {width}:\n{art}");
             assert!(art.lines().all(|l| !l.contains("||")), "no empty cells");
         }
+    }
+
+    fn pack_block(engine: &str, index: u64, sparse: bool, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::PackBlock {
+                engine: engine.to_string(),
+                index,
+                sparse,
+                seek: if sparse { index * 8 } else { 0 },
+                lookahead: 4,
+                bytes: 48,
+            },
+            start: SimTime(start),
+            end: SimTime(end),
+        }
+    }
+
+    #[test]
+    fn pack_blocks_render_on_their_own_dt_lane() {
+        let events = vec![
+            TraceEvent {
+                kind: EventKind::Send {
+                    dst: 1,
+                    bytes: 100,
+                    seq: 0,
+                },
+                start: SimTime(0),
+                end: SimTime(100),
+            },
+            pack_block("single-context", 0, true, 0, 50),
+            pack_block("single-context", 1, false, 50, 100),
+        ];
+        let art = render_timeline(&[events, vec![]], 10);
+        let lines: Vec<&str> = art.lines().collect();
+        // Rank 0 message row, rank 0 dt lane, rank 1 row, horizon.
+        assert_eq!(lines.len(), 4, "{art}");
+        assert_eq!(lines[0], "rank   0 |ssssssssss|", "{art}");
+        assert_eq!(lines[1], "  dt   0 |pppppddddd|", "{art}");
+        assert!(lines[2].starts_with("rank   1 |"), "{art}");
+        // Same gutter width: the cells of both lanes line up.
+        assert_eq!(
+            lines[0].find('|').unwrap(),
+            lines[1].find('|').unwrap(),
+            "{art}"
+        );
+    }
+
+    #[test]
+    fn dt_lane_only_appears_for_ranks_that_packed() {
+        let art = render_timeline(
+            &[vec![], vec![pack_block("dual-context", 0, true, 0, 10)]],
+            10,
+        );
+        let dt_lines: Vec<&str> = art.lines().filter(|l| l.starts_with("  dt")).collect();
+        assert_eq!(dt_lines, vec!["  dt   1 |pppppppppp|"], "{art}");
+    }
+
+    #[test]
+    fn sparse_block_wins_over_dense_in_shared_cell() {
+        // Both blocks map to the same single cell; the sparse verdict (the
+        // pathology) must stay visible.
+        let events = vec![
+            pack_block("single-context", 0, false, 0, 100),
+            pack_block("single-context", 1, true, 0, 100),
+        ];
+        let art = render_timeline(&[events], 1);
+        assert!(art.contains("  dt   0 |p|"), "{art}");
+    }
+
+    #[test]
+    fn fit_includes_dt_lanes_within_width_budget() {
+        let events = vec![
+            TraceEvent {
+                kind: EventKind::Send {
+                    dst: 0,
+                    bytes: 1,
+                    seq: 0,
+                },
+                start: SimTime(0),
+                end: SimTime(100),
+            },
+            pack_block("single-context", 0, true, 0, 100),
+        ];
+        let art = render_timeline_fit(std::slice::from_ref(&events), 40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines.iter().any(|l| l.starts_with("  dt   0")), "{art}");
+        // Every lane (message and dt) obeys the total budget and shares
+        // the gutter width.
+        for l in lines.iter().filter(|l| l.contains('|')) {
+            assert!(l.len() <= 40, "{l:?} exceeds budget:\n{art}");
+        }
+        assert!(art.contains(&"p".repeat(40 - TIMELINE_GUTTER - 2)), "{art}");
+        // Narrower than the gutter: both lanes degrade to one column.
+        let art = render_timeline_fit(std::slice::from_ref(&events), 3);
+        assert!(art.contains("rank   0 |s|"), "{art}");
+        assert!(art.contains("  dt   0 |p|"), "{art}");
     }
 
     #[test]

@@ -267,6 +267,18 @@ fn fixture() -> Vec<Vec<TraceEvent>> {
                 2_000,
                 2_000,
             ),
+            ev(
+                EventKind::PackBlock {
+                    engine: "single-context".to_string(),
+                    index: 2,
+                    sparse: true,
+                    seek: 16,
+                    lookahead: 4,
+                    bytes: 48,
+                },
+                2_100,
+                2_300,
+            ),
         ],
         vec![ev(
             EventKind::Recv {
@@ -314,8 +326,9 @@ fn exporter_output_is_well_formed_json() {
         .get("traceEvents")
         .expect("traceEvents field")
         .as_array();
-    // 1 process_name + 2 thread_name metadata + 5 fixture events.
-    assert_eq!(events.len(), 8);
+    // 1 process_name + 2 thread_name metadata + 5 fixture events, plus the
+    // pack block's span + its seek counter sample.
+    assert_eq!(events.len(), 10);
     assert_eq!(
         doc.get("displayTimeUnit").expect("display unit").as_str(),
         "ns"
@@ -328,6 +341,25 @@ fn exporter_output_is_well_formed_json() {
     assert_eq!(mark.get("name").expect("name").as_str(), "phase \"two\"");
     // Timestamps are µs with ns precision: the mark sits at 1300ns = 1.3µs.
     assert!((mark.get("ts").expect("ts").as_f64() - 1.3).abs() < 1e-9);
+    // The pack block exports both a span and a "C" counter sample that
+    // plots the seek distance as its own track.
+    let counter = events
+        .iter()
+        .find(|e| matches!(e.get("ph"), Some(v) if v.as_str() == "C"))
+        .expect("pack seek counter event present");
+    assert_eq!(
+        counter.get("name").expect("name").as_str(),
+        "pack seek (rank 0)"
+    );
+    assert_eq!(
+        counter
+            .get("args")
+            .expect("args")
+            .get("seek")
+            .expect("seek")
+            .as_f64(),
+        16.0
+    );
     // Every event carries the mandatory fields, all in the one process.
     for e in events {
         assert!(e.get("ph").is_some(), "event without ph: {e:?}");
