@@ -190,10 +190,13 @@ impl Comm<'_> {
             let send_idx = (rank + size - step) % size;
             let recv_idx = (rank + size - step - 1) % size;
             let tag = coll_tag(CollOp::Allgatherv, step as u32);
+            // Post the receive before packing the outgoing block, so the
+            // inbound message can match the moment it arrives.
+            let req = self.irecv(Some(left), tag);
             let chunk = recvbuf[displs[send_idx]..displs[send_idx] + counts[send_idx]].to_vec();
             self.rank_mut().charge_copy(CostKind::Pack, chunk.len(), 1);
             self.send_grp(right, tag, chunk);
-            let (data, _) = self.recv_grp(Some(left), tag);
+            let (data, _) = self.wait(req).into_recv();
             assert_eq!(data.len(), counts[recv_idx]);
             self.rank_mut().charge_copy(CostKind::Pack, data.len(), 1);
             recvbuf[displs[recv_idx]..displs[recv_idx] + counts[recv_idx]].copy_from_slice(&data);
@@ -218,6 +221,9 @@ impl Comm<'_> {
             let their_group_start = (partner / mask) * mask;
             let tag = coll_tag(CollOp::Allgatherv, 1000 + phase);
 
+            // Receive posted up front; the payload gather runs with the
+            // match already standing.
+            let req = self.irecv(Some(partner), tag);
             let mut payload = Vec::new();
             for idx in my_group_start..my_group_start + mask {
                 payload.extend_from_slice(&recvbuf[displs[idx]..displs[idx] + counts[idx]]);
@@ -225,7 +231,7 @@ impl Comm<'_> {
             self.rank_mut()
                 .charge_copy(CostKind::Pack, payload.len(), mask as u64);
             self.send_grp(partner, tag, payload);
-            let (data, _) = self.recv_grp(Some(partner), tag);
+            let (data, _) = self.wait(req).into_recv();
 
             self.rank_mut()
                 .charge_copy(CostKind::Pack, data.len(), mask as u64);
@@ -259,6 +265,9 @@ impl Comm<'_> {
             let src = (rank + size - delta) % size;
             let tag = coll_tag(CollOp::Allgatherv, 2000 + phase);
 
+            // Receive posted up front; the payload gather runs with the
+            // match already standing.
+            let req = self.irecv(Some(src), tag);
             let mut payload = Vec::new();
             for j in 0..send_cnt {
                 let idx = (rank + size - j) % size;
@@ -267,7 +276,7 @@ impl Comm<'_> {
             self.rank_mut()
                 .charge_copy(CostKind::Pack, payload.len(), send_cnt as u64);
             self.send_grp(dst, tag, payload);
-            let (data, _) = self.recv_grp(Some(src), tag);
+            let (data, _) = self.wait(req).into_recv();
 
             self.rank_mut()
                 .charge_copy(CostKind::Pack, data.len(), send_cnt as u64);

@@ -143,7 +143,10 @@ impl Comm<'_> {
     }
 
     /// Baseline: lock-step round robin over all peers, zero volumes
-    /// included — each step is a pairwise synchronization.
+    /// included — each step is a pairwise synchronization. All receives
+    /// are posted up front (per-round tags keep the steps apart), but each
+    /// round still waits its receive out before the next begins, so the
+    /// lock-step skew coupling the paper describes is preserved.
     fn a2aw_round_robin(
         &mut self,
         sendbuf: &[u8],
@@ -154,7 +157,12 @@ impl Comm<'_> {
         let size = self.size();
         let rank = self.rank();
         self.a2aw_self_copy(sendbuf, &sends[rank], recvbuf, &recvs[rank]);
+        let mut reqs = Vec::with_capacity(size.saturating_sub(1));
         for i in 1..size {
+            let src = (rank + size - i) % size;
+            reqs.push(self.irecv(Some(src), coll_tag(CollOp::Alltoallw, i as u32)));
+        }
+        for (i, req) in (1..size).zip(reqs) {
             self.rank_mut()
                 .trace_round("alltoallw/round_robin", i as u32);
             self.rank_mut()
@@ -166,7 +174,7 @@ impl Comm<'_> {
             let payload =
                 self.prepare_send(&sendbuf[s.offset.min(sendbuf.len())..], &s.dtype, s.count);
             self.send_grp(dst, tag, payload);
-            let (data, _) = self.recv_grp(Some(src), tag);
+            let (data, _) = self.wait(req).into_recv();
             let r = &recvs[src];
             assert_eq!(data.len(), r.bytes(), "pairwise byte count mismatch");
             if !data.is_empty() {
@@ -200,21 +208,9 @@ impl Comm<'_> {
                 _ => large.push(dst),
             }
         }
-        // Process (pack + send) small first, then large: remote peers with
-        // cheap messages are never stuck behind expensive preprocessing.
-        for (round, &dst) in small.iter().chain(large.iter()).enumerate() {
-            self.rank_mut()
-                .trace_round("alltoallw/binned", round as u32);
-            self.rank_mut()
-                .metric_counter_add("alltoallw", "rounds", "binned", 1);
-            let s = &sends[dst];
-            let tag = coll_tag(CollOp::Alltoallw, 0);
-            let payload = self.prepare_send(&sendbuf[s.offset..], &s.dtype, s.count);
-            self.send_grp(dst, tag, payload);
-        }
-
-        // Receive only from peers that actually send to us, small expected
-        // first (mirroring the sender-side prioritization).
+        // Post a receive for every peer that actually sends to us, small
+        // expected first (mirroring the sender-side prioritization), before
+        // any packing starts.
         let mut sources: Vec<usize> = (0..size)
             .filter(|&src| src != rank && recvs[src].bytes() > 0)
             .collect();
@@ -225,13 +221,41 @@ impl Comm<'_> {
                 (src + size - rank) % size,
             )
         });
-        for src in sources {
+        let mut recv_reqs = Vec::with_capacity(sources.len());
+        for &src in &sources {
+            recv_reqs.push(self.irecv(Some(src), coll_tag(CollOp::Alltoallw, 0)));
+        }
+
+        // Initiate (pack + isend) small first, then large: remote peers
+        // with cheap messages are never stuck behind expensive
+        // preprocessing, and each message's wire time overlaps the packing
+        // of the next.
+        let mut send_reqs = Vec::with_capacity(small.len() + large.len());
+        for (round, &dst) in small.iter().chain(large.iter()).enumerate() {
+            self.rank_mut()
+                .trace_round("alltoallw/binned", round as u32);
+            self.rank_mut()
+                .metric_counter_add("alltoallw", "rounds", "binned", 1);
+            let s = &sends[dst];
             let tag = coll_tag(CollOp::Alltoallw, 0);
-            let (data, _) = self.recv_grp(Some(src), tag);
+            let payload = self.prepare_send(&sendbuf[s.offset..], &s.dtype, s.count);
+            send_reqs.push(self.isend_grp(dst, tag, payload));
+        }
+
+        // Unpack inbound messages as they arrive (not in posting order):
+        // a slow peer's large message never blocks delivery of the ones
+        // already here.
+        while recv_reqs.iter().any(|r| !r.is_done()) {
+            let (_, completion) = self.waitany(&mut recv_reqs);
+            let (data, src) = completion.into_recv();
             let r = &recvs[src];
             assert_eq!(data.len(), r.bytes(), "pairwise byte count mismatch");
             self.deliver_recv(&mut recvbuf[r.offset..], &r.dtype, r.count, &data);
         }
+
+        // Drain the sends: charge whatever wire time the work above did
+        // not hide.
+        self.waitall(send_reqs);
     }
 }
 

@@ -102,13 +102,39 @@ impl<'a> Comm<'a> {
         self.group.as_ref().map_or(0, |g| g.context)
     }
 
+    /// Map a communicator destination rank to (global rank, context).
+    pub(crate) fn resolve_dst(&self, dst: usize) -> (usize, u32) {
+        match &self.group {
+            None => (dst, 0),
+            Some(g) => (g.global_rank(dst), g.context),
+        }
+    }
+
+    /// Map a communicator source (`None` = any member) to (global source,
+    /// context).
+    pub(crate) fn resolve_src(&self, src: Option<usize>) -> (Option<usize>, u32) {
+        match &self.group {
+            None => (src, 0),
+            Some(g) => (src.map(|s| g.global_rank(s)), g.context),
+        }
+    }
+
+    /// Map a received message's global source back to its communicator
+    /// rank. Panics if the sender is outside this communicator's group —
+    /// context isolation should make that impossible.
+    pub(crate) fn group_src_of(&self, global: usize) -> usize {
+        match &self.group {
+            None => global,
+            Some(g) => g
+                .group_rank(global)
+                .expect("message from outside the group matched its context"),
+        }
+    }
+
     /// Send raw bytes to communicator rank `dst` (group-relative) within
     /// this communicator's context. All higher layers route through this.
     pub fn send_grp(&mut self, dst: usize, tag: Tag, data: Vec<u8>) {
-        let (global, ctx) = match &self.group {
-            None => (dst, 0),
-            Some(g) => (g.global_rank(dst), g.context),
-        };
+        let (global, ctx) = self.resolve_dst(dst);
         self.rank.send_bytes_ctx(global, tag, ctx, data);
     }
 
@@ -116,19 +142,9 @@ impl<'a> Comm<'a> {
     /// within this communicator's context. Returns the payload and the
     /// source's communicator rank.
     pub fn recv_grp(&mut self, src: Option<usize>, tag: Tag) -> (Vec<u8>, usize) {
-        match &self.group {
-            None => self.rank.recv_bytes_ctx(src, tag, 0),
-            Some(g) => {
-                let ctx = g.context;
-                let global_src = src.map(|s| g.global_rank(s));
-                let g2 = g.clone();
-                let (data, actual_global) = self.rank.recv_bytes_ctx(global_src, tag, ctx);
-                let grp_src = g2
-                    .group_rank(actual_global)
-                    .expect("message from outside the group matched its context");
-                (data, grp_src)
-            }
-        }
+        let (global_src, ctx) = self.resolve_src(src);
+        let (data, actual_global) = self.rank.recv_bytes_ctx(global_src, tag, ctx);
+        (data, self.group_src_of(actual_global))
     }
 
     /// Collectively split this communicator (MPI_Comm_split): ranks with
@@ -226,7 +242,7 @@ impl<'a> Comm<'a> {
     /// Record executed datatype-engine op counts in the metrics registry,
     /// keyed by the engine (or unpack path) that executed them. No-op when
     /// metrics are disabled; never touches the simulated clock.
-    fn record_engine_metrics(&mut self, algo: &str, c: &OpCounts) {
+    pub(crate) fn record_engine_metrics(&mut self, algo: &str, c: &OpCounts) {
         if !self.rank.metrics().is_enabled() {
             return;
         }
@@ -261,9 +277,15 @@ impl<'a> Comm<'a> {
     /// Contiguous datatypes take the fast path (no engine, no extra cost —
     /// the bytes are handed to the transport directly). Noncontiguous sends
     /// run the configured pack engine and charge its op counts.
+    ///
+    /// Implemented as a thin wrapper over the request layer: pack fully,
+    /// initiate the transfer, then immediately wait it out. The simulated
+    /// cost is identical to a monolithic blocking send (initiate + drain
+    /// charges exactly overhead + wire time), so every baseline is stable.
     pub fn send(&mut self, buf: &[u8], dt: &Datatype, count: usize, dst: usize, tag: Tag) {
         let payload = self.prepare_send(buf, dt, count);
-        self.send_grp(dst, tag, payload);
+        let req = self.isend_grp(dst, tag, payload);
+        self.wait(req);
     }
 
     /// Produce the wire bytes for a typed message, charging pack costs.
@@ -319,6 +341,10 @@ impl<'a> Comm<'a> {
 
     /// Receive `count` instances of `dt` into `buf` from `src` (None = any
     /// source). Returns the actual source rank.
+    ///
+    /// A thin wrapper over the request layer: post the receive, then wait
+    /// for it — charging the same wait residual and receive overhead as a
+    /// monolithic blocking receive.
     pub fn recv(
         &mut self,
         buf: &mut [u8],
@@ -327,9 +353,8 @@ impl<'a> Comm<'a> {
         src: Option<usize>,
         tag: Tag,
     ) -> usize {
-        let (bytes, actual_src) = self.recv_grp(src, tag);
-        self.deliver_recv(buf, dt, count, &bytes);
-        actual_src
+        let req = self.irecv(src, tag);
+        self.wait_recv_into(req, buf, dt, count)
     }
 
     /// Scatter received wire bytes into the typed receive buffer, charging
@@ -363,7 +388,11 @@ impl<'a> Comm<'a> {
         self.record_engine_metrics("unpack", &counts);
     }
 
-    /// Combined send-then-receive (safe under the transport's eager sends).
+    /// Combined send-receive, MPI_Sendrecv style: the receive is posted
+    /// before the send is initiated, and neither is waited on until both
+    /// are in flight — so a full ring of simultaneous `sendrecv` calls
+    /// cannot deadlock and the send's wire time overlaps the wait for the
+    /// inbound message.
     #[allow(clippy::too_many_arguments)]
     pub fn sendrecv(
         &mut self,
@@ -377,8 +406,11 @@ impl<'a> Comm<'a> {
         src: usize,
         tag: Tag,
     ) {
-        self.send(sendbuf, sdt, scount, dst, tag);
-        self.recv(recvbuf, rdt, rcount, Some(src), tag);
+        let rreq = self.irecv(Some(src), tag);
+        let payload = self.prepare_send(sendbuf, sdt, scount);
+        let sreq = self.isend_grp(dst, tag, payload);
+        self.wait_recv_into(rreq, recvbuf, rdt, rcount);
+        self.wait(sreq);
     }
 
     /// Convenience: send a contiguous `f64` slice.
@@ -395,7 +427,7 @@ impl<'a> Comm<'a> {
 }
 
 /// Per-block delta between two cumulative [`OpCounts`] snapshots.
-fn op_counts_delta(cur: &OpCounts, prev: &OpCounts) -> OpCounts {
+pub(crate) fn op_counts_delta(cur: &OpCounts, prev: &OpCounts) -> OpCounts {
     OpCounts {
         searched_segments: cur.searched_segments - prev.searched_segments,
         lookahead_segments: cur.lookahead_segments - prev.lookahead_segments,

@@ -31,11 +31,13 @@
 pub mod coll;
 pub mod comm;
 pub mod config;
+pub mod request;
 pub mod select;
 
 pub use coll::{AllgathervAlgorithm, AlltoallwSchedule, NeighborExchange, WPeer};
 pub use comm::{bytes_to_f64s, f64s_to_bytes, Comm, CommGroup};
 pub use config::{MpiConfig, MpiFlavor};
+pub use request::{Completion, Request};
 pub use select::{detect_outliers, detect_outliers_with_ratio, k_select, VolumeShape};
 
 // Re-export the layers below for convenience of downstream crates.

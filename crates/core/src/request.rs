@@ -1,0 +1,553 @@
+//! Request-based nonblocking point-to-point communication — the analogue
+//! of `MPI_Isend`/`MPI_Irecv`/`MPI_Wait*`/`MPI_Test` over the simulated
+//! NIC progress model.
+//!
+//! A [`Request`] is a handle to an in-flight operation:
+//!
+//! * an **isend** charges only the CPU-side send overhead up front, then
+//!   reserves the message's serialization time on the rank's NIC timeline
+//!   ([`ncd_simnet::Rank::nic_reserve`]). The sender's clock keeps running;
+//!   [`Comm::wait`] charges only the *residual* wire time that useful work
+//!   did not hide (zero when compute fully covered the drain).
+//! * an **irecv** posts a `(source, tag, context)` match with zero cost;
+//!   completion charges wait time only for the portion of the message's
+//!   simulated arrival still in the future — a wait on an already-arrived
+//!   message costs ~0 beyond the receive overhead.
+//!
+//! A typed [`Comm::isend`] with a noncontiguous datatype streams the pack
+//! pipeline straight onto the NIC: each block's wire time is reserved as
+//! the block is produced, so serialization of block *i* overlaps packing
+//! of block *i+1* — the paper's §3.1 pipelining rationale, now actually
+//! overlapping pack with transmission instead of merely bounding memory.
+//!
+//! Matching semantics: posted receives match envelopes in MPI's
+//! per-(source, tag) FIFO order. [`Comm::waitall`] and [`Comm::waitany`]
+//! match every pending receive in request (post) order *before* deciding
+//! which operation completes first, so completion order — which follows
+//! simulated arrival order in `waitany` — never changes which message a
+//! receive gets.
+//!
+//! Simulation caveat: `wait`/`waitall`/`waitany` resolve pending receives
+//! by blocking on the *physical* channel (the simulated clock is charged
+//! only the residual). The matching sends must therefore already have been
+//! initiated by the peer's program text before it blocks on this rank —
+//! true for every collective, scatter, and begin/end pattern in this
+//! workspace, where all sends of a phase are posted before anyone waits.
+
+use ncd_datatype::LastBlock;
+use ncd_datatype::{BlockMode, Datatype, OpCounts};
+use ncd_simnet::{NetMsg, SimTime, Tag};
+
+use crate::comm::{op_counts_delta, Comm};
+
+/// A pending nonblocking operation. Obtain from [`Comm::isend`] /
+/// [`Comm::irecv`]; complete with [`Comm::wait`], [`Comm::waitall`], or
+/// [`Comm::waitany`]; poll with [`Comm::test`].
+pub struct Request {
+    state: State,
+}
+
+enum State {
+    /// Outgoing message already handed to the transport; `done` is when
+    /// the sender's NIC finishes serializing its last byte.
+    Send { done: SimTime },
+    /// Posted receive, not yet matched to an envelope.
+    RecvPosted {
+        /// Global (world) rank of the expected source; `None` = any member.
+        src: Option<usize>,
+        tag: Tag,
+        context: u32,
+    },
+    /// Matched envelope parked until completion ([`Comm::test`] consumed
+    /// it from the mailbox, but the wait residual is not yet charged).
+    RecvArrived { msg: NetMsg },
+    /// Completed (by [`Comm::waitany`] marking it in place).
+    Done,
+}
+
+impl Request {
+    /// True once the request has been completed through [`Comm::waitany`].
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    fn is_recv(&self) -> bool {
+        matches!(
+            self.state,
+            State::RecvPosted { .. } | State::RecvArrived { .. }
+        )
+    }
+}
+
+/// What a completed request produced.
+pub enum Completion {
+    /// A send finished serializing (any residual wire time was charged).
+    Send,
+    /// A receive delivered its payload; `src` is the source's rank *within
+    /// the communicator* the receive was posted on.
+    Recv { data: Vec<u8>, src: usize },
+}
+
+impl Completion {
+    /// Unwrap a receive completion's payload and source rank.
+    pub fn into_recv(self) -> (Vec<u8>, usize) {
+        match self {
+            Completion::Recv { data, src } => (data, src),
+            Completion::Send => panic!("completion of a send request carries no data"),
+        }
+    }
+}
+
+impl Comm<'_> {
+    /// Nonblocking typed send of `count` instances of `dt` from `buf` to
+    /// communicator rank `dst`. Contiguous data is handed to the NIC in
+    /// one reservation; noncontiguous data streams the pack pipeline, one
+    /// wire reservation per produced block.
+    pub fn isend(
+        &mut self,
+        buf: &[u8],
+        dt: &Datatype,
+        count: usize,
+        dst: usize,
+        tag: Tag,
+    ) -> Request {
+        let total = dt.size() * count;
+        if total == 0 || dt.is_contiguous() {
+            return self.isend_grp(dst, tag, buf[..total].to_vec());
+        }
+        let (global, ctx) = self.resolve_dst(dst);
+        let trace_start = self.rank_mut().isend_begin();
+        let mut engine = self
+            .config()
+            .engine_kind()
+            .build(dt, count, self.config().engine.clone());
+        let name = engine.name();
+        let mut counts = OpCounts::default();
+        let mut prev = OpCounts::default();
+        let mut observer = LastBlock::default();
+        let mut payload = Vec::with_capacity(total);
+        let mut done = self.rank_ref().now();
+        loop {
+            let block_start = self.rank_ref().now();
+            observer.0 = None;
+            let block = engine
+                .next_block_observed(buf, &mut counts, &mut observer)
+                .expect("datatype out of bounds during send");
+            let Some(block) = block else { break };
+            self.charge_op_counts(&op_counts_delta(&counts, &prev));
+            prev = counts;
+            if let Some(obs) = observer.0 {
+                self.rank_mut().observe_pack_block(
+                    name,
+                    block_start,
+                    obs.index,
+                    obs.mode == BlockMode::Packed,
+                    obs.seek_segments,
+                    obs.lookahead_segments,
+                    obs.bytes,
+                );
+            }
+            // The block goes onto the NIC as soon as it exists: its wire
+            // time runs concurrently with packing the next block.
+            done = self.rank_mut().nic_reserve(block.data.len());
+            payload.extend_from_slice(&block.data);
+        }
+        self.record_engine_metrics(name, &counts);
+        self.rank_mut()
+            .isend_finish(global, tag, ctx, payload, trace_start, done);
+        Request {
+            state: State::Send { done },
+        }
+    }
+
+    /// Nonblocking raw-bytes send to communicator rank `dst` (the request
+    /// analogue of [`Comm::send_grp`]): one NIC reservation for the whole
+    /// payload.
+    pub(crate) fn isend_grp(&mut self, dst: usize, tag: Tag, data: Vec<u8>) -> Request {
+        let (global, ctx) = self.resolve_dst(dst);
+        let done = self.rank_mut().isend_bytes_ctx(global, tag, ctx, data);
+        Request {
+            state: State::Send { done },
+        }
+    }
+
+    /// Post a nonblocking receive from communicator rank `src` (`None` =
+    /// any member) with `tag`. Free on the simulated clock; the payload
+    /// comes back from [`Comm::wait`] (or [`Comm::wait_recv_into`] for
+    /// typed delivery).
+    pub fn irecv(&mut self, src: Option<usize>, tag: Tag) -> Request {
+        let (global, ctx) = self.resolve_src(src);
+        self.rank_mut().trace_irecv_post(global, tag);
+        Request {
+            state: State::RecvPosted {
+                src: global,
+                tag,
+                context: ctx,
+            },
+        }
+    }
+
+    /// Block until `req` completes, charging only the residual wait (see
+    /// the module docs). Panics on a request already completed by
+    /// [`Comm::waitany`].
+    pub fn wait(&mut self, req: Request) -> Completion {
+        match req.state {
+            State::Send { done } => self.complete_send(done),
+            State::RecvPosted { src, tag, context } => {
+                let msg = self.rank_mut().fetch_msg_ctx(src, tag, context);
+                self.complete_recv(msg)
+            }
+            State::RecvArrived { msg } => self.complete_recv(msg),
+            State::Done => panic!("wait on an already-completed request"),
+        }
+    }
+
+    /// Nonblocking completion poll: true when [`Comm::wait`] would charge
+    /// zero residual — the send's NIC reservation has drained, or the
+    /// expected message has arrived in *simulated* time. Never advances
+    /// the clock. A matched envelope is parked in the request, so testing
+    /// does not perturb per-(source, tag) FIFO matching for this request.
+    pub fn test(&mut self, req: &mut Request) -> bool {
+        let now = self.rank_ref().now();
+        match &mut req.state {
+            State::Done => true,
+            State::Send { done } => *done <= now,
+            State::RecvArrived { msg } => msg.arrival <= now,
+            State::RecvPosted { src, tag, context } => {
+                let (src, tag, context) = (*src, *tag, *context);
+                match self.rank_mut().try_fetch_msg_ctx(src, tag, context) {
+                    Some(msg) => {
+                        let ready = msg.arrival <= now;
+                        req.state = State::RecvArrived { msg };
+                        ready
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Complete every request, in request order. Matching therefore
+    /// follows post order, preserving per-(source, tag) FIFO; the total
+    /// elapsed simulated time is order-independent (the clock only ever
+    /// advances to each completion's readiness time).
+    pub fn waitall(&mut self, reqs: Vec<Request>) -> Vec<Completion> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Complete exactly one pending request — the one whose completion
+    /// time (send drain or message arrival) is earliest in simulated
+    /// time, ties broken by lowest index — and mark it [`Request::is_done`]
+    /// in place. Pending receives are matched to envelopes in request
+    /// (post) order *first*, so completion order never changes which
+    /// message a receive gets. Panics if every request is already done.
+    pub fn waitany(&mut self, reqs: &mut [Request]) -> (usize, Completion) {
+        for r in reqs.iter_mut() {
+            if let State::RecvPosted { src, tag, context } = r.state {
+                let msg = self.rank_mut().fetch_msg_ctx(src, tag, context);
+                r.state = State::RecvArrived { msg };
+            }
+        }
+        let now = self.rank_ref().now();
+        let idx = reqs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match &r.state {
+                State::Send { done } => Some((i, (*done).max(now))),
+                State::RecvArrived { msg } => Some((i, msg.arrival.max(now))),
+                State::RecvPosted { .. } => unreachable!("matched above"),
+                State::Done => None,
+            })
+            .min_by_key(|&(i, k)| (k, i))
+            .map(|(i, _)| i)
+            .expect("waitany requires at least one pending request");
+        let state = std::mem::replace(&mut reqs[idx].state, State::Done);
+        let completion = match state {
+            State::Send { done } => self.complete_send(done),
+            State::RecvArrived { msg } => self.complete_recv(msg),
+            _ => unreachable!("selected request is pending"),
+        };
+        (idx, completion)
+    }
+
+    /// Complete a receive request and scatter its payload into `buf` as
+    /// `count` instances of `dt` (charging unpack costs). Returns the
+    /// source's communicator rank.
+    pub fn wait_recv_into(
+        &mut self,
+        req: Request,
+        buf: &mut [u8],
+        dt: &Datatype,
+        count: usize,
+    ) -> usize {
+        assert!(req.is_recv(), "wait_recv_into needs a receive request");
+        let (data, src) = self.wait(req).into_recv();
+        self.deliver_recv(buf, dt, count, &data);
+        src
+    }
+
+    fn complete_send(&mut self, done: SimTime) -> Completion {
+        let residual = self.rank_mut().send_drain(done);
+        self.observe_wait_residual("send", residual);
+        Completion::Send
+    }
+
+    fn complete_recv(&mut self, msg: NetMsg) -> Completion {
+        let (data, global_src, waited) = self.rank_mut().complete_recv_msg(msg);
+        self.observe_wait_residual("recv", waited);
+        let src = self.group_src_of(global_src);
+        Completion::Recv { data, src }
+    }
+
+    /// Wait-residual metrics: how much of each request's completion was
+    /// *not* hidden by overlap. A histogram stuck at zero means perfect
+    /// overlap; its mass is exactly the time the analysis engine's wait
+    /// attribution sees.
+    fn observe_wait_residual(&mut self, kind: &'static str, residual: SimTime) {
+        if self.rank_ref().metrics().is_enabled() {
+            self.rank_mut()
+                .metric_observe("request", "wait_residual_ns", kind, residual.as_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{bytes_to_f64s, f64s_to_bytes};
+    use crate::config::MpiConfig;
+    use ncd_datatype::matrix_column_type;
+    use ncd_simnet::{Cluster, ClusterConfig};
+
+    fn run_n<R: Send>(n: usize, f: impl Fn(&mut Comm) -> R + Send + Sync) -> Vec<R> {
+        Cluster::new(ClusterConfig::uniform(n)).run(move |rank| {
+            let mut comm = Comm::new(rank, MpiConfig::optimized());
+            f(&mut comm)
+        })
+    }
+
+    #[test]
+    fn isend_wait_delivers_contiguous() {
+        let out = run_n(2, |comm| {
+            let dt = Datatype::double();
+            if comm.rank() == 0 {
+                let req = comm.isend(&f64s_to_bytes(&[4.0, 5.0]), &dt, 2, 1, Tag(0));
+                comm.wait(req);
+                None
+            } else {
+                let req = comm.irecv(Some(0), Tag(0));
+                let mut buf = vec![0u8; 16];
+                let src = comm.wait_recv_into(req, &mut buf, &dt, 2);
+                assert_eq!(src, 0);
+                Some(bytes_to_f64s(&buf))
+            }
+        });
+        assert_eq!(out[1].as_ref().unwrap(), &vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn streamed_isend_payload_matches_reference_pack() {
+        // The pipelined isend must put exactly pack_all's bytes on the
+        // wire, and overlap must make it no slower than pack-then-send.
+        let (rows, cols) = (32, 32);
+        let out = run_n(2, move |comm| {
+            let col = matrix_column_type(rows, cols, 3).unwrap();
+            let n = rows * cols * 24;
+            if comm.rank() == 0 {
+                let src: Vec<u8> = (0..n).map(|i| (i % 241) as u8).collect();
+                let req = comm.isend(&src, &col, cols, 1, Tag(2));
+                comm.wait(req);
+                Some(ncd_datatype::pack_all(&col, cols, &src).unwrap())
+            } else {
+                let req = comm.irecv(Some(0), Tag(2));
+                let (data, _) = comm.wait(req).into_recv();
+                Some(data)
+            }
+        });
+        assert_eq!(out[0], out[1], "wire bytes must equal the reference pack");
+    }
+
+    #[test]
+    fn overlapped_isend_is_no_slower_and_hides_wire_under_compute() {
+        // Same exchange, with and without compute between isend and wait:
+        // overlapping compute must not extend the sender's elapsed time by
+        // the wire (the drain residual shrinks to zero).
+        let elapsed = |flops: u64| {
+            run_n(2, move |comm| {
+                if comm.rank() == 0 {
+                    let req = comm.isend_grp(1, Tag(0), vec![0u8; 1 << 20]);
+                    comm.rank_mut().compute_flops(flops);
+                    comm.wait(req);
+                    comm.rank_ref().now()
+                } else {
+                    let req = comm.irecv(Some(0), Tag(0));
+                    comm.rank_mut().compute_flops(flops);
+                    comm.wait(req);
+                    comm.rank_ref().now()
+                }
+            })[0]
+        };
+        let idle = elapsed(0);
+        let busy = elapsed(100_000_000); // compute far exceeds the wire
+        let compute_only = run_n(1, |comm| {
+            comm.rank_mut().compute_flops(100_000_000);
+            comm.rank_ref().now()
+        })[0];
+        assert!(
+            busy < idle + compute_only,
+            "compute must hide the wire: busy={busy} idle={idle} compute={compute_only}"
+        );
+    }
+
+    #[test]
+    fn test_reports_completion_without_advancing_the_clock() {
+        run_n(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.isend_grp(1, Tag(0), vec![0u8; 64 * 1024]);
+                assert!(!comm.test(&mut req), "wire still draining");
+                let before = comm.rank_ref().now();
+                assert!(!comm.test(&mut req));
+                assert_eq!(comm.rank_ref().now(), before, "test never charges");
+                comm.rank_mut().compute_flops(100_000_000);
+                assert!(comm.test(&mut req), "drained under compute");
+                comm.wait(req);
+            } else {
+                let mut req = comm.irecv(Some(0), Tag(0));
+                // Eventually the message arrives physically and, after
+                // enough local compute, in simulated time too.
+                while !comm.test(&mut req) {
+                    comm.rank_mut().compute_flops(1_000_000);
+                }
+                let (data, src) = comm.wait(req).into_recv();
+                assert_eq!((data.len(), src), (64 * 1024, 0));
+            }
+        });
+    }
+
+    #[test]
+    fn waitany_completes_in_arrival_order_with_fifo_matching() {
+        let out = run_n(3, |comm| {
+            if comm.rank() == 2 {
+                // Both senders send two messages on the same tag; rank 1's
+                // are delayed by compute. FIFO per source must hold, and
+                // rank 0's (earlier) messages must complete first.
+                let reqs_srcs = [0usize, 0, 1, 1];
+                let mut reqs: Vec<Request> = reqs_srcs
+                    .iter()
+                    .map(|&s| comm.irecv(Some(s), Tag(7)))
+                    .collect();
+                let mut order = Vec::new();
+                for _ in 0..4 {
+                    let (idx, c) = comm.waitany(&mut reqs);
+                    let (data, src) = c.into_recv();
+                    assert_eq!(src, reqs_srcs[idx], "matched the posted source");
+                    order.push((idx, data[0]));
+                }
+                assert!(reqs.iter().all(Request::is_done));
+                Some(order)
+            } else {
+                if comm.rank() == 1 {
+                    comm.rank_mut().compute_flops(50_000_000);
+                }
+                let base = comm.rank() as u8 * 10;
+                comm.send_grp(2, Tag(7), vec![base]);
+                comm.send_grp(2, Tag(7), vec![base + 1]);
+                None
+            }
+        });
+        let order = out[2].as_ref().unwrap();
+        // Per-source FIFO: request 0 gets rank 0's first message, etc.
+        assert_eq!(order.iter().find(|(i, _)| *i == 0).unwrap().1, 0);
+        assert_eq!(order.iter().find(|(i, _)| *i == 1).unwrap().1, 1);
+        assert_eq!(order.iter().find(|(i, _)| *i == 2).unwrap().1, 10);
+        assert_eq!(order.iter().find(|(i, _)| *i == 3).unwrap().1, 11);
+        // Arrival order: rank 0's messages (no delay) complete before
+        // rank 1's delayed ones.
+        assert_eq!(
+            order.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn waitall_preserves_fifo_on_same_source_and_tag() {
+        let out = run_n(2, |comm| {
+            if comm.rank() == 0 {
+                for v in 0..4u8 {
+                    comm.send_grp(1, Tag(3), vec![v]);
+                }
+                None
+            } else {
+                let reqs: Vec<Request> = (0..4).map(|_| comm.irecv(Some(0), Tag(3))).collect();
+                let vals: Vec<u8> = comm
+                    .waitall(reqs)
+                    .into_iter()
+                    .map(|c| c.into_recv().0[0])
+                    .collect();
+                Some(vals)
+            }
+        });
+        assert_eq!(out[1].as_ref().unwrap(), &vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn requests_work_inside_subcommunicators() {
+        // Odd-ranks subgroup: group rank 0 (global 1) isends to group
+        // rank 1 (global 3); source must come back as a *group* rank.
+        let out = run_n(4, |comm| {
+            let group = comm.split(comm.rank() % 2, comm.rank());
+            comm.with_sub(&group, |sub| {
+                if sub.size() != 2 {
+                    return None;
+                }
+                if sub.rank() == 0 {
+                    let req = sub.isend_grp(1, Tag(0), vec![9]);
+                    sub.wait(req);
+                    None
+                } else {
+                    let req = sub.irecv(None, Tag(0));
+                    let (data, src) = sub.wait(req).into_recv();
+                    Some((data[0], src))
+                }
+            })
+        });
+        assert_eq!(out[3], Some(Some((9, 0))));
+    }
+
+    #[test]
+    fn sendrecv_ring_completes_at_n8_without_parity_tricks() {
+        // ISSUE 4 satellite: a full ring of simultaneous sendrecvs — every
+        // rank sends right and receives from the left in one call, no
+        // even/odd ordering — must complete (the request layer posts the
+        // receive before blocking on anything).
+        let n = 8;
+        let out = run_n(n, move |comm| {
+            let dt = Datatype::double();
+            let me = comm.rank();
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+            let send = f64s_to_bytes(&[me as f64]);
+            let mut recv = vec![0u8; 8];
+            comm.sendrecv(&send, &dt, 1, right, &mut recv, &dt, 1, left, Tag(11));
+            bytes_to_f64s(&recv)[0]
+        });
+        for (rank, &v) in out.iter().enumerate() {
+            assert_eq!(v, ((rank + n - 1) % n) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already-completed")]
+    fn waiting_a_done_request_panics() {
+        run_n(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_grp(1, Tag(0), vec![1]);
+            } else {
+                let mut reqs = vec![comm.irecv(Some(0), Tag(0))];
+                let _ = comm.waitany(&mut reqs);
+                let req = reqs.pop().unwrap();
+                comm.wait(req); // completed already: must panic
+            }
+        });
+    }
+}

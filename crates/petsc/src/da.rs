@@ -26,7 +26,7 @@ use ncd_core::Comm;
 
 use crate::is::IndexSet;
 use crate::layout::Layout;
-use crate::scatter::{ScatterBackend, VecScatter};
+use crate::scatter::{ScatterBackend, ScatterHandle, VecScatter};
 use crate::vec::PVec;
 
 /// Discretization stencil shape (paper Figure 3).
@@ -405,6 +405,27 @@ impl DistributedArray {
         backend: ScatterBackend,
     ) {
         self.ghost_scatter.apply(comm, global, local, backend);
+    }
+
+    /// Start a ghost update (`DMGlobalToLocalBegin`): owned values are
+    /// copied into the local form and ghost traffic is initiated. The
+    /// owned entries of `local` are valid on return — stencil interiors
+    /// can be computed while the ghosts are in flight — but ghost entries
+    /// are undefined until [`DistributedArray::global_to_local_end`].
+    pub fn global_to_local_begin(
+        &self,
+        comm: &mut Comm,
+        global: &PVec,
+        local: &mut PVec,
+        backend: ScatterBackend,
+    ) -> ScatterHandle {
+        self.ghost_scatter.begin(comm, global, local, backend)
+    }
+
+    /// Finish a ghost update started with
+    /// [`DistributedArray::global_to_local_begin`].
+    pub fn global_to_local_end(&self, comm: &mut Comm, handle: ScatterHandle, local: &mut PVec) {
+        self.ghost_scatter.end(comm, handle, local);
     }
 
     /// Accumulate a local form back into the global vector with ADD

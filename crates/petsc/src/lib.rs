@@ -53,7 +53,7 @@ pub use ksp::{
 pub use layout::Layout;
 pub use mat::AijMat;
 pub use mg::{LaplacianOp, Multigrid, SmootherKind};
-pub use scatter::{InsertMode, ScatterBackend, VecScatter};
+pub use scatter::{InsertMode, ScatterBackend, ScatterHandle, VecScatter};
 pub use snes::{newton_krylov, Bratu2d, NonlinearFunction, SnesResult, SnesSettings};
 pub use stencil::{StencilEntry, StencilOp};
 pub use ts::{integrate, HeatEquation, RhsFunction, TsScheme, TsSettings};

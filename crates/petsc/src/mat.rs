@@ -216,10 +216,11 @@ impl AijMat {
         assert_eq!(y.layout(), &self.row_layout, "y layout mismatch");
         let (plan, buf_layout) = self.ghost_gather.as_ref().expect("assembled");
         let mut ghosts = PVec::zeros(buf_layout.clone(), self.rank);
-        plan.apply(comm, x, &mut ghosts, backend);
-
-        let nlocal = self.row_ptr.len() - 1;
-        for i in 0..nlocal {
+        // Start the halo gather, then compute every purely local row while
+        // the ghost values are in flight; rows touching ghost columns run
+        // after the gather completes.
+        let handle = plan.begin(comm, x, &mut ghosts, backend);
+        let row = |ghosts: &PVec, i: usize| {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 let xv = match self.cols[k] {
@@ -228,9 +229,30 @@ impl AijMat {
                 };
                 acc += self.vals[k] * xv;
             }
-            y.local_mut()[i] = acc;
+            acc
+        };
+        let nlocal = self.row_ptr.len() - 1;
+        let mut boundary = Vec::new();
+        let mut interior_nnz = 0u64;
+        for i in 0..nlocal {
+            let nnz = self.row_ptr[i + 1] - self.row_ptr[i];
+            if self.cols[self.row_ptr[i]..self.row_ptr[i + 1]]
+                .iter()
+                .any(|c| matches!(c, ColRef::Ghost(_)))
+            {
+                boundary.push(i);
+            } else {
+                y.local_mut()[i] = row(&ghosts, i);
+                interior_nnz += nnz as u64;
+            }
         }
-        comm.rank_mut().compute_flops(2 * self.vals.len() as u64);
+        comm.rank_mut().compute_flops(2 * interior_nnz);
+        plan.end(comm, handle, &mut ghosts);
+        let boundary_nnz = self.vals.len() as u64 - interior_nnz;
+        for &i in &boundary {
+            y.local_mut()[i] = row(&ghosts, i);
+        }
+        comm.rank_mut().compute_flops(2 * boundary_nnz);
     }
 
     /// The locally owned diagonal entries (zero where absent).

@@ -21,7 +21,7 @@
 
 use std::sync::Arc;
 
-use ncd_core::{bytes_to_f64s, f64s_to_bytes, Comm, WPeer};
+use ncd_core::{bytes_to_f64s, f64s_to_bytes, Comm, Request, WPeer};
 use ncd_datatype::{hindexed_from_f64_indices, Datatype};
 use ncd_simnet::{CostKind, Tag};
 
@@ -80,6 +80,23 @@ fn count_runs(offsets: &[usize]) -> u64 {
         prev = Some(o);
     }
     runs
+}
+
+/// An in-flight scatter: returned by [`VecScatter::begin`], consumed by
+/// [`VecScatter::end`]. Holds the outstanding send/receive requests; the
+/// receive requests are parallel to the plan's receive specs so `end` can
+/// route each arriving payload to its unpack offsets.
+pub struct ScatterHandle {
+    send_reqs: Vec<Request>,
+    recv_reqs: Vec<Request>,
+}
+
+impl ScatterHandle {
+    /// Number of point-to-point operations still outstanding (zero for the
+    /// datatype backend, which completes inside `begin`).
+    pub fn pending_ops(&self) -> usize {
+        self.send_reqs.len() + self.recv_reqs.len()
+    }
 }
 
 /// A compiled scatter plan between two layouts.
@@ -307,14 +324,57 @@ impl VecScatter {
     }
 
     /// Execute the scatter: `y[dst[k]] = x[src[k]]` for every pair.
+    ///
+    /// Equivalent to [`VecScatter::begin`] immediately followed by
+    /// [`VecScatter::end`] — use the split form to overlap computation
+    /// with the ghost traffic.
     pub fn apply(&self, comm: &mut Comm, x: &PVec, y: &mut PVec, backend: ScatterBackend) {
-        assert_eq!(x.layout(), &self.src_layout, "x layout mismatch");
-        assert_eq!(y.layout(), &self.dst_layout, "y layout mismatch");
+        self.record_apply_metrics(comm, backend, "apply");
+        comm.rank_mut().stage_begin("scatter_apply");
+        let handle = self.begin_inner(comm, x, y, backend);
+        self.end_inner(comm, handle, y);
+        comm.rank_mut().stage_end("scatter_apply");
+    }
+
+    /// Initiate the scatter (PETSc's `VecScatterBegin`): local copies are
+    /// done, sends are initiated, receives are posted — but nothing waits.
+    /// Values headed to remote ranks are captured from `x` here, so `x`
+    /// may be reused immediately; `y`'s remote-filled entries are undefined
+    /// until [`VecScatter::end`].
+    ///
+    /// With [`ScatterBackend::HandTuned`] the communication is genuinely in
+    /// flight while the caller computes. The [`ScatterBackend::Datatype`]
+    /// backend is a single collective `alltoallw` with no split form — it
+    /// completes inside `begin` and `end` is a no-op, mirroring how the
+    /// datatype path trades library control for MPI-internal scheduling.
+    pub fn begin(
+        &self,
+        comm: &mut Comm,
+        x: &PVec,
+        y: &mut PVec,
+        backend: ScatterBackend,
+    ) -> ScatterHandle {
+        self.record_apply_metrics(comm, backend, "begin");
+        comm.rank_mut().stage_begin("scatter_begin");
+        let handle = self.begin_inner(comm, x, y, backend);
+        comm.rank_mut().stage_end("scatter_begin");
+        handle
+    }
+
+    /// Complete a scatter started with [`VecScatter::begin`]: unpack
+    /// inbound messages (in arrival order) into `y` and drain the sends,
+    /// charging only wait time the caller's compute did not hide.
+    pub fn end(&self, comm: &mut Comm, handle: ScatterHandle, y: &mut PVec) {
+        comm.rank_mut().stage_begin("scatter_end");
+        self.end_inner(comm, handle, y);
+        comm.rank_mut().stage_end("scatter_end");
+    }
+
+    fn record_apply_metrics(&self, comm: &mut Comm, backend: ScatterBackend, op: &'static str) {
         if comm.rank_ref().metrics().is_enabled() {
             let label = backend.label();
             let bytes = 8 * (self.remote_send_elems() + self.local_elems());
-            comm.rank_mut()
-                .metric_counter_add("scatter", "apply", label, 1);
+            comm.rank_mut().metric_counter_add("scatter", op, label, 1);
             comm.rank_mut()
                 .metric_observe("scatter", "bytes", label, bytes as u64);
             comm.rank_mut().metric_counter_add(
@@ -324,15 +384,56 @@ impl VecScatter {
                 self.num_neighbors() as u64,
             );
         }
-        comm.rank_mut().stage_begin("scatter_apply");
-        match backend {
-            ScatterBackend::HandTuned => self.apply_hand_tuned(comm, x, y),
-            ScatterBackend::Datatype => self.apply_datatype(comm, x, y),
-        }
-        comm.rank_mut().stage_end("scatter_apply");
     }
 
-    fn apply_hand_tuned(&self, comm: &mut Comm, x: &PVec, y: &mut PVec) {
+    fn begin_inner(
+        &self,
+        comm: &mut Comm,
+        x: &PVec,
+        y: &mut PVec,
+        backend: ScatterBackend,
+    ) -> ScatterHandle {
+        assert_eq!(x.layout(), &self.src_layout, "x layout mismatch");
+        assert_eq!(y.layout(), &self.dst_layout, "y layout mismatch");
+        match backend {
+            ScatterBackend::HandTuned => self.begin_hand_tuned(comm, x, y),
+            ScatterBackend::Datatype => {
+                self.apply_datatype(comm, x, y);
+                ScatterHandle {
+                    send_reqs: Vec::new(),
+                    recv_reqs: Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn end_inner(&self, comm: &mut Comm, handle: ScatterHandle, y: &mut PVec) {
+        let ScatterHandle {
+            send_reqs,
+            mut recv_reqs,
+        } = handle;
+        let charge_indexed = |comm: &mut Comm, bytes: usize, runs: u64| {
+            let ns = comm.rank_ref().cost_model().indexed_copy_ns(bytes, runs);
+            comm.rank_mut().charge_cpu(CostKind::Pack, ns);
+        };
+        // Unpack inbound messages as they arrive, not in plan order: a
+        // late neighbour never blocks delivery of messages already here.
+        while recv_reqs.iter().any(|r| !r.is_done()) {
+            let (idx, completion) = comm.waitany(&mut recv_reqs);
+            let (bytes, _) = completion.into_recv();
+            let r = &self.recvs[idx];
+            let vals = bytes_to_f64s(&bytes);
+            assert_eq!(vals.len(), r.dst_offsets.len(), "scatter payload mismatch");
+            for (&off, &v) in r.dst_offsets.iter().zip(&vals) {
+                y.local_mut()[off] = v;
+            }
+            charge_indexed(comm, 8 * vals.len(), r.runs);
+        }
+        // Drain the sends: charge whatever wire time was not hidden.
+        comm.waitall(send_reqs);
+    }
+
+    fn begin_hand_tuned(&self, comm: &mut Comm, x: &PVec, y: &mut PVec) -> ScatterHandle {
         // Hand-tuned packing copies coalesced runs with a loop specialized
         // at compile time — cheaper per run than the datatype engine's
         // interpreted segment processing. Charge it accordingly.
@@ -340,6 +441,12 @@ impl VecScatter {
             let ns = comm.rank_ref().cost_model().indexed_copy_ns(bytes, runs);
             comm.rank_mut().charge_cpu(CostKind::Pack, ns);
         };
+        // Post every receive before any packing starts.
+        let recv_reqs: Vec<Request> = self
+            .recvs
+            .iter()
+            .map(|r| comm.irecv(Some(r.peer), DATA_TAG))
+            .collect();
         // Local copies.
         if !self.local_pairs.is_empty() {
             for &(s, d) in &self.local_pairs {
@@ -347,24 +454,22 @@ impl VecScatter {
             }
             charge_indexed(comm, 8 * self.local_pairs.len(), self.local_runs);
         }
-        // Pack and post all sends first (communication overlap style).
+        // Pack and initiate all sends; each message's wire time runs on
+        // the NIC while the next one is packed.
+        let dt = Datatype::double();
+        let mut send_reqs = Vec::with_capacity(self.sends.len());
         for s in &self.sends {
             let mut buf = Vec::with_capacity(s.src_offsets.len());
             for &off in &s.src_offsets {
                 buf.push(x.local()[off]);
             }
             charge_indexed(comm, 8 * buf.len(), s.runs);
-            comm.send_grp(s.peer, DATA_TAG, f64s_to_bytes(&buf));
+            let bytes = f64s_to_bytes(&buf);
+            send_reqs.push(comm.isend(&bytes, &dt, buf.len(), s.peer, DATA_TAG));
         }
-        // Receive and unpack.
-        for r in &self.recvs {
-            let (bytes, _) = comm.recv_grp(Some(r.peer), DATA_TAG);
-            let vals = bytes_to_f64s(&bytes);
-            assert_eq!(vals.len(), r.dst_offsets.len(), "scatter payload mismatch");
-            for (&off, &v) in r.dst_offsets.iter().zip(&vals) {
-                y.local_mut()[off] = v;
-            }
-            charge_indexed(comm, 8 * vals.len(), r.runs);
+        ScatterHandle {
+            send_reqs,
+            recv_reqs,
         }
     }
 

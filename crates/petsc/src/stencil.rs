@@ -153,10 +153,12 @@ impl LinearOp for StencilOp<'_> {
     fn apply(&self, comm: &mut Comm, x: &PVec, y: &mut PVec, backend: ScatterBackend) {
         let da = self.da;
         let mut local = da.create_local_vec();
-        da.global_to_local(comm, x, &mut local, backend);
+        // Split ghost update: owned values land in `local` immediately,
+        // ghost traffic proceeds while the interior is computed.
+        let handle = da.global_to_local_begin(comm, x, &mut local, backend);
         let dims = da.dims();
-        let l = local.local();
-        for (off, p) in da.owned_points().enumerate() {
+        let (os, ol) = da.owned();
+        let row = |l: &[f64], p: [usize; 3]| {
             let mut acc = 0.0;
             for e in &self.entries {
                 let mut q = [0usize; 3];
@@ -173,10 +175,38 @@ impl LinearOp for StencilOp<'_> {
                     acc += e.coeff * l[da.local_vec_offset(q, 0)];
                 }
             }
-            y.local_mut()[off] = acc * self.scale;
+            acc * self.scale
+        };
+        // A point is interior when its whole in-grid footprint is owned:
+        // those rows read no ghost values and run before `end`.
+        let interior = |p: [usize; 3]| {
+            self.entries.iter().all(|e| {
+                (0..3).all(|d| {
+                    let c = p[d] as i64 + e.offset[d];
+                    c < 0
+                        || c >= dims[d] as i64
+                        || (c >= os[d] as i64 && c < (os[d] + ol[d]) as i64)
+                })
+            })
+        };
+        let mut boundary = Vec::new();
+        let mut interior_rows = 0u64;
+        for (off, p) in da.owned_points().enumerate() {
+            if interior(p) {
+                y.local_mut()[off] = row(local.local(), p);
+                interior_rows += 1;
+            } else {
+                boundary.push((off, p));
+            }
         }
         comm.rank_mut()
-            .compute_flops(2 * self.entries.len() as u64 * y.local_size() as u64);
+            .compute_flops(2 * self.entries.len() as u64 * interior_rows);
+        da.global_to_local_end(comm, handle, &mut local);
+        for &(off, p) in &boundary {
+            y.local_mut()[off] = row(local.local(), p);
+        }
+        comm.rank_mut()
+            .compute_flops(2 * self.entries.len() as u64 * boundary.len() as u64);
     }
 }
 

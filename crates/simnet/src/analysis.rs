@@ -229,6 +229,11 @@ fn describe(kind: &EventKind) -> String {
             seek,
             ..
         } => format!("pack {engine} block {index} (seek {seek})"),
+        EventKind::IrecvPost { src, tag } => match src {
+            Some(s) => format!("irecv posted (src {s}, tag {tag})"),
+            None => format!("irecv posted (any src, tag {tag})"),
+        },
+        EventKind::SendWait { residual } => format!("send drain ({residual} residual)"),
     }
 }
 
@@ -399,7 +404,17 @@ pub fn attribute_rounds(traces: &[Vec<TraceEvent>]) -> RoundAttribution {
                         s.bytes += *bytes as u64;
                     }
                 }
-                EventKind::Mark { .. } | EventKind::Span { .. } | EventKind::PackBlock { .. } => {}
+                // A send-drain span is transfer time the sender could not
+                // hide; attribute it like send activity.
+                EventKind::SendWait { .. } => {
+                    if let Some(op) = current {
+                        per_op.get_mut(op).expect("op registered")[rank].transfer += e.duration();
+                    }
+                }
+                EventKind::Mark { .. }
+                | EventKind::Span { .. }
+                | EventKind::PackBlock { .. }
+                | EventKind::IrecvPost { .. } => {}
             }
         }
     }

@@ -172,6 +172,25 @@ pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
                         &format!("\"seek\":{seek},\"lookahead\":{lookahead}"),
                     );
                 }
+                EventKind::IrecvPost { src, tag: _ } => instant_event(
+                    &mut out,
+                    &match src {
+                        Some(s) => format!("irecv posted (src {s})"),
+                        None => "irecv posted (any src)".to_string(),
+                    },
+                    "request",
+                    e.start,
+                    rank,
+                ),
+                EventKind::SendWait { residual } => complete_event(
+                    &mut out,
+                    "send drain",
+                    "request",
+                    e.start,
+                    e.end,
+                    rank,
+                    &format!("\"residual_ns\":{}", residual.as_ns()),
+                ),
             }
         }
     }
@@ -414,6 +433,26 @@ mod tests {
                 start: SimTime(100),
                 end: SimTime(300),
             },
+            TraceEvent {
+                kind: EventKind::IrecvPost {
+                    src: Some(1),
+                    tag: 9,
+                },
+                start: SimTime(400),
+                end: SimTime(400),
+            },
+            TraceEvent {
+                kind: EventKind::IrecvPost { src: None, tag: 9 },
+                start: SimTime(410),
+                end: SimTime(410),
+            },
+            TraceEvent {
+                kind: EventKind::SendWait {
+                    residual: SimTime(600),
+                },
+                start: SimTime(2_000),
+                end: SimTime(2_600),
+            },
         ];
         let json = chrome_trace_json(&[events]);
         assert!(json.contains("\"name\":\"send to 1\""));
@@ -429,6 +468,12 @@ mod tests {
         assert!(json.contains("\"name\":\"pack single-context block 2\""));
         assert!(json.contains("\"engine\":\"single-context\",\"sparse\":true,\"seek\":16,\"lookahead\":4,\"bytes\":48"));
         assert!(json.contains("\"name\":\"pack seek (rank 0)\",\"cat\":\"datatype\",\"ph\":\"C\""));
+        // Request-lifetime kinds: irecv posts as instants, the drain as a
+        // complete span carrying the residual.
+        assert!(json.contains("\"name\":\"irecv posted (src 1)\",\"cat\":\"request\",\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"irecv posted (any src)\""));
+        assert!(json.contains("\"name\":\"send drain\",\"cat\":\"request\",\"ph\":\"X\""));
+        assert!(json.contains("\"residual_ns\":600"));
     }
 
     #[test]

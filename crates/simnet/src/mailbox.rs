@@ -87,14 +87,40 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking receive: take the first FIFO match out of the
+    /// unexpected queue (draining the channel first), or `None` when no
+    /// matching envelope has physically arrived yet. This is the matching
+    /// half of a *posted* receive — the request layer holds the posted
+    /// receive and asks the mailbox for its envelope when it needs to make
+    /// progress.
+    pub fn try_match(&mut self, src: Option<usize>, tag: Tag, context: u32) -> Option<NetMsg> {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.unexpected.push_back(msg);
+        }
+        let pos = self
+            .unexpected
+            .iter()
+            .position(|m| m.matches(src, tag, context))?;
+        self.unexpected.remove(pos)
+    }
+
     /// Non-blocking probe: is a matching message already available?
     /// Drains the channel into the unexpected queue to make the answer
     /// authoritative at the time of the call.
     pub fn probe(&mut self, src: Option<usize>, tag: Tag, context: u32) -> bool {
+        self.peek(src, tag, context).is_some()
+    }
+
+    /// Like [`Mailbox::probe`], but hands back a borrow of the earliest
+    /// matching envelope so the caller can inspect its metadata (e.g. its
+    /// simulated arrival time) without consuming it.
+    pub fn peek(&mut self, src: Option<usize>, tag: Tag, context: u32) -> Option<&NetMsg> {
         while let Ok(msg) = self.rx.try_recv() {
             self.unexpected.push_back(msg);
         }
-        self.unexpected.iter().any(|m| m.matches(src, tag, context))
+        self.unexpected
+            .iter()
+            .find(|m| m.matches(src, tag, context))
     }
 
     /// Number of messages currently parked in the unexpected queue.
@@ -173,6 +199,35 @@ mod tests {
         assert!(mb.probe(Some(0), Tag(3), 0)); // still there
         assert_eq!(mb.recv_match(Some(0), Tag(3), 0).data, vec![b'z']);
         assert!(!mb.probe(Some(0), Tag(3), 0));
+    }
+
+    #[test]
+    fn try_match_is_nonblocking_and_fifo() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        assert!(mb.try_match(Some(1), Tag(5), 0).is_none());
+        tx.send(msg(1, 5, b'a')).expect("mailbox channel open");
+        tx.send(msg(1, 5, b'b')).expect("mailbox channel open");
+        tx.send(msg(2, 5, b'c')).expect("mailbox channel open");
+        // Same (src, tag): FIFO order; other sources are left parked.
+        assert_eq!(mb.try_match(Some(1), Tag(5), 0).unwrap().data, vec![b'a']);
+        assert_eq!(mb.try_match(Some(1), Tag(5), 0).unwrap().data, vec![b'b']);
+        assert!(mb.try_match(Some(1), Tag(5), 0).is_none());
+        assert_eq!(mb.unexpected_len(), 1, "rank 2's message stays parked");
+        assert_eq!(mb.try_match(None, ANY_TAG, 0).unwrap().data, vec![b'c']);
+    }
+
+    #[test]
+    fn peek_exposes_arrival_without_consuming() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        let mut m = msg(0, 3, b'z');
+        m.arrival = SimTime(777);
+        tx.send(m).expect("mailbox channel open");
+        assert_eq!(mb.peek(Some(0), Tag(3), 0).unwrap().arrival, SimTime(777));
+        assert!(mb.peek(Some(0), Tag(3), 0).is_some(), "still there");
+        assert_eq!(mb.recv_match(Some(0), Tag(3), 0).data, vec![b'z']);
+        assert!(mb.peek(Some(0), Tag(3), 0).is_none());
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub enum RecCode {
     Stage = 4,
     Round = 5,
     PackBlock = 6,
+    IrecvPost = 7,
+    SendWait = 8,
 }
 
 impl RecCode {
@@ -45,6 +47,8 @@ impl RecCode {
             4 => Some(RecCode::Stage),
             5 => Some(RecCode::Round),
             6 => Some(RecCode::PackBlock),
+            7 => Some(RecCode::IrecvPost),
+            8 => Some(RecCode::SendWait),
             _ => None,
         }
     }
@@ -60,6 +64,8 @@ impl RecCode {
 /// | `Stage`     | label hash   | dur ns   | –         | –         | –     |
 /// | `Round`     | op hash      | round    | –         | –         | –     |
 /// | `PackBlock` | engine hash  | index    | seek segs | la<<1\|sp | bytes |
+/// | `IrecvPost` | src (MAX=any)| tag      | –         | –         | –     |
+/// | `SendWait`  | residual ns  | –        | –         | –         | –     |
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Recorded {
     /// Global order within the rank (1-based claim order).
@@ -233,6 +239,16 @@ impl RankRecorder {
                 r.d >> 1,
                 r.e,
             ),
+            RecCode::IrecvPost => format!(
+                "irecv      src={} tag={}",
+                if r.a == u64::MAX {
+                    "any".to_string()
+                } else {
+                    r.a.to_string()
+                },
+                r.b
+            ),
+            RecCode::SendWait => format!("send-wait  residual_ns={}", r.a),
         };
         format!("{head} {body}")
     }

@@ -170,6 +170,7 @@ impl Cluster {
                             rank: rank_id,
                             size: n,
                             now: SimTime::ZERO,
+                            nic_free: SimTime::ZERO,
                             txs: txs.clone(),
                             mailbox: Mailbox::new(rx),
                             cost: cfg.cost.clone(),
@@ -211,6 +212,12 @@ pub struct Rank {
     rank: usize,
     size: usize,
     now: SimTime,
+    /// Simulated time at which this rank's NIC finishes serializing all
+    /// bytes reserved so far (the nonblocking-send progress model: wire
+    /// serialization proceeds on the NIC timeline while the CPU clock
+    /// advances independently, and a completion wait charges only the
+    /// residual). Never behind `now` after a blocking send.
+    nic_free: SimTime,
     txs: Vec<Sender<NetMsg>>,
     mailbox: Mailbox,
     cost: CostModel,
@@ -572,6 +579,9 @@ impl Rank {
         let overhead = self.cost.send_overhead_ns + self.jitter_ns();
         self.charge_cpu(CostKind::Comm, overhead);
         self.charge_fixed(CostKind::Comm, self.cost.wire_ns(bytes));
+        // A blocking send serializes on the CPU timeline; keep the NIC
+        // timeline consistent for any nonblocking sends that follow.
+        self.nic_free = self.nic_free.max(self.now);
         let arrival = if dst == self.rank {
             self.now // self-sends skip the wire
         } else {
@@ -619,8 +629,38 @@ impl Rank {
         tag: Tag,
         context: u32,
     ) -> (Vec<u8>, usize) {
-        let trace_start = self.now;
         let msg = self.mailbox.recv_match(src, tag, context);
+        let (data, src, _waited) = self.complete_recv_msg(msg);
+        (data, src)
+    }
+
+    /// Blockingly pull the envelope matching `(src, tag, context)` off the
+    /// wire *without any simulated-time accounting* — the physical half of
+    /// a receive. Pair with [`Rank::complete_recv_msg`], which does the
+    /// accounting; [`Rank::recv_bytes_ctx`] is exactly that composition.
+    pub fn fetch_msg_ctx(&mut self, src: Option<usize>, tag: Tag, context: u32) -> NetMsg {
+        self.mailbox.recv_match(src, tag, context)
+    }
+
+    /// Non-blocking variant of [`Rank::fetch_msg_ctx`]: the earliest
+    /// matching envelope if one has physically arrived (its simulated
+    /// arrival time may still lie in the future), else `None`.
+    pub fn try_fetch_msg_ctx(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        context: u32,
+    ) -> Option<NetMsg> {
+        self.mailbox.try_match(src, tag, context)
+    }
+
+    /// The accounting half of a receive: charge the residual wait (zero
+    /// when the message arrived while this rank was computing — the
+    /// overlap win), then the receive overhead; update stats, flight
+    /// recorder, trace, and the latency-spike predicate. Returns the
+    /// payload, the source rank, and the wait residual.
+    pub fn complete_recv_msg(&mut self, msg: NetMsg) -> (Vec<u8>, usize, SimTime) {
+        let trace_start = self.now;
         let mut waited = SimTime::ZERO;
         if msg.arrival > self.now {
             waited = msg.arrival - self.now;
@@ -665,7 +705,7 @@ impl Rank {
                 );
             }
         }
-        (msg.data, msg.src)
+        (msg.data, msg.src, waited)
     }
 
     /// Non-blocking probe for a matching message (real arrival, i.e. the
@@ -679,10 +719,164 @@ impl Rank {
         self.mailbox.probe(src, tag, context)
     }
 
+    /// `MPI_Iprobe` in simulated time: true iff a matching message has both
+    /// physically arrived *and* its simulated arrival time has passed.
+    /// ([`Rank::probe`] answers the weaker "does the envelope exist"
+    /// question; this one answers "could a receive complete right now
+    /// without waiting".)
+    pub fn iprobe(&mut self, src: Option<usize>, tag: Tag) -> bool {
+        self.iprobe_ctx(src, tag, 0)
+    }
+
+    /// [`Rank::iprobe`] within a communicator context.
+    pub fn iprobe_ctx(&mut self, src: Option<usize>, tag: Tag, context: u32) -> bool {
+        let now = self.now;
+        self.mailbox
+            .peek(src, tag, context)
+            .is_some_and(|m| m.arrival <= now)
+    }
+
+    /// Charge the CPU-side posting cost of a nonblocking send (`o_send`
+    /// plus jitter — the same draw the blocking path makes) and return the
+    /// simulated time the posting started, for the eventual trace span.
+    /// Callers then reserve wire time with [`Rank::nic_reserve`] (possibly
+    /// once per pipeline block) and post with [`Rank::isend_finish`];
+    /// [`Rank::isend_bytes_ctx`] is the one-shot composition.
+    pub fn isend_begin(&mut self) -> SimTime {
+        let trace_start = self.now;
+        let overhead = self.cost.send_overhead_ns + self.jitter_ns();
+        self.charge_cpu(CostKind::Comm, overhead);
+        trace_start
+    }
+
+    /// Reserve `bytes` of wire serialization on this rank's NIC timeline
+    /// and return the simulated time the NIC will be done with them. The
+    /// CPU clock does *not* advance — that is the point: the wire drains
+    /// while the CPU packs the next pipeline block or computes. The NIC
+    /// serializes reservations in order, starting no earlier than the
+    /// current CPU time.
+    pub fn nic_reserve(&mut self, bytes: usize) -> SimTime {
+        let start = self.nic_free.max(self.now);
+        self.nic_free = start + SimTime::from_ns_f64(self.cost.wire_ns(bytes));
+        self.nic_free
+    }
+
+    /// Post a nonblocking message whose wire serialization completes at
+    /// `done` (from [`Rank::nic_reserve`]): stats, flight recorder, trace,
+    /// and the channel send. The message arrives at `done` plus latency
+    /// (self-sends skip the latency, as in the blocking path).
+    pub fn isend_finish(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        context: u32,
+        data: Vec<u8>,
+        trace_start: SimTime,
+        done: SimTime,
+    ) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let bytes = data.len();
+        let arrival = if dst == self.rank {
+            done // self-sends skip the wire latency
+        } else {
+            done + SimTime::from_ns_f64(self.cost.latency_ns)
+        };
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        self.recorder
+            .record(RecCode::Send, self.now, dst as u64, bytes as u64, seq, 0, 0);
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::Send { dst, bytes, seq },
+                start: trace_start,
+                end: self.now,
+            });
+        }
+        self.txs[dst]
+            .send(NetMsg {
+                src: self.rank,
+                tag,
+                context,
+                data,
+                arrival,
+                seq,
+            })
+            .expect("destination rank hung up");
+    }
+
+    /// Nonblocking eager send of a pre-packed payload: posting overhead on
+    /// the CPU, wire serialization reserved on the NIC timeline. Returns
+    /// the NIC completion time to pass to [`Rank::send_drain`] when the
+    /// send must locally complete.
+    pub fn isend_bytes_ctx(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        context: u32,
+        data: Vec<u8>,
+    ) -> SimTime {
+        let trace_start = self.isend_begin();
+        let done = self.nic_reserve(data.len());
+        self.isend_finish(dst, tag, context, data, trace_start, done);
+        done
+    }
+
+    /// Complete a nonblocking send: block (charged as [`CostKind::Comm`],
+    /// exactly like the blocking path's wire serialization) until the NIC
+    /// has drained through `done`. Returns the residual actually waited —
+    /// zero when the wire already drained under overlapped CPU work.
+    pub fn send_drain(&mut self, done: SimTime) -> SimTime {
+        if done <= self.now {
+            return SimTime::ZERO;
+        }
+        let start = self.now;
+        let residual = done - self.now;
+        self.now = done;
+        self.charge_span(CostKind::Comm, residual);
+        self.recorder
+            .record(RecCode::SendWait, done, residual.as_ns(), 0, 0, 0, 0);
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::SendWait { residual },
+                start,
+                end: done,
+            });
+        }
+        residual
+    }
+
+    /// Record the posting of a nonblocking receive: an instant in the trace
+    /// and flight recorder. Posting is free in simulated time — a receive
+    /// only costs when it is completed.
+    pub fn trace_irecv_post(&mut self, src: Option<usize>, tag: Tag) {
+        let now = self.now;
+        self.recorder.record(
+            RecCode::IrecvPost,
+            now,
+            src.map_or(u64::MAX, |s| s as u64),
+            tag.0 as u64,
+            0,
+            0,
+            0,
+        );
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::IrecvPost { src, tag: tag.0 },
+                start: now,
+                end: now,
+            });
+        }
+    }
+
     /// Reset the simulated clock to zero (start of a timed benchmark
-    /// phase). Does not touch stats; pair with [`Rank::take_stats`].
+    /// phase). The NIC timeline resets with it — a clock epoch boundary
+    /// must not leave old reservations in the new epoch's future. Does not
+    /// touch stats; pair with [`Rank::take_stats`].
     pub fn reset_clock(&mut self) {
         self.now = SimTime::ZERO;
+        self.nic_free = SimTime::ZERO;
     }
 
     /// Force the clock to at least `t` (used by synchronization helpers
@@ -1010,6 +1204,120 @@ mod tests {
             assert!(r.take_trace().is_empty());
             assert_eq!(r.metrics().counter("datatype", "blocks", "dual-context"), 0);
         });
+    }
+
+    #[test]
+    fn isend_plus_drain_matches_blocking_send_exactly() {
+        // For a contiguous payload with no overlapped work, the
+        // nonblocking path must charge the same time as the blocking one:
+        // overhead on the CPU, then the full wire as the drain residual.
+        let run = |nonblocking: bool| {
+            Cluster::new(ClusterConfig::uniform(2)).run(move |r| {
+                if r.rank() == 0 {
+                    if nonblocking {
+                        let done = r.isend_bytes_ctx(1, Tag(0), 0, vec![7u8; 4096]);
+                        r.send_drain(done);
+                    } else {
+                        r.send_bytes(1, Tag(0), vec![7u8; 4096]);
+                    }
+                } else {
+                    let _ = r.recv_bytes(Some(0), Tag(0));
+                }
+                (r.now(), r.stats().comm, r.stats().wait)
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn overlapped_compute_hides_the_wire_and_the_wait() {
+        // Sender: isend, compute while the NIC drains, then drain (free).
+        // Receiver: compute past the arrival, then receive (wait ~0).
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                let done = r.isend_bytes_ctx(1, Tag(0), 0, vec![0u8; 1 << 20]);
+                r.compute_flops(100_000_000); // far longer than the wire
+                let residual = r.send_drain(done);
+                assert_eq!(residual, SimTime::ZERO, "wire hid under compute");
+                r.now()
+            } else {
+                r.compute_flops(100_000_000);
+                let msg = r.fetch_msg_ctx(Some(0), Tag(0), 0);
+                let (_, _, waited) = r.complete_recv_msg(msg);
+                assert_eq!(waited, SimTime::ZERO, "message arrived under compute");
+                r.now()
+            }
+        });
+        assert!(out[0] > SimTime::ZERO && out[1] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn nic_serializes_reservations_in_order() {
+        Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                let d1 = r.isend_bytes_ctx(1, Tag(1), 0, vec![0u8; 64 * 1024]);
+                let d2 = r.isend_bytes_ctx(1, Tag(2), 0, vec![0u8; 64 * 1024]);
+                assert!(d2 > d1, "second message queues behind the first");
+                r.send_drain(d2);
+                assert!(r.now() >= d2);
+                assert_eq!(r.send_drain(d1), SimTime::ZERO, "already drained");
+            } else {
+                let _ = r.recv_bytes(Some(0), Tag(1));
+                let _ = r.recv_bytes(Some(0), Tag(2));
+            }
+        });
+    }
+
+    #[test]
+    fn iprobe_respects_simulated_arrival() {
+        Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            if r.rank() == 0 {
+                r.compute_flops(1_000_000); // delay the send in sim time
+                r.send_bytes(1, Tag(0), vec![1]);
+            } else {
+                // Wait until the envelope physically exists, then compare
+                // the weak probe with the simulated-arrival-aware one.
+                while !r.probe(Some(0), Tag(0)) {
+                    std::thread::yield_now();
+                }
+                assert!(
+                    !r.iprobe(Some(0), Tag(0)),
+                    "simulated arrival still in the future"
+                );
+                r.compute_flops(10_000_000);
+                assert!(r.iprobe(Some(0), Tag(0)));
+                let _ = r.recv_bytes(Some(0), Tag(0));
+            }
+        });
+    }
+
+    #[test]
+    fn send_drain_and_irecv_post_hit_recorder_and_trace() {
+        let out = Cluster::new(ClusterConfig::uniform(2)).run(|r| {
+            r.enable_tracing();
+            if r.rank() == 0 {
+                let done = r.isend_bytes_ctx(1, Tag(0), 0, vec![0u8; 4096]);
+                r.send_drain(done);
+            } else {
+                r.trace_irecv_post(Some(0), Tag(0));
+                let msg = r.fetch_msg_ctx(Some(0), Tag(0), 0);
+                let _ = r.complete_recv_msg(msg);
+            }
+            r.take_trace()
+        });
+        assert!(out[0].iter().any(
+            |e| matches!(e.kind, EventKind::SendWait { residual } if residual > SimTime::ZERO)
+        ));
+        assert!(out[1].iter().any(|e| matches!(
+            e.kind,
+            EventKind::IrecvPost {
+                src: Some(0),
+                tag: 0
+            }
+        )));
+        let dump = crate::recorder::last_run_dump().expect("run recorded");
+        assert!(dump.contains("send-wait  residual_ns="), "{dump}");
+        assert!(dump.contains("irecv      src=0 tag=0"), "{dump}");
     }
 
     #[test]

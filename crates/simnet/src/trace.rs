@@ -51,6 +51,15 @@ pub enum EventKind {
         lookahead: u64,
         bytes: u64,
     },
+    /// A nonblocking receive was posted (request layer); a zero-length
+    /// instant marking where overlap *starts*. `src` is `None` for a
+    /// wildcard-source receive.
+    IrecvPost { src: Option<usize>, tag: u32 },
+    /// A completed send had to block until the NIC finished serializing
+    /// its queued bytes: the *residual* wire time that compute did not
+    /// hide. Only emitted when the residual is nonzero, so its absence
+    /// means the overlap was total.
+    SendWait { residual: SimTime },
 }
 
 /// One traced span of simulated time on one rank.
@@ -79,6 +88,10 @@ fn cell_priority(kind: &EventKind) -> u8 {
         // Pack blocks render on their own `dt` lane; priority 0 keeps them
         // out of the message row (the row's floor is already 0).
         EventKind::PackBlock { .. } => 0,
+        // A drain wait is send-shaped activity; an irecv post is a
+        // zero-length bookkeeping instant that should not mask traffic.
+        EventKind::SendWait { .. } => 2,
+        EventKind::IrecvPost { .. } => 1,
     }
 }
 
@@ -96,6 +109,8 @@ fn cell_char(kind: &EventKind) -> u8 {
                 b'd'
             }
         }
+        EventKind::SendWait { .. } => b'w',
+        EventKind::IrecvPost { .. } => b'v',
     }
 }
 

@@ -279,17 +279,34 @@ fn fixture() -> Vec<Vec<TraceEvent>> {
                 2_100,
                 2_300,
             ),
+            ev(
+                EventKind::SendWait {
+                    residual: SimTime(700),
+                },
+                2_300,
+                3_000,
+            ),
         ],
-        vec![ev(
-            EventKind::Recv {
-                src: 0,
-                bytes: 256,
-                seq: 0,
-                wait: SimTime(945),
-            },
-            100,
-            2_345,
-        )],
+        vec![
+            ev(
+                EventKind::IrecvPost {
+                    src: Some(0),
+                    tag: 42,
+                },
+                50,
+                50,
+            ),
+            ev(
+                EventKind::Recv {
+                    src: 0,
+                    bytes: 256,
+                    seq: 0,
+                    wait: SimTime(945),
+                },
+                100,
+                2_345,
+            ),
+        ],
     ]
 }
 
@@ -326,9 +343,9 @@ fn exporter_output_is_well_formed_json() {
         .get("traceEvents")
         .expect("traceEvents field")
         .as_array();
-    // 1 process_name + 2 thread_name metadata + 5 fixture events, plus the
+    // 1 process_name + 2 thread_name metadata + 7 fixture events, plus the
     // pack block's span + its seek counter sample.
-    assert_eq!(events.len(), 10);
+    assert_eq!(events.len(), 12);
     assert_eq!(
         doc.get("displayTimeUnit").expect("display unit").as_str(),
         "ns"
@@ -359,6 +376,32 @@ fn exporter_output_is_well_formed_json() {
             .expect("seek")
             .as_f64(),
         16.0
+    );
+    // The request-lifetime kinds are present: the irecv post as a
+    // thread-scoped instant on rank 1, the send drain as a span with its
+    // residual in args.
+    let post = events
+        .iter()
+        .find(|e| matches!(e.get("cat"), Some(v) if v.as_str() == "request" && e.get("ph").unwrap().as_str() == "i"))
+        .expect("irecv post event present");
+    assert_eq!(
+        post.get("name").expect("name").as_str(),
+        "irecv posted (src 0)"
+    );
+    assert_eq!(post.get("tid").expect("tid").as_f64(), 1.0);
+    let drain = events
+        .iter()
+        .find(|e| matches!(e.get("name"), Some(v) if v.as_str() == "send drain"))
+        .expect("send drain event present");
+    assert_eq!(drain.get("ph").expect("ph").as_str(), "X");
+    assert_eq!(
+        drain
+            .get("args")
+            .expect("args")
+            .get("residual_ns")
+            .expect("residual_ns")
+            .as_f64(),
+        700.0
     );
     // Every event carries the mandatory fields, all in the one process.
     for e in events {

@@ -1,0 +1,77 @@
+//! Communication/computation overlap with the split ghost exchange.
+//!
+//! The request-based core lets `VecScatterBegin` post its receives and
+//! launch its sends, hand control back to the application, and only
+//! reconcile in `VecScatterEnd`. A stencil code exploits this by updating
+//! the rows that need no ghost values while the ghost traffic is on the
+//! wire — the classic PETSc overlap idiom
+//! (`DMGlobalToLocalBegin` / compute interior / `DMGlobalToLocalEnd`).
+//!
+//! This example measures the same workload — one 2-D star-stencil ghost
+//! exchange plus a fixed slab of local compute, repeated — in both forms
+//! on the simulated clock, sweeping how much compute is available to hide
+//! the communication behind.
+//!
+//! Run with: `cargo run --release --example overlap`
+
+use nucomm::core::{Comm, MpiConfig};
+use nucomm::petsc::{DistributedArray, ScatterBackend, StencilKind};
+use nucomm::simnet::{Cluster, ClusterConfig, SimTime};
+
+const N: usize = 96;
+const RANKS: usize = 16;
+const REPS: usize = 20;
+
+/// Slowest rank's simulated finish time for `REPS` rounds of ghost
+/// exchange + compute, overlapped (begin / compute / end) or sequential
+/// (apply, then compute).
+fn makespan(flops: u64, overlap: bool) -> SimTime {
+    let out = Cluster::new(ClusterConfig::uniform(RANKS)).run(move |rank| {
+        let mut comm = Comm::new(rank, MpiConfig::optimized());
+        let da = DistributedArray::new(&mut comm, &[N, N], 1, StencilKind::Star, 1);
+        let mut g = da.create_global_vec();
+        for (off, p) in da.owned_points().enumerate() {
+            g.local_mut()[off] = (p[0] * 1000 + p[1]) as f64;
+        }
+        let mut l = da.create_local_vec();
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        for _ in 0..REPS {
+            if overlap {
+                let h = da.global_to_local_begin(&mut comm, &g, &mut l, ScatterBackend::HandTuned);
+                // Interior work proceeds while ghosts are in flight.
+                comm.rank_mut().compute_flops(flops);
+                da.global_to_local_end(&mut comm, h, &mut l);
+            } else {
+                da.global_to_local(&mut comm, &g, &mut l, ScatterBackend::HandTuned);
+                comm.rank_mut().compute_flops(flops);
+            }
+        }
+        comm.rank_ref().now()
+    });
+    out.into_iter().max().expect("nonempty cluster")
+}
+
+fn main() {
+    println!("--- split ghost exchange: {N}x{N} star DA on {RANKS} ranks, {REPS} rounds ---");
+    println!(
+        "{:>16}{:>16}{:>16}{:>14}",
+        "interior flops", "sequential", "overlapped", "hidden"
+    );
+    for flops in [0u64, 500_000, 1_000_000, 2_000_000, 5_000_000] {
+        let seq = makespan(flops, false);
+        let ovl = makespan(flops, true);
+        let hidden = SimTime::from_ns(seq.as_ns().saturating_sub(ovl.as_ns()));
+        println!(
+            "{flops:>16}{:>16}{:>16}{:>14}",
+            seq.to_string(),
+            ovl.to_string(),
+            hidden.to_string()
+        );
+    }
+    println!("\nWith no interior work there is nothing to hide behind and the forms");
+    println!("cost the same. Once any interior slab exists, the overlapped form");
+    println!("hides the ghost traffic's in-flight portion — the wait for neighbour");
+    println!("data to cross the wire — while pack/unpack stays on the CPU and is");
+    println!("paid either way. The absolute saving is the exchange's wire time.");
+}
