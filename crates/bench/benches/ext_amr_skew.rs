@@ -6,11 +6,26 @@
 //! and the machine size; the round-robin schedule globalizes the hotspot's
 //! delay through its zero-byte synchronizations, the binned schedule
 //! confines it to the hotspot's neighbourhood.
+//!
+//! Every run also collects the communication map and the decision-audit
+//! metrics (neither touches the simulated clock, so the gated latencies
+//! are identical to an uninstrumented run): the depth-sweep report appends
+//! the who-talks-to-whom heatmap and the algorithm-decision table, and
+//! writes `target/analysis/ext_amr_depth.{comm.json,decisions.txt}` for
+//! CI artifact upload.
+//!
+//! `--smoke` shrinks the machine and the sweeps for CI; the lower-is-better
+//! latency series are gated against committed baselines with
+//! `--baseline check`.
 
-use ncd_bench::{improvement_pct, report, Series};
+use ncd_bench::{
+    baseline_gate, improvement_pct, report, report_with_observability, smoke_mode, Series,
+};
 use ncd_core::{Comm, MpiConfig, WPeer};
 use ncd_datatype::Datatype;
-use ncd_simnet::{Cluster, ClusterConfig, SimTime};
+use ncd_simnet::{
+    merge_comm_maps, Cluster, ClusterCommMap, ClusterConfig, MetricsRegistry, SimTime,
+};
 
 const STEPS: usize = 10;
 const BASE_CELLS: u64 = 2_000;
@@ -20,13 +35,18 @@ fn level(rank: usize, spot: usize, n: usize, depth: u32) -> u32 {
     depth.saturating_sub(d as u32)
 }
 
-fn run(nranks: usize, depth: u32, cfg: MpiConfig) -> SimTime {
+fn run(nranks: usize, depth: u32, cfg: MpiConfig) -> (SimTime, MetricsRegistry, ClusterCommMap) {
     let out = Cluster::new(ClusterConfig::paper_testbed(nranks)).run(|rank| {
+        rank.enable_metrics();
+        rank.enable_comm_map();
         let mut comm = Comm::new(rank, cfg.clone());
         let me = comm.rank();
         let n = comm.size();
         comm.barrier();
         comm.rank_mut().reset_clock();
+        // Drop the warmup barrier's traffic from the observability view.
+        let _ = comm.rank_mut().take_metrics();
+        let _ = comm.rank_mut().take_comm_map();
         for step in 0..STEPS {
             let spot = (step * 5) % n;
             let my_level = level(me, spot, n, depth);
@@ -57,45 +77,81 @@ fn run(nranks: usize, depth: u32, cfg: MpiConfig) -> SimTime {
             let mut recvbuf = vec![0u8; (sc + pc) * 8];
             comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
         }
-        comm.rank_ref().now()
+        let t = comm.rank_ref().now();
+        let metrics = comm.rank_mut().take_metrics();
+        let map = comm.rank_mut().take_comm_map();
+        (t, metrics, map)
     });
-    out.into_iter().max().expect("nonempty")
+    let tmax = out.iter().map(|(t, _, _)| *t).max().expect("nonempty");
+    let mut merged = MetricsRegistry::enabled();
+    let mut maps = Vec::with_capacity(out.len());
+    for (_, m, map) in out {
+        merged.merge(&m);
+        maps.push(map);
+    }
+    (tmax, merged, merge_comm_maps(&maps))
 }
 
 fn main() {
-    // (a) Refinement-depth sweep at 64 ranks.
+    let smoke = smoke_mode();
+    let (depth_ranks, depths) = if smoke {
+        (16usize, 0..=2u32)
+    } else {
+        (64usize, 0..=4u32)
+    };
+    let scaling: &[usize] = if smoke {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
+
+    // (a) Refinement-depth sweep. The decision metrics from every run are
+    // merged (so the audit table shows both schedules side by side); the
+    // comm map shown is the deepest baseline run's — the most skewed
+    // traffic the sweep produces.
     let mut base = Series::new("round-robin");
     let mut binned = Series::new("three-bin");
     let mut imp = Series::new("improvement-%");
-    for depth in 0..=4u32 {
-        let tb = run(64, depth, MpiConfig::baseline());
-        let tn = run(64, depth, MpiConfig::optimized());
+    let mut decisions = MetricsRegistry::enabled();
+    let mut skew_map: Option<ClusterCommMap> = None;
+    for depth in depths {
+        let (tb, mb, map) = run(depth_ranks, depth, MpiConfig::baseline());
+        let (tn, mn, _) = run(depth_ranks, depth, MpiConfig::optimized());
+        decisions.merge(&mb);
+        decisions.merge(&mn);
+        skew_map = Some(map);
         base.push(depth.to_string(), tb.as_ms());
         binned.push(depth.to_string(), tn.as_ms());
         imp.push(depth.to_string(), improvement_pct(tb, tn));
     }
-    report(
+    let series = vec![base, binned, imp];
+    report_with_observability(
         "ext_amr_depth",
         "refinement depth",
-        "time per run (msec), 64 ranks",
-        &[base, binned, imp],
+        &format!("time per run (msec), {depth_ranks} ranks"),
+        &series,
+        Some(&decisions),
+        skew_map.as_ref(),
     );
+    baseline_gate("ext_amr_depth", &series[..2]);
 
     // (b) Scaling sweep at depth 2.
     let mut base = Series::new("round-robin");
     let mut binned = Series::new("three-bin");
     let mut imp = Series::new("improvement-%");
-    for &n in &[8usize, 16, 32, 64, 128] {
-        let tb = run(n, 2, MpiConfig::baseline());
-        let tn = run(n, 2, MpiConfig::optimized());
+    for &n in scaling {
+        let (tb, _, _) = run(n, 2, MpiConfig::baseline());
+        let (tn, _, _) = run(n, 2, MpiConfig::optimized());
         base.push(n.to_string(), tb.as_ms());
         binned.push(n.to_string(), tn.as_ms());
         imp.push(n.to_string(), improvement_pct(tb, tn));
     }
+    let series = vec![base, binned, imp];
     report(
         "ext_amr_scaling",
         "processes",
         "time per run (msec), depth 2",
-        &[base, binned, imp],
+        &series,
     );
+    baseline_gate("ext_amr_scaling", &series[..2]);
 }

@@ -8,7 +8,9 @@
 //! by reps** — the way MPI benchmarks report collective latency.
 
 use ncd_core::{Comm, MpiConfig};
-use ncd_simnet::{Cluster, ClusterConfig, MetricsRegistry, SimTime, Stats};
+use ncd_simnet::{
+    merge_comm_maps, Cluster, ClusterCommMap, ClusterConfig, MetricsRegistry, SimTime, Stats,
+};
 
 pub mod baseline;
 
@@ -151,6 +153,106 @@ pub fn datatype_report(reg: &MetricsRegistry) -> Option<String> {
     Some(out)
 }
 
+/// Table of the `decision/*` metrics the auto-selecting collectives emit:
+/// one row per (collective, chosen algorithm) with call count, bytes seen,
+/// and the last recorded outlier-ratio evidence, followed by the stated
+/// selection reasons. Returns `None` when no decision was recorded.
+pub fn decision_report(reg: &MetricsRegistry) -> Option<String> {
+    let mut rows: Vec<(String, String)> = reg
+        .counters()
+        .filter(|(k, _)| k.subsystem == "decision")
+        .map(|(k, _)| (k.op.clone(), k.algorithm.clone()))
+        .collect();
+    rows.sort();
+    rows.dedup();
+    if rows.is_empty() {
+        return None;
+    }
+    let mut out = String::from("\n=== collective algorithm decisions ===\n");
+    out.push_str(&format!(
+        "{:<13}{:<22}{:>8}{:>14}{:>12}{:>10}\n",
+        "collective", "chosen", "calls", "bytes", "mean B", "ratio"
+    ));
+    for (coll, chosen) in &rows {
+        let calls = reg.counter("decision", coll, chosen);
+        let h = reg.histogram("decision_bytes", coll, chosen);
+        let bytes = h.map(|h| h.sum()).unwrap_or(0);
+        let mean = h.map(|h| h.mean()).unwrap_or(0.0);
+        let ratio = reg
+            .gauge("decision_ratio", coll, chosen)
+            .map(|r| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{coll:<13}{chosen:<22}{calls:>8}{bytes:>14}{mean:>12.0}{ratio:>10}\n"
+        ));
+    }
+    let mut reasons: Vec<(String, String, u64)> = reg
+        .counters()
+        .filter(|(k, _)| k.subsystem == "decision_reason")
+        .map(|(k, v)| (k.op.clone(), k.algorithm.clone(), v))
+        .collect();
+    reasons.sort();
+    for (coll, reason, count) in &reasons {
+        out.push_str(&format!("  {coll}: {reason} ({count})\n"));
+    }
+    Some(out)
+}
+
+fn fmt_ratio(r: f64) -> String {
+    if r.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// "Who talks to whom" summary of a merged communication map: the ASCII
+/// heatmap, nonuniformity analytics of the total matrix (outlier ratio,
+/// spread, Gini), the hottest pairs, and the per-epoch breakdown. Returns
+/// `None` when the map saw no traffic.
+pub fn comm_report(map: &ClusterCommMap) -> Option<String> {
+    let (total, epochs) = ncd_core::analyze_comm_map(map, 0.9, 5);
+    let total = total?;
+    let mut out = format!(
+        "\n=== communication map ({} ranks, {} B, {} msgs) ===\n",
+        map.n,
+        map.total.total_bytes(),
+        map.total.total_msgs()
+    );
+    out.push_str(&ncd_simnet::render_heatmap(&map.total));
+    out.push_str(&format!(
+        "pairs={} max={} B min={} B mean={:.0} B spread={} outlier-ratio={} gini={:.3}\n",
+        total.pairs,
+        total.max_bytes,
+        total.min_bytes,
+        total.mean_bytes,
+        fmt_ratio(total.spread),
+        fmt_ratio(total.outlier_ratio),
+        total.gini
+    ));
+    out.push_str("hot pairs:");
+    for (s, d, b) in &total.top {
+        out.push_str(&format!(" {s}->{d}:{b}B"));
+    }
+    out.push('\n');
+    if !epochs.is_empty() {
+        out.push_str("per-epoch nonuniformity:\n");
+        for e in &epochs {
+            let a = &e.analysis;
+            let bytes = (a.mean_bytes * a.pairs as f64).round() as u64;
+            out.push_str(&format!(
+                "  {:<30} pairs={:>4} bytes={:>12} outlier-ratio={:>8} gini={:.3}\n",
+                format!("{}#{}", e.label, e.occurrence),
+                a.pairs,
+                bytes,
+                fmt_ratio(a.outlier_ratio),
+                a.gini
+            ));
+        }
+    }
+    Some(out)
+}
+
 /// Run `body` on a cluster and return the per-iteration completion time
 /// (max over ranks), plus each rank's stats for breakdown reporting.
 ///
@@ -227,6 +329,62 @@ where
     (SimTime::from_ns(tmax.as_ns() / reps as u64), stats, merged)
 }
 
+/// [`time_phase_metrics`] with the communication map additionally enabled
+/// on every rank: also returns the cluster-merged [`ClusterCommMap`]
+/// covering the measured (post-warmup) iterations. Neither the metrics
+/// registry nor the comm map ever touches the simulated clock, so the
+/// returned times are identical to an uninstrumented run.
+pub fn time_phase_observed<F>(
+    cluster_cfg: ClusterConfig,
+    mpi_cfg: MpiConfig,
+    reps: usize,
+    body: F,
+) -> (SimTime, Vec<Stats>, MetricsRegistry, ClusterCommMap)
+where
+    F: Fn(&mut Comm, usize) + Send + Sync,
+{
+    assert!(reps > 0);
+    let out = Cluster::new(cluster_cfg).run(|rank| {
+        rank.enable_metrics();
+        rank.enable_comm_map();
+        let mut comm = Comm::new(rank, mpi_cfg.clone());
+        body(&mut comm, usize::MAX); // warmup
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        let _ = comm.rank_mut().take_stats();
+        let _ = comm.rank_mut().take_metrics(); // drop warmup metrics
+        let _ = comm.rank_mut().take_comm_map(); // drop warmup traffic
+        for it in 0..reps {
+            body(&mut comm, it);
+        }
+        let t = comm.rank_ref().now();
+        let stats = comm.rank_ref().stats().clone();
+        let metrics = comm.rank_mut().take_metrics();
+        let map = comm.rank_mut().take_comm_map();
+        (t, stats, metrics, map)
+    });
+    let tmax = out
+        .iter()
+        .map(|(t, _, _, _)| *t)
+        .max()
+        .expect("nonempty cluster");
+    let mut merged = MetricsRegistry::enabled();
+    let mut stats = Vec::with_capacity(out.len());
+    let mut maps = Vec::with_capacity(out.len());
+    for (_, s, m, map) in out {
+        merged.merge(&m);
+        stats.push(s);
+        maps.push(map);
+    }
+    let comm_map = merge_comm_maps(&maps);
+    (
+        SimTime::from_ns(tmax.as_ns() / reps as u64),
+        stats,
+        merged,
+        comm_map,
+    )
+}
+
 /// Aggregate per-rank stats into one cluster-wide breakdown.
 pub fn aggregate(stats: &[Stats]) -> Stats {
     let mut total = Stats::new();
@@ -269,7 +427,7 @@ impl Series {
 /// written to `target/figures/<name>.json`; benches that collect metrics
 /// use [`report_with_metrics`] to include the registry snapshot.
 pub fn report(name: &str, x_label: &str, y_label: &str, series: &[Series]) {
-    report_impl(name, x_label, y_label, series, None)
+    report_impl(name, x_label, y_label, series, None, None)
 }
 
 fn report_impl(
@@ -278,6 +436,7 @@ fn report_impl(
     y_label: &str,
     series: &[Series],
     metrics: Option<&MetricsRegistry>,
+    comm_map: Option<&ClusterCommMap>,
 ) {
     println!("\n=== {name} ({y_label}) ===");
     print!("{:>14}", x_label);
@@ -305,6 +464,30 @@ fn report_impl(
     // saw datatype-engine activity (noncontiguous sends).
     if let Some(table) = metrics.and_then(datatype_report) {
         print!("{table}");
+    }
+
+    // So does the algorithm-decision audit, whenever an auto-selecting
+    // collective ran under the registry; the table is also written next to
+    // the figures for CI artifact upload.
+    if let Some(table) = metrics.and_then(decision_report) {
+        print!("{table}");
+        let dir = std::path::Path::new("target").join("analysis");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{name}.decisions.txt")), &table);
+        }
+    }
+
+    // And the who-talks-to-whom map, when one was collected
+    // ([`time_phase_observed`] / [`report_with_observability`]); the raw
+    // matrix goes to `target/analysis/<name>.comm.json` for artifacts.
+    if let Some(map) = comm_map {
+        if let Some(table) = comm_report(map) {
+            print!("{table}");
+        }
+        let dir = std::path::Path::new("target").join("analysis");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = ncd_simnet::write_comm_matrix_json(dir.join(format!("{name}.comm.json")), map);
+        }
     }
 
     // CSV alongside (best effort; benches may run in read-only setups).
@@ -366,7 +549,22 @@ pub fn report_with_metrics(
     series: &[Series],
     metrics: Option<&MetricsRegistry>,
 ) {
-    report_impl(name, x_label, y_label, series, metrics)
+    report_impl(name, x_label, y_label, series, metrics, None)
+}
+
+/// [`report_with_metrics`], plus the merged communication map: appends the
+/// [`comm_report`] heatmap/analytics next to the datatype and decision
+/// tables, and writes the byte-stable matrix JSON to
+/// `target/analysis/<name>.comm.json` for CI artifact upload.
+pub fn report_with_observability(
+    name: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    metrics: Option<&MetricsRegistry>,
+    comm_map: Option<&ClusterCommMap>,
+) {
+    report_impl(name, x_label, y_label, series, metrics, comm_map)
 }
 
 fn write_json_report(
@@ -515,6 +713,86 @@ mod tests {
         // 120 seeks over 4 blocks = 30.0 per block.
         assert!(table.contains("30.0"), "table:\n{table}");
         assert!(table.contains("4096"), "table:\n{table}");
+    }
+
+    #[test]
+    fn decision_report_tabulates_choices_and_reasons() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.counter_add("decision", "allgatherv", "ring", 16);
+        reg.counter_add(
+            "decision_reason",
+            "allgatherv",
+            "total >= long threshold",
+            16,
+        );
+        reg.gauge_set("decision_ratio", "allgatherv", "ring", 8192.0);
+        reg.observe("decision_bytes", "allgatherv", "ring", 65_664);
+        let table = decision_report(&reg).expect("decisions present");
+        assert!(table.contains("collective algorithm decisions"));
+        assert!(table.contains("ring") && table.contains("8192.0"));
+        assert!(table.contains("total >= long threshold (16)"));
+        assert!(decision_report(&MetricsRegistry::enabled()).is_none());
+    }
+
+    #[test]
+    fn observed_phase_collects_map_and_decision_metrics() {
+        let counts = vec![64usize; 4];
+        let (_, stats, metrics, map) = time_phase_observed(
+            ClusterConfig::uniform(4),
+            MpiConfig::optimized(),
+            2,
+            move |comm, _| {
+                let send = vec![1u8; 64];
+                let mut recv = vec![0u8; 256];
+                comm.allgatherv(&send, &counts, &mut recv);
+            },
+        );
+        assert_eq!(stats.len(), 4);
+        // 4 ranks x 2 measured reps, warmup dropped.
+        assert_eq!(
+            metrics.counter("decision", "allgatherv", "recursive_doubling"),
+            8
+        );
+        assert_eq!(map.n, 4);
+        assert!(map.total.total_bytes() > 0);
+        // Warmup traffic was dropped: exactly the 2 measured epochs.
+        let epochs: Vec<_> = map
+            .epochs
+            .iter()
+            .filter(|e| e.label == "allgatherv/recursive_doubling")
+            .collect();
+        assert_eq!(epochs.len(), 2);
+        // The map columns match what each rank's mailbox delivered.
+        for (r, s) in stats.iter().enumerate() {
+            assert_eq!(map.total.col_bytes(r), s.bytes_recvd, "rank {r}");
+        }
+        let table = comm_report(&map).expect("traffic present");
+        assert!(table.contains("communication map (4 ranks"));
+        assert!(table.contains("allgatherv/recursive_doubling#0"));
+        assert!(table.contains("hot pairs:"));
+        assert!(comm_report(&merge_comm_maps(&[ncd_simnet::RankCommMap::new(0, 1)])).is_none());
+    }
+
+    #[test]
+    fn observability_report_writes_artifacts() {
+        let mut s = Series::new("latency");
+        s.push("4", 1.0);
+        let mut reg = MetricsRegistry::enabled();
+        reg.counter_add("decision", "alltoallw", "binned", 3);
+        let mut m0 = ncd_simnet::RankCommMap::new(0, 2);
+        let mut m1 = ncd_simnet::RankCommMap::new(1, 2);
+        m0.enable();
+        m1.enable();
+        m1.record_delivery(0, 4096);
+        let map = merge_comm_maps(&[m0, m1]);
+        report_with_observability("unit_test_obs_fig", "n", "us", &[s], Some(&reg), Some(&map));
+        let json = std::fs::read_to_string("target/analysis/unit_test_obs_fig.comm.json")
+            .expect("comm matrix artifact");
+        assert!(json.starts_with("{\"ranks\":2,"));
+        assert!(json.contains("[0,1,4096,1]"));
+        let decisions = std::fs::read_to_string("target/analysis/unit_test_obs_fig.decisions.txt")
+            .expect("decision table artifact");
+        assert!(decisions.contains("binned"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! the outlier reaches everyone in O(log N) rounds moved by many senders
 //! simultaneously.
 
-use ncd_simnet::CostKind;
+use ncd_simnet::{ratio_to_millis, CostKind};
 
 use crate::coll::{coll_tag, CollOp};
 use crate::comm::Comm;
@@ -68,6 +68,44 @@ impl Comm<'_> {
         let ns = passes as f64 * counts.len() as f64 * 2.0;
         self.rank_mut().charge_cpu(CostKind::Comm, ns);
         let algo = self.allgatherv_choose(counts);
+        // Audit the selection: one AlgorithmDecision per auto-selected
+        // call, carrying the evidence (total, outlier ratio, pow2) and
+        // the policy branch taken. Recording charges no simulated time.
+        {
+            let cfg = self.config();
+            let total: usize = counts.iter().sum();
+            let (shape, ratio) =
+                detect_outliers_with_ratio(counts, cfg.outlier_fraction, cfg.outlier_ratio);
+            let pow2 = is_pow2(self.size());
+            let reason = match (cfg.flavor, algo) {
+                (MpiFlavor::Baseline, AllgathervAlgorithm::Ring) => "total >= long threshold",
+                (MpiFlavor::Baseline, AllgathervAlgorithm::RecursiveDoubling) => {
+                    "small total, pow2 ranks"
+                }
+                (MpiFlavor::Baseline, AllgathervAlgorithm::Dissemination) => {
+                    "small total, non-pow2 ranks"
+                }
+                (MpiFlavor::Optimized, AllgathervAlgorithm::Ring) => {
+                    "uniform large total: ring bandwidth path"
+                }
+                (MpiFlavor::Optimized, _) => {
+                    if shape == VolumeShape::Outliers {
+                        "outliers: binomial movement"
+                    } else {
+                        "uniform small total: binomial latency path"
+                    }
+                }
+            };
+            self.rank_mut().observe_algo_decision(
+                "allgatherv",
+                counts.len(),
+                total as u64,
+                ratio_to_millis(ratio),
+                pow2,
+                algo.label(),
+                reason,
+            );
+        }
         if self.rank_ref().metrics().is_enabled() {
             // The auto-selected path is additionally tracked under the
             // "adaptive" label, so selection-policy behaviour is queryable
@@ -164,16 +202,23 @@ impl Comm<'_> {
         // Place own contribution.
         recvbuf[displs[rank]..displs[rank] + counts[rank]].copy_from_slice(send);
 
-        if size == 1 {
-            return;
-        }
-        match algo {
-            AllgathervAlgorithm::Ring => self.agv_ring(counts, &displs, recvbuf),
-            AllgathervAlgorithm::RecursiveDoubling => {
-                assert!(is_pow2(size), "recursive doubling needs power-of-two N");
-                self.agv_recursive_doubling(counts, &displs, recvbuf)
+        if size > 1 {
+            match algo {
+                AllgathervAlgorithm::Ring => self.agv_ring(counts, &displs, recvbuf),
+                AllgathervAlgorithm::RecursiveDoubling => {
+                    assert!(is_pow2(size), "recursive doubling needs power-of-two N");
+                    self.agv_recursive_doubling(counts, &displs, recvbuf)
+                }
+                AllgathervAlgorithm::Dissemination => {
+                    self.agv_dissemination(counts, &displs, recvbuf)
+                }
             }
-            AllgathervAlgorithm::Dissemination => self.agv_dissemination(counts, &displs, recvbuf),
+        }
+        // One comm-map epoch per call, keyed by the algorithm that
+        // produced the traffic (pinned and auto-selected runs alike).
+        if self.rank_ref().comm_map_enabled() {
+            self.rank_mut()
+                .comm_epoch(&format!("allgatherv/{}", algo.label()));
         }
     }
 

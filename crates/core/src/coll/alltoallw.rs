@@ -17,10 +17,12 @@
 //! cheap receivers never wait behind expensive preprocessing.
 
 use ncd_datatype::Datatype;
+use ncd_simnet::ratio_to_millis;
 
 use crate::coll::{coll_tag, CollOp};
 use crate::comm::Comm;
 use crate::config::MpiFlavor;
+use crate::select::outlier_ratio_of;
 
 /// One peer's slot in an alltoallw: `count` instances of `dtype` located at
 /// `offset` bytes into the send (or receive) buffer — the analogue of MPI's
@@ -85,6 +87,31 @@ impl Comm<'_> {
             MpiFlavor::Baseline => AlltoallwSchedule::RoundRobin,
             MpiFlavor::Optimized => AlltoallwSchedule::Binned,
         };
+        // Audit the selection: the schedule is fixed by the flavor, but
+        // the decision record still carries the measured evidence (the
+        // outgoing per-peer volume set's outlier ratio) so the analysis
+        // layer can judge the choice. Recording charges no simulated
+        // time.
+        {
+            let vols: Vec<u64> = sends.iter().map(|s| s.bytes() as u64).collect();
+            let total: u64 = vols.iter().sum();
+            let ratio = outlier_ratio_of(&vols, self.config().outlier_fraction);
+            let n = sends.len();
+            let pow2 = n != 0 && n & (n - 1) == 0;
+            let reason = match self.config().flavor {
+                MpiFlavor::Baseline => "baseline flavor: lock-step round robin",
+                MpiFlavor::Optimized => "optimized flavor: zero-exempt three-bin schedule",
+            };
+            self.rank_mut().observe_algo_decision(
+                "alltoallw",
+                n,
+                total,
+                ratio_to_millis(ratio),
+                pow2,
+                schedule.label(),
+                reason,
+            );
+        }
         self.alltoallw_with(schedule, sendbuf, sends, recvbuf, recvs);
     }
 
@@ -129,6 +156,12 @@ impl Comm<'_> {
         match schedule {
             AlltoallwSchedule::RoundRobin => self.a2aw_round_robin(sendbuf, sends, recvbuf, recvs),
             AlltoallwSchedule::Binned => self.a2aw_binned(sendbuf, sends, recvbuf, recvs),
+        }
+        // One comm-map epoch per call, keyed by the schedule that
+        // produced the traffic (pinned and auto-selected runs alike).
+        if self.rank_ref().comm_map_enabled() {
+            self.rank_mut()
+                .comm_epoch(&format!("alltoallw/{}", schedule.label()));
         }
     }
 

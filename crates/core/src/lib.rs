@@ -30,15 +30,23 @@
 
 pub mod coll;
 pub mod comm;
+pub mod commstats;
 pub mod config;
 pub mod request;
 pub mod select;
 
 pub use coll::{AllgathervAlgorithm, AlltoallwSchedule, NeighborExchange, WPeer};
 pub use comm::{bytes_to_f64s, f64s_to_bytes, Comm, CommGroup};
+pub use commstats::{
+    analyze_comm_map, analyze_matrix, decisions_from_trace, decisions_from_traces,
+    detect_misselections, gini, render_decision_log, AlgorithmDecision, CommAnalysis,
+    EpochAnalysis, Misselection,
+};
 pub use config::{MpiConfig, MpiFlavor};
 pub use request::{Completion, Request};
-pub use select::{detect_outliers, detect_outliers_with_ratio, k_select, VolumeShape};
+pub use select::{
+    detect_outliers, detect_outliers_with_ratio, k_select, outlier_ratio_of, VolumeShape,
+};
 
 // Re-export the layers below for convenience of downstream crates.
 pub use ncd_datatype as datatype;

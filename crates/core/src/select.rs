@@ -114,27 +114,41 @@ pub fn detect_outliers_with_ratio(
     fraction: f64,
     ratio_threshold: f64,
 ) -> (VolumeShape, f64) {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
-    if volumes.len() < 2 {
-        return (VolumeShape::Uniform, 0.0);
-    }
-    let mut set: Vec<u64> = volumes.iter().map(|&v| v as u64).collect();
-    let n = set.len();
-    let max = k_select(&mut set, n - 1);
-    if max == 0 {
-        return (VolumeShape::Uniform, 0.0);
-    }
-    let k_bulk = (((n as f64) * fraction).ceil() as usize).clamp(1, n) - 1;
-    let bulk = k_select(&mut set, k_bulk);
-    if bulk == 0 {
-        return (VolumeShape::Outliers, f64::INFINITY);
-    }
-    let ratio = max as f64 / bulk as f64;
-    if ratio > ratio_threshold {
+    let set: Vec<u64> = volumes.iter().map(|&v| v as u64).collect();
+    let ratio = outlier_ratio_of(&set, fraction);
+    if ratio == 0.0 {
+        (VolumeShape::Uniform, 0.0)
+    } else if ratio.is_infinite() || ratio > ratio_threshold {
         (VolumeShape::Outliers, ratio)
     } else {
         (VolumeShape::Uniform, ratio)
     }
+}
+
+/// The max/bulk-quantile ratio of a volume set — the evidence number of
+/// the outlier test, without the verdict thresholding — via the same two
+/// Floyd–Rivest selections ([`k_select`] at `n-1` and at the `fraction`
+/// quantile). Degenerate sets report `0.0` (fewer than two volumes, or
+/// all-zero) or `f64::INFINITY` (zero bulk quantile under a nonzero
+/// maximum). Used directly by the comm-map epoch analytics, which need
+/// the ratio of *measured* per-pair volumes regardless of any threshold.
+pub fn outlier_ratio_of(volumes: &[u64], fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    if volumes.len() < 2 {
+        return 0.0;
+    }
+    let mut set = volumes.to_vec();
+    let n = set.len();
+    let max = k_select(&mut set, n - 1);
+    if max == 0 {
+        return 0.0;
+    }
+    let k_bulk = (((n as f64) * fraction).ceil() as usize).clamp(1, n) - 1;
+    let bulk = k_select(&mut set, k_bulk);
+    if bulk == 0 {
+        return f64::INFINITY;
+    }
+    max as f64 / bulk as f64
 }
 
 #[cfg(test)]
@@ -252,6 +266,22 @@ mod tests {
         vols[0] = 500; // 5x the bulk
         assert_eq!(detect_outliers(&vols, 0.9, 8.0), VolumeShape::Uniform);
         assert_eq!(detect_outliers(&vols, 0.9, 4.0), VolumeShape::Outliers);
+    }
+
+    #[test]
+    fn outlier_ratio_of_matches_detector_evidence() {
+        let mut vols = vec![100u64; 10];
+        vols[0] = 500;
+        assert!((outlier_ratio_of(&vols, 0.9) - 5.0).abs() < 1e-12);
+        assert_eq!(outlier_ratio_of(&[], 0.9), 0.0);
+        assert_eq!(outlier_ratio_of(&[42], 0.9), 0.0);
+        assert_eq!(outlier_ratio_of(&[0, 0, 0], 0.9), 0.0);
+        let mut zeros = vec![0u64; 10];
+        zeros[4] = 9;
+        assert!(outlier_ratio_of(&zeros, 0.9).is_infinite());
+        // On sets smaller than 1/(1-fraction) the bulk quantile IS the
+        // maximum, so the ratio degenerates to 1 — never a false outlier.
+        assert_eq!(outlier_ratio_of(&[1, 1, 1000], 0.9), 1.0);
     }
 
     #[test]

@@ -234,6 +234,9 @@ fn describe(kind: &EventKind) -> String {
             None => format!("irecv posted (any src, tag {tag})"),
         },
         EventKind::SendWait { residual } => format!("send drain ({residual} residual)"),
+        EventKind::AlgoDecision {
+            collective, chosen, ..
+        } => format!("decision {collective} -> {chosen}"),
     }
 }
 
@@ -414,7 +417,8 @@ pub fn attribute_rounds(traces: &[Vec<TraceEvent>]) -> RoundAttribution {
                 EventKind::Mark { .. }
                 | EventKind::Span { .. }
                 | EventKind::PackBlock { .. }
-                | EventKind::IrecvPost { .. } => {}
+                | EventKind::IrecvPost { .. }
+                | EventKind::AlgoDecision { .. } => {}
             }
         }
     }

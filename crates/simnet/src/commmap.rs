@@ -1,0 +1,489 @@
+//! Communication-topology map: who sends how much to whom.
+//!
+//! Every message delivery (the accounting half of a receive,
+//! [`crate::Rank::complete_recv_msg`]) accumulates into a per-rank
+//! src×dst byte/message-count record. The receiver owns the record — a
+//! rank counts the traffic *delivered to it*, keyed by source — so the
+//! per-rank data is a single column of the cluster-wide matrix and the
+//! merge at report time ([`merge_comm_maps`]) is a disjoint assembly, not
+//! a sum of overlapping counts. That receiver-side vantage point is also
+//! what makes the conservation property exact: the merged matrix's
+//! per-pair byte totals equal the bytes the mailbox actually delivered,
+//! message by message.
+//!
+//! On top of the running totals, the map takes **epoch snapshots**:
+//! - the collectives close one epoch per call, labeled
+//!   `<collective>/<algorithm>` (e.g. `alltoallw/binned`), and
+//! - [`crate::Rank::stage_end`] closes one per profiling stage, labeled
+//!   `stage:<path>`,
+//!
+//! so nonuniformity can be attributed to the call or phase that caused
+//! it, not just observed in aggregate. Epochs from different ranks are
+//! matched by `(label, occurrence)` — the k-th `allgatherv/ring` epoch on
+//! every rank describes the same collective call in an SPMD program.
+//!
+//! Like the flight recorder, the comm map never touches the simulated
+//! clock: enabling it changes no timing, and it is off by default (one
+//! branch per delivery when off).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::export::json_escape;
+
+/// Per-rank accumulator: bytes/messages delivered *to this rank*, keyed
+/// by source, with closed epoch snapshots. Owned by [`crate::Rank`];
+/// construct directly only in tests and fixtures.
+#[derive(Debug, Clone)]
+pub struct RankCommMap {
+    rank: usize,
+    size: usize,
+    enabled: bool,
+    /// Running totals since construction, indexed by source rank.
+    total_bytes: Vec<u64>,
+    total_msgs: Vec<u64>,
+    /// Deliveries since the last epoch boundary, indexed by source rank.
+    cur_bytes: Vec<u64>,
+    cur_msgs: Vec<u64>,
+    /// Per-label occurrence counters (the epoch-matching key).
+    occurrences: HashMap<String, u32>,
+    epochs: Vec<RankEpoch>,
+}
+
+/// One closed epoch on one rank: the traffic delivered to `rank` between
+/// two boundaries, indexed by source.
+#[derive(Debug, Clone)]
+pub struct RankEpoch {
+    pub label: String,
+    /// 0-based occurrence of `label` on this rank (k-th epoch so named).
+    pub occurrence: u32,
+    pub bytes: Vec<u64>,
+    pub msgs: Vec<u64>,
+}
+
+impl RankCommMap {
+    /// A disabled map for `rank` in a cluster of `size` ranks.
+    pub fn new(rank: usize, size: usize) -> Self {
+        RankCommMap {
+            rank,
+            size,
+            enabled: false,
+            total_bytes: vec![0; size],
+            total_msgs: vec![0; size],
+            cur_bytes: vec![0; size],
+            cur_msgs: vec![0; size],
+            occurrences: HashMap::new(),
+            epochs: Vec::new(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Account one delivered message of `bytes` from `src`. No-op when
+    /// disabled. Normally fed by the runtime's receive path; public so
+    /// fixtures and property tests can build maps by hand.
+    pub fn record_delivery(&mut self, src: usize, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.total_bytes[src] += bytes;
+        self.total_msgs[src] += 1;
+        self.cur_bytes[src] += bytes;
+        self.cur_msgs[src] += 1;
+    }
+
+    /// Close the current epoch under `label`, starting a fresh one. The
+    /// snapshot is taken even if no traffic arrived (an epoch with zero
+    /// deliveries is still a call that happened). No-op when disabled.
+    pub fn close_epoch(&mut self, label: &str) {
+        if !self.enabled {
+            return;
+        }
+        let occurrence = self.occurrences.entry(label.to_string()).or_insert(0);
+        let epoch = RankEpoch {
+            label: label.to_string(),
+            occurrence: *occurrence,
+            bytes: std::mem::replace(&mut self.cur_bytes, vec![0; self.size]),
+            msgs: std::mem::replace(&mut self.cur_msgs, vec![0; self.size]),
+        };
+        *occurrence += 1;
+        self.epochs.push(epoch);
+    }
+
+    pub fn epochs(&self) -> &[RankEpoch] {
+        &self.epochs
+    }
+
+    /// Total bytes delivered to this rank from `src` since construction
+    /// (includes traffic after the last epoch boundary).
+    pub fn total_bytes_from(&self, src: usize) -> u64 {
+        self.total_bytes[src]
+    }
+
+    /// Total messages delivered to this rank from `src`.
+    pub fn total_msgs_from(&self, src: usize) -> u64 {
+        self.total_msgs[src]
+    }
+}
+
+/// A dense src×dst matrix of byte and message counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommMatrix {
+    n: usize,
+    /// Row-major, `src * n + dst`.
+    bytes: Vec<u64>,
+    msgs: Vec<u64>,
+}
+
+impl CommMatrix {
+    pub fn new(n: usize) -> Self {
+        CommMatrix {
+            n,
+            bytes: vec![0; n * n],
+            msgs: vec![0; n * n],
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn add(&mut self, src: usize, dst: usize, bytes: u64, msgs: u64) {
+        let i = src * self.n + dst;
+        self.bytes[i] += bytes;
+        self.msgs[i] += msgs;
+    }
+
+    pub fn bytes(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+
+    pub fn msgs(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.n + dst]
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Bytes sent by `src` to anyone (row sum).
+    pub fn row_bytes(&self, src: usize) -> u64 {
+        self.bytes[src * self.n..(src + 1) * self.n].iter().sum()
+    }
+
+    /// Bytes delivered to `dst` from anyone (column sum).
+    pub fn col_bytes(&self, dst: usize) -> u64 {
+        (0..self.n).map(|s| self.bytes(s, dst)).sum()
+    }
+
+    /// Element-wise accumulate `other` into `self`. Panics on size
+    /// mismatch — matrices from different cluster sizes are not mergeable.
+    pub fn merge(&mut self, other: &CommMatrix) {
+        assert_eq!(self.n, other.n, "merging comm matrices of different size");
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a += b;
+        }
+        for (a, b) in self.msgs.iter_mut().zip(&other.msgs) {
+            *a += b;
+        }
+    }
+
+    /// All pairs with traffic, in `(src, dst)` lexicographic order.
+    pub fn nonzero_pairs(&self) -> Vec<(usize, usize, u64, u64)> {
+        let mut out = Vec::new();
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                let (b, m) = (self.bytes(src, dst), self.msgs(src, dst));
+                if b > 0 || m > 0 {
+                    out.push((src, dst, b, m));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` highest-volume pairs, descending by bytes, ties broken by
+    /// `(src, dst)` order (deterministic).
+    pub fn top_pairs(&self, k: usize) -> Vec<(usize, usize, u64)> {
+        let mut pairs: Vec<(usize, usize, u64)> = self
+            .nonzero_pairs()
+            .into_iter()
+            .map(|(s, d, b, _)| (s, d, b))
+            .collect();
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+/// One epoch of the merged, cluster-wide map.
+#[derive(Debug, Clone)]
+pub struct EpochMatrix {
+    pub label: String,
+    pub occurrence: u32,
+    pub matrix: CommMatrix,
+}
+
+/// The cluster-wide communication map: the total matrix plus every epoch,
+/// assembled from all ranks' [`RankCommMap`]s.
+#[derive(Debug, Clone)]
+pub struct ClusterCommMap {
+    pub n: usize,
+    pub total: CommMatrix,
+    pub epochs: Vec<EpochMatrix>,
+}
+
+/// Merge per-rank maps into the cluster-wide view. Rank `r`'s record of
+/// deliveries-from-`src` becomes column `dst = r` of the matrix; epochs
+/// are matched across ranks by `(label, occurrence)` and appear in the
+/// order first seen scanning ranks 0..n. Panics if `maps` is empty or the
+/// maps disagree on cluster size.
+pub fn merge_comm_maps(maps: &[RankCommMap]) -> ClusterCommMap {
+    let n = maps.first().expect("merge_comm_maps on no ranks").size;
+    let mut total = CommMatrix::new(n);
+    let mut epochs: Vec<EpochMatrix> = Vec::new();
+    let mut index: HashMap<(String, u32), usize> = HashMap::new();
+    for map in maps {
+        assert_eq!(map.size, n, "rank comm maps from different cluster sizes");
+        let dst = map.rank;
+        for src in 0..n {
+            total.add(src, dst, map.total_bytes[src], map.total_msgs[src]);
+        }
+        for epoch in &map.epochs {
+            let key = (epoch.label.clone(), epoch.occurrence);
+            let slot = *index.entry(key).or_insert_with(|| {
+                epochs.push(EpochMatrix {
+                    label: epoch.label.clone(),
+                    occurrence: epoch.occurrence,
+                    matrix: CommMatrix::new(n),
+                });
+                epochs.len() - 1
+            });
+            for src in 0..n {
+                epochs[slot]
+                    .matrix
+                    .add(src, dst, epoch.bytes[src], epoch.msgs[src]);
+            }
+        }
+    }
+    ClusterCommMap { n, total, epochs }
+}
+
+/// Encode an outlier ratio as integer thousandths for storage in trace
+/// events and flight-recorder slots (both are integer-only so traces
+/// stay `Eq` and byte-stable). Infinite ratios — a nonzero max over a
+/// zero bulk quantile — map to `u64::MAX`.
+pub fn ratio_to_millis(ratio: f64) -> u64 {
+    if ratio.is_infinite() {
+        u64::MAX
+    } else {
+        (ratio * 1000.0).round() as u64
+    }
+}
+
+/// Inverse of [`ratio_to_millis`].
+pub fn millis_to_ratio(millis: u64) -> f64 {
+    if millis == u64::MAX {
+        f64::INFINITY
+    } else {
+        millis as f64 / 1000.0
+    }
+}
+
+/// Shade ramp for the heatmap, lightest to darkest. Index 0 is reserved
+/// for exact zero.
+const SHADES: &[u8] = b".:-=+*#%@";
+
+/// Render `m` as an ASCII heatmap: rows are sources, columns are
+/// destinations, and each cell's shade is proportional to the cell's
+/// log₂ byte volume relative to the matrix maximum (`.` = no traffic,
+/// `@` = within a factor-of-two bucket of the hottest pair).
+pub fn render_heatmap(m: &CommMatrix) -> String {
+    let n = m.n();
+    let max_bits = (0..n * n)
+        .map(|i| 64 - m.bytes[i].leading_zeros() as u64)
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "src\\dst  0..{}   shade ~ log2(bytes), max pair = {} B",
+        n.saturating_sub(1),
+        m.bytes.iter().max().copied().unwrap_or(0)
+    );
+    for src in 0..n {
+        let _ = write!(out, "{src:>7} ");
+        for dst in 0..n {
+            let b = m.bytes(src, dst);
+            let c = if b == 0 {
+                SHADES[0]
+            } else {
+                let bits = 64 - b.leading_zeros() as u64;
+                // Map 1..=max_bits onto shades 1..=last, darkest at max.
+                let hi = (SHADES.len() - 1) as u64;
+                let idx = if max_bits <= 1 {
+                    hi
+                } else {
+                    1 + (bits - 1) * (hi - 1) / (max_bits - 1)
+                };
+                SHADES[idx.min(hi) as usize]
+            };
+            out.push(c as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn json_pairs(out: &mut String, m: &CommMatrix) {
+    let _ = write!(
+        out,
+        "\"bytes\":{},\"msgs\":{},\"pairs\":[",
+        m.total_bytes(),
+        m.total_msgs()
+    );
+    for (i, (src, dst, bytes, msgs)) in m.nonzero_pairs().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{src},{dst},{bytes},{msgs}]");
+    }
+    out.push(']');
+}
+
+/// Serialize the merged map as JSON. Hand-rolled for byte stability
+/// (golden-tested): fixed field order, nonzero pairs only as
+/// `[src, dst, bytes, msgs]` in `(src, dst)` order, epochs in merge
+/// order.
+pub fn comm_matrix_json(map: &ClusterCommMap) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"ranks\":{},\"total\":{{", map.n);
+    json_pairs(&mut out, &map.total);
+    out.push_str("},\"epochs\":[");
+    for (i, epoch) in map.epochs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"occurrence\":{},",
+            json_escape(&epoch.label),
+            epoch.occurrence
+        );
+        json_pairs(&mut out, &epoch.matrix);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write [`comm_matrix_json`] to `path`, creating parent directories.
+pub fn write_comm_matrix_json(path: impl AsRef<Path>, map: &ClusterCommMap) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, comm_matrix_json(map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rank_fixture() -> Vec<RankCommMap> {
+        let mut a = RankCommMap::new(0, 2);
+        let mut b = RankCommMap::new(1, 2);
+        a.enable();
+        b.enable();
+        a.record_delivery(1, 64);
+        b.record_delivery(0, 32);
+        b.record_delivery(0, 32);
+        a.close_epoch("alltoallw/binned");
+        b.close_epoch("alltoallw/binned");
+        a.record_delivery(1, 8);
+        a.close_epoch("alltoallw/binned");
+        b.close_epoch("alltoallw/binned");
+        vec![a, b]
+    }
+
+    #[test]
+    fn disabled_map_records_nothing() {
+        let mut m = RankCommMap::new(0, 2);
+        m.record_delivery(1, 100);
+        m.close_epoch("x");
+        assert_eq!(m.total_bytes_from(1), 0);
+        assert!(m.epochs().is_empty());
+    }
+
+    #[test]
+    fn merge_assembles_columns_and_matches_epochs() {
+        let merged = merge_comm_maps(&two_rank_fixture());
+        assert_eq!(merged.total.bytes(1, 0), 72);
+        assert_eq!(merged.total.bytes(0, 1), 64);
+        assert_eq!(merged.total.msgs(0, 1), 2);
+        assert_eq!(merged.total.total_bytes(), 136);
+        assert_eq!(merged.epochs.len(), 2, "occurrences stay distinct");
+        assert_eq!(merged.epochs[0].matrix.bytes(1, 0), 64);
+        assert_eq!(merged.epochs[0].matrix.bytes(0, 1), 64);
+        assert_eq!(merged.epochs[1].matrix.bytes(1, 0), 8);
+        assert_eq!(merged.epochs[1].matrix.bytes(0, 1), 0);
+    }
+
+    #[test]
+    fn totals_keep_counting_after_epoch_close() {
+        let maps = two_rank_fixture();
+        assert_eq!(maps[0].total_bytes_from(1), 72);
+        assert_eq!(maps[0].total_msgs_from(1), 2);
+    }
+
+    #[test]
+    fn top_pairs_is_deterministic_under_ties() {
+        let mut m = CommMatrix::new(3);
+        m.add(0, 1, 10, 1);
+        m.add(2, 0, 10, 1);
+        m.add(1, 2, 99, 1);
+        assert_eq!(m.top_pairs(3), vec![(1, 2, 99), (0, 1, 10), (2, 0, 10)]);
+    }
+
+    #[test]
+    fn heatmap_shades_zero_and_max_distinctly() {
+        let mut m = CommMatrix::new(2);
+        m.add(0, 1, 1 << 20, 1);
+        m.add(1, 0, 1, 1);
+        let art = render_heatmap(&m);
+        let rows: Vec<&str> = art.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].ends_with(".@"), "row 0 renders {:?}", rows[0]);
+        assert!(rows[1].ends_with(":."), "row 1 renders {:?}", rows[1]);
+    }
+
+    #[test]
+    fn json_lists_nonzero_pairs_in_order() {
+        let merged = merge_comm_maps(&two_rank_fixture());
+        let json = comm_matrix_json(&merged);
+        assert!(json.starts_with("{\"ranks\":2,\"total\":{\"bytes\":136,\"msgs\":4,"));
+        assert!(json.contains("\"pairs\":[[0,1,64,2],[1,0,72,2]]"));
+        assert!(json.contains("\"label\":\"alltoallw/binned\",\"occurrence\":1,"));
+    }
+}

@@ -191,6 +191,29 @@ pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
                     rank,
                     &format!("\"residual_ns\":{}", residual.as_ns()),
                 ),
+                EventKind::AlgoDecision {
+                    collective,
+                    n,
+                    total_bytes,
+                    ratio_millis,
+                    pow2,
+                    chosen,
+                    reason,
+                } => complete_event(
+                    // Zero-duration complete event rather than an instant:
+                    // only "X" events carry args in this exporter, and the
+                    // reason string is the point.
+                    &mut out,
+                    &format!("{collective} -> {chosen}"),
+                    "decision",
+                    e.start,
+                    e.end,
+                    rank,
+                    &format!(
+                        "\"n\":{n},\"total_bytes\":{total_bytes},\"ratio_millis\":{ratio_millis},\"pow2\":{pow2},\"reason\":\"{}\"",
+                        json_escape(reason)
+                    ),
+                ),
             }
         }
     }
@@ -453,6 +476,19 @@ mod tests {
                 start: SimTime(2_000),
                 end: SimTime(2_600),
             },
+            TraceEvent {
+                kind: EventKind::AlgoDecision {
+                    collective: "allgatherv".to_string(),
+                    n: 16,
+                    total_bytes: 65_664,
+                    ratio_millis: 8_192_000,
+                    pow2: true,
+                    chosen: "recursive_doubling".to_string(),
+                    reason: "outliers: adaptive short-message path".to_string(),
+                },
+                start: SimTime(450),
+                end: SimTime(450),
+            },
         ];
         let json = chrome_trace_json(&[events]);
         assert!(json.contains("\"name\":\"send to 1\""));
@@ -474,6 +510,13 @@ mod tests {
         assert!(json.contains("\"name\":\"irecv posted (any src)\""));
         assert!(json.contains("\"name\":\"send drain\",\"cat\":\"request\",\"ph\":\"X\""));
         assert!(json.contains("\"residual_ns\":600"));
+        // The decision audit: a zero-duration span carrying the reason.
+        assert!(json.contains(
+            "\"name\":\"allgatherv -> recursive_doubling\",\"cat\":\"decision\",\"ph\":\"X\""
+        ));
+        assert!(json.contains(
+            "\"n\":16,\"total_bytes\":65664,\"ratio_millis\":8192000,\"pow2\":true,\"reason\":\"outliers: adaptive short-message path\""
+        ));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod analysis;
+pub mod commmap;
 pub mod export;
 pub mod mailbox;
 pub mod metrics;
@@ -57,6 +58,10 @@ pub use analysis::{
     attribute_rounds, imbalance, CriticalPath, HbGraph, Imbalance, OpRankStats, PathStep,
     RoundAttribution,
 };
+pub use commmap::{
+    comm_matrix_json, merge_comm_maps, millis_to_ratio, ratio_to_millis, render_heatmap,
+    write_comm_matrix_json, ClusterCommMap, CommMatrix, EpochMatrix, RankCommMap, RankEpoch,
+};
 pub use export::{
     analysis_json, chrome_trace_json, metrics_json, profile_json, write_chrome_trace,
 };
@@ -65,7 +70,7 @@ pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use profile::{imbalance_report, Profiler, StageStats};
 pub use recorder::{
     clear_dump_hook, dump_on, last_run_dump, render_dump, store_last_run, trigger, Anomaly,
-    RankRecorder, RecCode, Recorded,
+    RankRecorder, RecCode, Recorded, DECISION_SLOTS,
 };
 pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
 pub use stats::{CostKind, Stats};

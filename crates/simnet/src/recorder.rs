@@ -36,6 +36,7 @@ pub enum RecCode {
     PackBlock = 6,
     IrecvPost = 7,
     SendWait = 8,
+    AlgoDecision = 9,
 }
 
 impl RecCode {
@@ -49,6 +50,7 @@ impl RecCode {
             6 => Some(RecCode::PackBlock),
             7 => Some(RecCode::IrecvPost),
             8 => Some(RecCode::SendWait),
+            9 => Some(RecCode::AlgoDecision),
             _ => None,
         }
     }
@@ -66,6 +68,7 @@ impl RecCode {
 /// | `PackBlock` | engine hash  | index    | seek segs | la<<1\|sp | bytes |
 /// | `IrecvPost` | src (MAX=any)| tag      | –         | –         | –     |
 /// | `SendWait`  | residual ns  | –        | –         | –         | –     |
+/// | `AlgoDecision` | coll hash | chosen hash | n<<1\|pow2 | bytes | ratio millis |
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Recorded {
     /// Global order within the rank (1-based claim order).
@@ -104,6 +107,12 @@ pub fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// How many [`RecCode::AlgoDecision`] records each rank keeps in the
+/// dedicated decision ring. The main ring can evict a decision under
+/// heavy traffic long before an anomaly fires; the decision ring cannot,
+/// so a baseline-gate dump always shows which algorithms were active.
+pub const DECISION_SLOTS: usize = 8;
+
 /// A per-rank flight recorder: fixed capacity, overwrites oldest.
 pub struct RankRecorder {
     rank: usize,
@@ -113,6 +122,10 @@ pub struct RankRecorder {
     /// Touched only on label-carrying records and renders, never on the
     /// hot send/recv path.
     labels: Mutex<Vec<(u64, String)>>,
+    /// Last [`DECISION_SLOTS`] algorithm decisions, immune to main-ring
+    /// eviction. Decisions are rare (one per adaptive collective call),
+    /// so a mutex off the hot path is fine.
+    decisions: Mutex<Vec<Recorded>>,
 }
 
 impl RankRecorder {
@@ -124,6 +137,7 @@ impl RankRecorder {
             head: AtomicU64::new(0),
             slots: (0..cap).map(|_| Slot::default()).collect(),
             labels: Mutex::new(Vec::new()),
+            decisions: Mutex::new(Vec::new()),
         }
     }
 
@@ -154,6 +168,30 @@ impl RankRecorder {
         slot.d.store(d, Ordering::Relaxed);
         slot.e.store(e, Ordering::Relaxed);
         slot.seq.store(seq, Ordering::Release);
+        if code == RecCode::AlgoDecision {
+            let mut decisions = self.decisions.lock().expect("decision ring poisoned");
+            if decisions.len() == DECISION_SLOTS {
+                decisions.remove(0);
+            }
+            decisions.push(Recorded {
+                seq,
+                time,
+                code,
+                a,
+                b,
+                c,
+                d,
+                e,
+            });
+        }
+    }
+
+    /// The last [`DECISION_SLOTS`] algorithm decisions, oldest → newest.
+    pub fn recent_decisions(&self) -> Vec<Recorded> {
+        self.decisions
+            .lock()
+            .expect("decision ring poisoned")
+            .clone()
     }
 
     /// Record a label-carrying event, interning the label so dumps can
@@ -249,6 +287,19 @@ impl RankRecorder {
                 r.b
             ),
             RecCode::SendWait => format!("send-wait  residual_ns={}", r.a),
+            RecCode::AlgoDecision => format!(
+                "algo       {} -> {} n={} pow2={} bytes={} ratio={}",
+                self.label_of(r.a),
+                self.label_of(r.b),
+                r.c >> 1,
+                r.c & 1 == 1,
+                r.d,
+                if r.e == u64::MAX {
+                    "inf".to_string()
+                } else {
+                    format!("{}.{:03}", r.e / 1000, r.e % 1000)
+                },
+            ),
         };
         format!("{head} {body}")
     }
@@ -270,6 +321,18 @@ pub fn render_dump(recorders: &[Arc<RankRecorder>]) -> String {
         for r in &snap {
             out.push_str(&rec.render_record(r));
             out.push('\n');
+        }
+        let decisions = rec.recent_decisions();
+        if !decisions.is_empty() {
+            out.push_str(&format!(
+                "rank {:>3}: last {} algorithm decisions\n",
+                rec.rank(),
+                decisions.len()
+            ));
+            for r in &decisions {
+                out.push_str(&rec.render_record(r));
+                out.push('\n');
+            }
         }
     }
     out
@@ -422,6 +485,75 @@ mod tests {
             ),
             "{dump}"
         );
+    }
+
+    #[test]
+    fn decisions_survive_main_ring_eviction() {
+        // Flood the main ring after one decision: the dump must still show
+        // the decision via the dedicated ring.
+        let rec = RankRecorder::new(0, 8);
+        let coll = rec.intern("allgatherv");
+        let chosen = rec.intern("ring");
+        rec.record(
+            RecCode::AlgoDecision,
+            SimTime(5),
+            coll,
+            chosen,
+            (16 << 1) | 1,
+            65_664,
+            8_192_000,
+        );
+        for i in 0..100u64 {
+            rec.record(RecCode::Send, SimTime(i + 10), 1, 64, i, 0, 0);
+        }
+        let dump = render_dump(&[Arc::new(rec)]);
+        assert!(dump.contains("last 1 algorithm decisions"), "{dump}");
+        assert!(
+            dump.contains(
+                "algo       allgatherv -> ring n=16 pow2=true bytes=65664 ratio=8192.000"
+            ),
+            "{dump}"
+        );
+    }
+
+    #[test]
+    fn decision_ring_keeps_only_the_last_slots() {
+        let rec = RankRecorder::new(0, 256);
+        let coll = rec.intern("alltoallw");
+        let chosen = rec.intern("binned");
+        for i in 0..(DECISION_SLOTS as u64 + 3) {
+            rec.record(
+                RecCode::AlgoDecision,
+                SimTime(i),
+                coll,
+                chosen,
+                8 << 1,
+                i,
+                0,
+            );
+        }
+        let decisions = rec.recent_decisions();
+        assert_eq!(decisions.len(), DECISION_SLOTS);
+        assert_eq!(decisions[0].d, 3, "oldest surviving decision");
+        assert_eq!(decisions.last().unwrap().d, DECISION_SLOTS as u64 + 2);
+    }
+
+    #[test]
+    fn infinite_ratio_renders_as_inf() {
+        let rec = RankRecorder::new(0, 8);
+        let coll = rec.intern("allgatherv");
+        let chosen = rec.intern("recursive_doubling");
+        rec.record(
+            RecCode::AlgoDecision,
+            SimTime(0),
+            coll,
+            chosen,
+            4 << 1,
+            128,
+            u64::MAX,
+        );
+        let dump = render_dump(&[Arc::new(rec)]);
+        assert!(dump.contains("ratio=inf"), "{dump}");
     }
 
     #[test]

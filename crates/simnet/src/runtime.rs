@@ -12,6 +12,7 @@ use crossbeam::channel::{unbounded, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::commmap::RankCommMap;
 use crate::mailbox::{Mailbox, NetMsg, Tag};
 use crate::metrics::MetricsRegistry;
 use crate::profile::Profiler;
@@ -185,6 +186,7 @@ impl Cluster {
                             profiler: Profiler::new(),
                             recorder: recorders[rank_id].clone(),
                             wait_spike_threshold: None,
+                            commmap: RankCommMap::new(rank_id, n),
                         };
                         f(&mut rank)
                     })
@@ -236,6 +238,9 @@ pub struct Rank {
     /// When set, a receive that waits longer than this triggers a
     /// flight-recorder dump (the latency-spike anomaly predicate).
     wait_spike_threshold: Option<SimTime>,
+    /// Communication-topology map (see [`crate::commmap`]). Off by
+    /// default; when off, every delivery costs one branch.
+    commmap: RankCommMap,
 }
 
 impl Rank {
@@ -404,6 +409,9 @@ impl Rank {
                 closed.end.saturating_sub(closed.start).as_ns(),
                 0,
             );
+            if self.commmap.is_enabled() {
+                self.commmap.close_epoch(&format!("stage:{}", closed.path));
+            }
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent {
                     kind: EventKind::Span { name: closed.path },
@@ -499,6 +507,98 @@ impl Rank {
                 self.metrics
                     .counter_add("datatype", "dense_blocks", engine, 1);
             }
+        }
+    }
+
+    /// Start accumulating the communication-topology map (see
+    /// [`crate::commmap`]). Off by default; never touches the simulated
+    /// clock.
+    pub fn enable_comm_map(&mut self) {
+        self.commmap.enable();
+    }
+
+    pub fn comm_map(&self) -> &RankCommMap {
+        &self.commmap
+    }
+
+    pub fn comm_map_enabled(&self) -> bool {
+        self.commmap.is_enabled()
+    }
+
+    /// Take the accumulated comm map, leaving a fresh one with the same
+    /// enabled state.
+    pub fn take_comm_map(&mut self) -> RankCommMap {
+        let mut fresh = RankCommMap::new(self.rank, self.size);
+        if self.commmap.is_enabled() {
+            fresh.enable();
+        }
+        std::mem::replace(&mut self.commmap, fresh)
+    }
+
+    /// Close the current comm-map epoch under `label` (no-op when the map
+    /// is disabled). The collectives call this once per call with
+    /// `<collective>/<algorithm>`; [`Rank::stage_end`] closes
+    /// `stage:<path>` epochs automatically.
+    pub fn comm_epoch(&mut self, label: &str) {
+        self.commmap.close_epoch(label);
+    }
+
+    /// Record one algorithm-selection decision: always into the flight
+    /// recorder (which also parks it in the dedicated decision ring shown
+    /// by anomaly dumps); into the trace as an
+    /// [`EventKind::AlgoDecision`] when tracing is on; and into
+    /// `decision/*` metrics when metrics are on. `ratio_millis` is the
+    /// outlier ratio in thousandths (`u64::MAX` = infinite, i.e. a zero
+    /// bulk quantile under a nonzero max). Never touches the simulated
+    /// clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_algo_decision(
+        &mut self,
+        collective: &str,
+        n: usize,
+        total_bytes: u64,
+        ratio_millis: u64,
+        pow2: bool,
+        chosen: &str,
+        reason: &str,
+    ) {
+        let coll_hash = self.recorder.intern(collective);
+        let chosen_hash = self.recorder.intern(chosen);
+        self.recorder.record(
+            RecCode::AlgoDecision,
+            self.now,
+            coll_hash,
+            chosen_hash,
+            ((n as u64) << 1) | pow2 as u64,
+            total_bytes,
+            ratio_millis,
+        );
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::AlgoDecision {
+                    collective: collective.to_string(),
+                    n,
+                    total_bytes,
+                    ratio_millis,
+                    pow2,
+                    chosen: chosen.to_string(),
+                    reason: reason.to_string(),
+                },
+                start: self.now,
+                end: self.now,
+            });
+        }
+        if self.metrics.is_enabled() {
+            self.metrics.counter_add("decision", collective, chosen, 1);
+            self.metrics
+                .counter_add("decision_reason", collective, reason, 1);
+            let ratio = crate::commmap::millis_to_ratio(ratio_millis);
+            if ratio.is_finite() {
+                self.metrics
+                    .gauge_set("decision_ratio", collective, chosen, ratio);
+            }
+            self.metrics
+                .observe("decision_bytes", collective, chosen, total_bytes);
         }
     }
 
@@ -671,6 +771,7 @@ impl Rank {
         self.charge_cpu(CostKind::Comm, overhead);
         self.stats.msgs_recvd += 1;
         self.stats.bytes_recvd += msg.data.len() as u64;
+        self.commmap.record_delivery(msg.src, msg.data.len() as u64);
         self.recorder.record(
             RecCode::Recv,
             self.now,

@@ -60,6 +60,21 @@ pub enum EventKind {
     /// hide. Only emitted when the residual is nonzero, so its absence
     /// means the overlap was total.
     SendWait { residual: SimTime },
+    /// An algorithm-selection decision made by an adaptive collective
+    /// (`allgatherv`, `alltoallw`): a zero-length instant recording what
+    /// was chosen and why. `ratio_millis` is the outlier ratio of the
+    /// volume set in thousandths (`u64::MAX` = infinite; see
+    /// [`crate::commmap::millis_to_ratio`]) — stored as an integer so the
+    /// event stays `Eq` and exports stay byte-stable.
+    AlgoDecision {
+        collective: String,
+        n: usize,
+        total_bytes: u64,
+        ratio_millis: u64,
+        pow2: bool,
+        chosen: String,
+        reason: String,
+    },
 }
 
 /// One traced span of simulated time on one rank.
@@ -92,6 +107,9 @@ fn cell_priority(kind: &EventKind) -> u8 {
         // zero-length bookkeeping instant that should not mask traffic.
         EventKind::SendWait { .. } => 2,
         EventKind::IrecvPost { .. } => 1,
+        // Decisions are bookkeeping instants like irecv posts: visible on
+        // idle cells, never masking traffic.
+        EventKind::AlgoDecision { .. } => 1,
     }
 }
 
@@ -111,6 +129,7 @@ fn cell_char(kind: &EventKind) -> u8 {
         }
         EventKind::SendWait { .. } => b'w',
         EventKind::IrecvPost { .. } => b'v',
+        EventKind::AlgoDecision { .. } => b'a',
     }
 }
 
