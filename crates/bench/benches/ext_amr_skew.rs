@@ -18,9 +18,7 @@
 //! latency series are gated against committed baselines with
 //! `--baseline check`.
 
-use ncd_bench::{
-    baseline_gate, improvement_pct, report, report_with_observability, smoke_mode, Series,
-};
+use ncd_bench::{improvement_pct, report, report_with_observability, BenchCli, Series};
 use ncd_core::{Comm, MpiConfig, WPeer};
 use ncd_datatype::Datatype;
 use ncd_simnet::{
@@ -93,7 +91,8 @@ fn run(nranks: usize, depth: u32, cfg: MpiConfig) -> (SimTime, MetricsRegistry, 
 }
 
 fn main() {
-    let smoke = smoke_mode();
+    let cli = BenchCli::parse();
+    let smoke = cli.smoke;
     let (depth_ranks, depths) = if smoke {
         (16usize, 0..=2u32)
     } else {
@@ -133,7 +132,7 @@ fn main() {
         Some(&decisions),
         skew_map.as_ref(),
     );
-    baseline_gate("ext_amr_depth", &series[..2]);
+    cli.gate("ext_amr_depth", &series[..2]);
 
     // (b) Scaling sweep at depth 2.
     let mut base = Series::new("round-robin");
@@ -153,5 +152,5 @@ fn main() {
         "time per run (msec), depth 2",
         &series,
     );
-    baseline_gate("ext_amr_scaling", &series[..2]);
+    cli.gate("ext_amr_scaling", &series[..2]);
 }

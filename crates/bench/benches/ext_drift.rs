@@ -1,0 +1,214 @@
+//! Extension study: watching communication **drift** through an
+//! AMR-style remeshing run.
+//!
+//! The paper's workloads are nonuniform but *stationary* — the outlier
+//! pattern of one allgatherv call looks like the next. Adaptive mesh
+//! refinement breaks that: every remesh moves the refined region, so the
+//! per-process volume set (and with it the right algorithm choice) shifts
+//! mid-run. This bench drives a synthetic remeshing schedule — three
+//! regimes, each ending in an injected remesh that relocates and deepens
+//! the refinement hotspot — through a pinned-ring allgatherv boundary
+//! exchange, with the epoch history and online drift monitor armed.
+//!
+//! What the temporal layer must show (and this bench asserts):
+//!
+//! * every injected remesh fires a [`DriftEvent`] on the volume or skew
+//!   series within the detector's warmup bound of the boundary epoch;
+//! * the pattern-recurrence join sees each regime's hash recur while the
+//!   regimes stay put, so recurrence stability drops as remeshes pile up.
+//!
+//! The per-regime step latencies are gated against committed baselines
+//! with `--baseline check` (smoke and full stored separately).
+
+use ncd_bench::{report_with_history, BenchCli, Series};
+use ncd_core::{
+    drift_events_from_trace, pattern_recurrence, AllgathervAlgorithm, Comm, DriftConfig,
+    DriftEvent, MpiConfig,
+};
+use ncd_simnet::{
+    merge_comm_maps, merge_histories, Cluster, ClusterCommMap, ClusterConfig, History,
+    MetricsRegistry, SimTime,
+};
+
+const BASE_DOUBLES: usize = 16;
+
+/// One stationary stretch of the run: a refinement hotspot (or a uniform
+/// mesh) held for `epochs` boundary exchanges. The transition *into* a
+/// regime is the injected remesh.
+#[derive(Clone, Copy)]
+struct Regime {
+    epochs: usize,
+    /// Hotspot rank as a fraction of the communicator (None = uniform).
+    spot_frac: Option<(usize, usize)>,
+    depth: u32,
+}
+
+fn regimes(epochs: usize) -> [Regime; 3] {
+    [
+        Regime {
+            epochs,
+            spot_frac: None,
+            depth: 0,
+        },
+        // First remesh: refine around n/3, two levels deep.
+        Regime {
+            epochs,
+            spot_frac: Some((1, 3)),
+            depth: 2,
+        },
+        // Second remesh: the front moves to 2n/3 and deepens.
+        Regime {
+            epochs,
+            spot_frac: Some((2, 3)),
+            depth: 3,
+        },
+    ]
+}
+
+fn level(rank: usize, spot: usize, n: usize, depth: u32) -> u32 {
+    let d = rank.abs_diff(spot).min(n - rank.abs_diff(spot));
+    depth.saturating_sub(d as u32)
+}
+
+/// Per-rank boundary payload in bytes under the regime's mesh.
+fn counts_for(n: usize, r: &Regime) -> Vec<usize> {
+    (0..n)
+        .map(|rank| {
+            let lvl = match r.spot_frac {
+                None => 0,
+                Some((num, den)) => level(rank, n * num / den, n, r.depth),
+            };
+            (BASE_DOUBLES << (2 * lvl)) * 8
+        })
+        .collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn run(
+    nranks: usize,
+    epochs: usize,
+) -> (
+    Vec<SimTime>,
+    MetricsRegistry,
+    ClusterCommMap,
+    History,
+    Vec<DriftEvent>,
+) {
+    let out = Cluster::new(ClusterConfig::paper_testbed(nranks)).run(|rank| {
+        rank.enable_metrics();
+        rank.enable_tracing();
+        rank.enable_history();
+        let mut comm = Comm::new(rank, MpiConfig::optimized());
+        let me = comm.rank();
+        let n = comm.size();
+        // Per-regime clock marks, so the report shows the cost shift the
+        // drift detector is flagging.
+        let mut marks = Vec::new();
+        let mut last = comm.rank_ref().now();
+        for regime in regimes(epochs) {
+            let counts = counts_for(n, &regime);
+            let total: usize = counts.iter().sum();
+            for _ in 0..regime.epochs {
+                let send = vec![me as u8; counts[me]];
+                let mut recv = vec![0u8; total];
+                // Pinned ring: the subject here is the *traffic* shifting
+                // under a fixed algorithm, not the selector.
+                comm.allgatherv_with(AllgathervAlgorithm::Ring, &send, &counts, &mut recv);
+            }
+            let now = comm.rank_ref().now();
+            marks.push(SimTime::from_ns(
+                (now.as_ns() - last.as_ns()) / regime.epochs as u64,
+            ));
+            last = now;
+        }
+        let drift = drift_events_from_trace(&comm.rank_mut().take_trace());
+        let metrics = comm.rank_mut().take_metrics();
+        let map = comm.rank_mut().take_comm_map();
+        let history = comm.rank_mut().take_history();
+        (marks, metrics, map, history, drift)
+    });
+    let nregimes = out[0].0.len();
+    let marks = (0..nregimes)
+        .map(|i| {
+            out.iter()
+                .map(|(m, _, _, _, _)| m[i])
+                .max()
+                .expect("nonempty")
+        })
+        .collect();
+    let mut merged = MetricsRegistry::enabled();
+    let mut maps = Vec::with_capacity(out.len());
+    let mut histories = Vec::with_capacity(out.len());
+    let mut drift = Vec::new();
+    for (_, m, map, h, d) in out {
+        merged.merge(&m);
+        maps.push(map);
+        histories.push(h);
+        if drift.is_empty() {
+            drift = d; // SPMD: every rank's monitor fires identically
+        }
+    }
+    (
+        marks,
+        merged,
+        merge_comm_maps(&maps),
+        merge_histories(&histories),
+        drift,
+    )
+}
+
+fn main() {
+    let cli = BenchCli::parse();
+    let (nranks, epochs) = if cli.smoke { (16, 8) } else { (64, 12) };
+
+    let (marks, metrics, map, history, drift) = run(nranks, epochs);
+    let mut lat = Series::new("step-latency");
+    for (i, t) in marks.iter().enumerate() {
+        lat.push(format!("regime{i}"), t.as_us());
+    }
+    let series = vec![lat];
+    report_with_history(
+        "ext_drift",
+        "regime",
+        &format!("time per exchange step (usec), {nranks} ranks, pinned ring"),
+        &series,
+        Some(&metrics),
+        Some(&map),
+        Some(&history),
+    );
+
+    // Every injected remesh (the entry into regimes 1 and 2) must be
+    // flagged within the detector's re-warm bound of the boundary epoch.
+    let bound = DriftConfig::default().warmup + 1;
+    for (i, boundary) in [epochs as u32, 2 * epochs as u32].iter().enumerate() {
+        let hit = drift
+            .iter()
+            .find(|e| e.occurrence >= *boundary && e.occurrence < boundary + bound);
+        assert!(
+            hit.is_some(),
+            "remesh {} at epoch {boundary} not flagged within {bound} epochs; events: {drift:?}",
+            i + 1
+        );
+    }
+    println!(
+        "\ninjected remeshes: 2, drift events fired: {} (detection bound {bound} epochs)",
+        drift.len()
+    );
+
+    // Recurrence: three stationary regimes → exactly three distinct
+    // pattern hashes on the ring series, dominant recurring every epoch
+    // of its regime.
+    let rec = pattern_recurrence(&history);
+    let ring = rec
+        .iter()
+        .find(|r| r.label == "allgatherv/ring")
+        .expect("ring series present");
+    assert_eq!(
+        (ring.epochs, ring.distinct),
+        (3 * epochs, 3),
+        "one pattern hash per regime"
+    );
+    assert_eq!(ring.dominant_count, epochs);
+
+    cli.gate("ext_drift", &series);
+}

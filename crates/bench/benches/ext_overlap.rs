@@ -11,7 +11,7 @@
 //! lower-is-better latency series are gated against committed baselines
 //! with `--baseline check`.
 
-use ncd_bench::{baseline_gate, improvement_pct, report, smoke_mode, Series};
+use ncd_bench::{improvement_pct, report, BenchCli, Series};
 use ncd_core::{Comm, MpiConfig};
 use ncd_petsc::{DistributedArray, ScatterBackend, StencilKind};
 use ncd_simnet::{Cluster, ClusterConfig, SimTime};
@@ -48,7 +48,8 @@ fn exchange_latency(nranks: usize, grid: usize, flops: u64, overlap: bool, reps:
 }
 
 fn main() {
-    let smoke = smoke_mode();
+    let cli = BenchCli::parse();
+    let smoke = cli.smoke;
     let (nranks, grid, reps) = if smoke { (4, 48, 5) } else { (16, 128, 10) };
     let sweep: &[u64] = if smoke {
         &[0, 1_000_000, 4_000_000]
@@ -75,5 +76,5 @@ fn main() {
     );
     // Gate the two latency series only; the derived hidden-% series is
     // higher-is-better and stays out of the baseline.
-    baseline_gate("ext_overlap", &series[..2]);
+    cli.gate("ext_overlap", &series[..2]);
 }

@@ -14,7 +14,7 @@
 //! with a `-log_view`-style per-engine table (blocks, sparse/dense mix,
 //! seek segments) that makes the quadratic re-search directly visible.
 
-use ncd_bench::{improvement_pct, report_with_metrics, time_phase_metrics, Series};
+use ncd_bench::{improvement_pct, report_with_metrics, time_phase_metrics, BenchCli, Series};
 use ncd_core::MpiConfig;
 use ncd_datatype::{matrix_column_type, Datatype};
 use ncd_simnet::{ClusterConfig, MetricsRegistry, SimTime, Tag};
@@ -39,12 +39,17 @@ fn transpose_latency(n: usize, cfg: MpiConfig, merged: &mut MetricsRegistry) -> 
 }
 
 fn main() {
-    let sizes = [64usize, 128, 256, 512, 1024];
+    let cli = BenchCli::parse();
+    let sizes: &[usize] = if cli.smoke {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
     let mut base = Series::new("MVAPICH2-0.9.5");
     let mut new = Series::new("MVAPICH2-New");
     let mut imp = Series::new("improvement-%");
     let mut metrics = MetricsRegistry::enabled();
-    for &n in &sizes {
+    for &n in sizes {
         let tb = transpose_latency(n, MpiConfig::baseline(), &mut metrics);
         let tn = transpose_latency(n, MpiConfig::optimized(), &mut metrics);
         let label = format!("{n}x{n}");

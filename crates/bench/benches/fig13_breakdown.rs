@@ -10,7 +10,7 @@
 //! machine-readable run report — the plotted series plus the cluster-wide
 //! metrics snapshot — to `target/figures/<name>.json`.
 
-use ncd_bench::{aggregate, report_with_metrics, time_phase_metrics, Series};
+use ncd_bench::{aggregate, report_with_metrics, time_phase_metrics, BenchCli, Series};
 use ncd_core::MpiConfig;
 use ncd_datatype::{matrix_column_type, Datatype};
 use ncd_simnet::{ClusterConfig, CostKind, MetricsRegistry, Tag};
@@ -44,7 +44,12 @@ fn breakdown(n: usize, cfg: MpiConfig) -> (f64, f64, f64, MetricsRegistry) {
 }
 
 fn main() {
-    let sizes = [64usize, 128, 256, 512, 1024];
+    let cli = BenchCli::parse();
+    let sizes: &[usize] = if cli.smoke {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
     for (cfg, name) in [
         (MpiConfig::baseline(), "fig13a_breakdown_baseline"),
         (MpiConfig::optimized(), "fig13b_breakdown_optimized"),
@@ -53,7 +58,7 @@ fn main() {
         let mut pack_s = Series::new("pack-%");
         let mut search_s = Series::new("search-%");
         let mut merged = MetricsRegistry::enabled();
-        for &n in &sizes {
+        for &n in sizes {
             let (c, p, s, m) = breakdown(n, cfg.clone());
             let label = format!("{n}x{n}");
             comm_s.push(label.clone(), c);

@@ -13,7 +13,7 @@
 //! Paper result: both series grow, the baseline faster; ~20% improvement
 //! at 64 processes / 32 KB.
 
-use ncd_bench::{baseline_gate, improvement_pct, report, smoke_mode, time_phase, Series};
+use ncd_bench::{improvement_pct, report, time_phase, BenchCli, Series};
 use ncd_core::MpiConfig;
 use ncd_simnet::{ClusterConfig, SimTime};
 
@@ -32,7 +32,8 @@ fn allgatherv_latency(nprocs: usize, outlier_doubles: usize, cfg: MpiConfig) -> 
 fn main() {
     // `--smoke` shrinks both sweeps so CI can gate every push; the
     // baseline store keys smoke and full snapshots separately.
-    let smoke = smoke_mode();
+    let cli = BenchCli::parse();
+    let smoke = cli.smoke;
     let (procs_a, max_exp) = if smoke { (16, 4) } else { (64, 7) };
 
     // (a) Varying outlier size.
@@ -50,7 +51,7 @@ fn main() {
     // Gate the raw latencies only: improvement-% is higher-is-better and
     // derived from the gated series anyway.
     let series_a = [base_a, new_a, imp_a];
-    baseline_gate("fig14a_allgatherv_size", &series_a[..2]);
+    cli.gate("fig14a_allgatherv_size", &series_a[..2]);
     report(
         "fig14a_allgatherv_size",
         "msg (doubles)",
@@ -79,7 +80,7 @@ fn main() {
         imp_b.push(n.to_string(), improvement_pct(tb, tn));
     }
     let series_b = [base_b, new_b, imp_b];
-    baseline_gate("fig14b_allgatherv_procs", &series_b[..2]);
+    cli.gate("fig14b_allgatherv_procs", &series_b[..2]);
     report(
         "fig14b_allgatherv_procs",
         "processes",

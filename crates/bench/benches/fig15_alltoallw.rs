@@ -14,7 +14,7 @@
 //!
 //! Paper result: ~50% improvement at 32 processes, >88% at 128.
 
-use ncd_bench::{baseline_gate, improvement_pct, report, smoke_mode, time_phase, Series};
+use ncd_bench::{improvement_pct, report, time_phase, BenchCli, Series};
 use ncd_core::{MpiConfig, WPeer};
 use ncd_datatype::Datatype;
 use ncd_simnet::{ClusterConfig, SimTime};
@@ -52,7 +52,8 @@ fn ring_exchange_latency(nprocs: usize, cfg: MpiConfig) -> SimTime {
 fn main() {
     // `--smoke` shrinks the sweep so CI can gate every push; smoke and
     // full baselines are stored separately.
-    let procs: &[usize] = if smoke_mode() {
+    let cli = BenchCli::parse();
+    let procs: &[usize] = if cli.smoke {
         &[2, 4, 8, 16]
     } else {
         &[2, 4, 8, 16, 32, 64, 128]
@@ -70,6 +71,6 @@ fn main() {
     // Gate the raw latencies; improvement-% is higher-is-better and
     // derived from them.
     let series = [base, new, imp];
-    baseline_gate("fig15_alltoallw", &series[..2]);
+    cli.gate("fig15_alltoallw", &series[..2]);
     report("fig15_alltoallw", "processes", "latency (usec)", &series);
 }

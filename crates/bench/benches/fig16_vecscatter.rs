@@ -16,7 +16,7 @@
 //! Paper result: the optimized MPI recovers to within ~4% of hand-tuned
 //! (>95% better than the baseline at 128 procs).
 
-use ncd_bench::{improvement_pct, report, Series};
+use ncd_bench::{improvement_pct, report, BenchCli, Series};
 use ncd_core::{Comm, MpiConfig};
 use ncd_petsc::{IndexSet, Layout, PVec, ScatterBackend, VecScatter};
 use ncd_simnet::{Cluster, ClusterConfig, SimTime};
@@ -69,13 +69,18 @@ fn scatter_latency(nprocs: usize, cfg: MpiConfig, backend: ScatterBackend) -> Si
 }
 
 fn main() {
-    let procs = [2usize, 4, 8, 16, 32, 64, 128];
+    let cli = BenchCli::parse();
+    let procs: &[usize] = if cli.smoke {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
     let mut hand = Series::new("hand-tuned");
     let mut base = Series::new("MVAPICH2-0.9.5");
     let mut new = Series::new("MVAPICH2-New");
     let mut imp_new = Series::new("imp-new-%");
     let mut imp_hand = Series::new("imp-hand-%");
-    for &n in &procs {
+    for &n in procs {
         let th = scatter_latency(n, MpiConfig::optimized(), ScatterBackend::HandTuned);
         let tb = scatter_latency(n, MpiConfig::baseline(), ScatterBackend::Datatype);
         let tn = scatter_latency(n, MpiConfig::optimized(), ScatterBackend::Datatype);

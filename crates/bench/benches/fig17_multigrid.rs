@@ -16,7 +16,7 @@
 //! (≈90% improvement there) and sits within ~3% of hand-tuned (which leads
 //! by ~10% at 4 processes).
 
-use ncd_bench::{improvement_pct, report, Series};
+use ncd_bench::{improvement_pct, report, BenchCli, Series};
 use ncd_core::{Comm, MpiConfig};
 use ncd_petsc::{richardson, KspSettings, LaplacianOp, Multigrid, PVec, ScatterBackend};
 use ncd_simnet::{Cluster, ClusterConfig, SimTime};
@@ -63,13 +63,18 @@ fn solve_time(nprocs: usize, cfg: MpiConfig, backend: ScatterBackend) -> (SimTim
 }
 
 fn main() {
-    let procs = [4usize, 8, 16, 32, 64, 128];
+    let cli = BenchCli::parse();
+    let procs: &[usize] = if cli.smoke {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
     let mut hand = Series::new("hand-tuned");
     let mut base = Series::new("MVAPICH2-0.9.5");
     let mut new = Series::new("MVAPICH2-New");
     let mut imp_new = Series::new("imp-new-%");
     let mut imp_hand = Series::new("imp-hand-%");
-    for &n in &procs {
+    for &n in procs {
         let (th, it_h) = solve_time(n, MpiConfig::optimized(), ScatterBackend::HandTuned);
         let (tb, it_b) = solve_time(n, MpiConfig::baseline(), ScatterBackend::Datatype);
         let (tn, it_n) = solve_time(n, MpiConfig::optimized(), ScatterBackend::Datatype);

@@ -7,9 +7,10 @@
 //! `reps` times, and report the **maximum per-rank simulated time divided
 //! by reps** — the way MPI benchmarks report collective latency.
 
-use ncd_core::{Comm, MpiConfig};
+use ncd_core::{Comm, DriftConfig, MpiConfig};
 use ncd_simnet::{
-    merge_comm_maps, Cluster, ClusterCommMap, ClusterConfig, MetricsRegistry, SimTime, Stats,
+    merge_comm_maps, merge_histories, Cluster, ClusterCommMap, ClusterConfig, History,
+    MetricsRegistry, SimTime, Stats,
 };
 
 pub mod baseline;
@@ -24,6 +25,81 @@ pub fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke") || std::env::var("NCD_SMOKE").as_deref() == Ok("1")
 }
 
+/// The harness options every bench target accepts, parsed once at the top
+/// of `main`. Centralizing the parse means `--smoke`, `--report json`,
+/// `--baseline write|check` and `--tolerance <pct>` behave identically
+/// across every `fig*`/`ext_*`/`crit_*` bench instead of each target
+/// re-reading the globals it happens to care about.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchCli {
+    /// Reduced problem sizes (`--smoke` / `NCD_SMOKE=1`).
+    pub smoke: bool,
+    /// Machine-readable report requested (`--report json` / `NCD_REPORT`).
+    pub report_json: bool,
+    /// Baseline handling (`--baseline write|check` / `NCD_BASELINE`).
+    pub baseline: BaselineMode,
+    /// Regression tolerance in percent (`--tolerance` / `NCD_BASELINE_TOL`).
+    pub tolerance_pct: f64,
+}
+
+impl BenchCli {
+    /// Parse from the process arguments and environment.
+    pub fn parse() -> BenchCli {
+        BenchCli {
+            smoke: smoke_mode(),
+            report_json: json_report_requested(),
+            baseline: baseline_mode(),
+            tolerance_pct: tolerance_pct(),
+        }
+    }
+
+    /// Pure parse over an explicit argument list (no environment), for
+    /// tests. Flags mirror [`parse`](Self::parse): `--smoke`,
+    /// `--report json` / `--report=json`, `--baseline write|check` /
+    /// `--baseline=<mode>`, `--tolerance <pct>` / `--tolerance=<pct>`.
+    pub fn from_args(args: &[String]) -> BenchCli {
+        let mut report_json = false;
+        let mut tolerance = 10.0;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--report=json" => report_json = true,
+                "--report" => {
+                    if it.next().map(String::as_str) == Some("json") {
+                        report_json = true;
+                    }
+                }
+                "--tolerance" => {
+                    if let Some(v) = it.next() {
+                        tolerance = v
+                            .parse()
+                            .unwrap_or_else(|_| panic!("--tolerance must be a number, got {v:?}"));
+                    }
+                }
+                other => {
+                    if let Some(v) = other.strip_prefix("--tolerance=") {
+                        tolerance = v
+                            .parse()
+                            .unwrap_or_else(|_| panic!("--tolerance must be a number, got {v:?}"));
+                    }
+                }
+            }
+        }
+        BenchCli {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            report_json,
+            baseline: baseline::mode_from(args, None),
+            tolerance_pct: tolerance,
+        }
+    }
+
+    /// [`baseline_gate`] driven by this parse instead of re-reading the
+    /// process globals.
+    pub fn gate(&self, name: &str, series: &[Series]) {
+        gate_with(name, series, self.smoke, self.baseline, self.tolerance_pct)
+    }
+}
+
 /// Apply the requested baseline handling to a bench's gated series.
 ///
 /// * `--baseline write`: snapshot `series` under `benches/baselines/`.
@@ -35,9 +111,12 @@ pub fn smoke_mode() -> bool {
 /// Gate only lower-is-better series (latencies); derived higher-is-better
 /// series like improvement % must stay out.
 pub fn baseline_gate(name: &str, series: &[Series]) {
-    let smoke = smoke_mode();
+    gate_with(name, series, smoke_mode(), baseline_mode(), tolerance_pct())
+}
+
+fn gate_with(name: &str, series: &[Series], smoke: bool, mode: BaselineMode, tol: f64) {
     let path = baseline::baseline_path(name, smoke);
-    match baseline_mode() {
+    match mode {
         BaselineMode::Off => {}
         BaselineMode::Write => {
             if let Some(parent) = path.parent() {
@@ -57,7 +136,6 @@ pub fn baseline_gate(name: &str, series: &[Series]) {
                 std::process::exit(1);
             });
             let base = baseline::parse_snapshot(&text);
-            let tol = tolerance_pct();
             let regs = check_series(&base, series, tol);
             if regs.is_empty() {
                 println!(
@@ -385,6 +463,75 @@ where
     )
 }
 
+/// [`time_phase_observed`] with the epoch history additionally enabled on
+/// every rank: also returns the cluster-merged [`History`] time series of
+/// the measured (post-warmup) iterations — one point per collective epoch
+/// and profiling stage — with the online drift monitor armed, so regime
+/// shifts inside the measured window land in the trace, metrics, and the
+/// flight recorder's drift ring. Like the other observers, the history
+/// never touches the simulated clock.
+#[allow(clippy::type_complexity)]
+pub fn time_phase_history<F>(
+    cluster_cfg: ClusterConfig,
+    mpi_cfg: MpiConfig,
+    reps: usize,
+    body: F,
+) -> (
+    SimTime,
+    Vec<Stats>,
+    MetricsRegistry,
+    ClusterCommMap,
+    History,
+)
+where
+    F: Fn(&mut Comm, usize) + Send + Sync,
+{
+    assert!(reps > 0);
+    let out = Cluster::new(cluster_cfg).run(|rank| {
+        rank.enable_metrics();
+        rank.enable_history(); // also enables the comm map it derives from
+        let mut comm = Comm::new(rank, mpi_cfg.clone());
+        body(&mut comm, usize::MAX); // warmup
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        let _ = comm.rank_mut().take_stats();
+        let _ = comm.rank_mut().take_metrics(); // drop warmup metrics
+        let _ = comm.rank_mut().take_comm_map(); // drop warmup traffic
+        let _ = comm.rank_mut().take_history(); // drop warmup epochs
+        for it in 0..reps {
+            body(&mut comm, it);
+        }
+        let t = comm.rank_ref().now();
+        let stats = comm.rank_ref().stats().clone();
+        let metrics = comm.rank_mut().take_metrics();
+        let map = comm.rank_mut().take_comm_map();
+        let history = comm.rank_mut().take_history();
+        (t, stats, metrics, map, history)
+    });
+    let tmax = out
+        .iter()
+        .map(|(t, _, _, _, _)| *t)
+        .max()
+        .expect("nonempty cluster");
+    let mut merged = MetricsRegistry::enabled();
+    let mut stats = Vec::with_capacity(out.len());
+    let mut maps = Vec::with_capacity(out.len());
+    let mut histories = Vec::with_capacity(out.len());
+    for (_, s, m, map, h) in out {
+        merged.merge(&m);
+        stats.push(s);
+        maps.push(map);
+        histories.push(h);
+    }
+    (
+        SimTime::from_ns(tmax.as_ns() / reps as u64),
+        stats,
+        merged,
+        merge_comm_maps(&maps),
+        merge_histories(&histories),
+    )
+}
+
 /// Aggregate per-rank stats into one cluster-wide breakdown.
 pub fn aggregate(stats: &[Stats]) -> Stats {
     let mut total = Stats::new();
@@ -427,7 +574,7 @@ impl Series {
 /// written to `target/figures/<name>.json`; benches that collect metrics
 /// use [`report_with_metrics`] to include the registry snapshot.
 pub fn report(name: &str, x_label: &str, y_label: &str, series: &[Series]) {
-    report_impl(name, x_label, y_label, series, None, None)
+    report_impl(name, x_label, y_label, series, None, None, None)
 }
 
 fn report_impl(
@@ -437,6 +584,7 @@ fn report_impl(
     series: &[Series],
     metrics: Option<&MetricsRegistry>,
     comm_map: Option<&ClusterCommMap>,
+    history: Option<&History>,
 ) {
     println!("\n=== {name} ({y_label}) ===");
     print!("{:>14}", x_label);
@@ -487,6 +635,27 @@ fn report_impl(
         let dir = std::path::Path::new("target").join("analysis");
         if std::fs::create_dir_all(&dir).is_ok() {
             let _ = ncd_simnet::write_comm_matrix_json(dir.join(format!("{name}.comm.json")), map);
+        }
+    }
+
+    // The epoch time series, when one was collected
+    // ([`time_phase_history`] / [`report_with_history`]): the sparkline
+    // dashboard, any regime shifts an offline replay detects, and the
+    // pattern-recurrence table. The byte-stable series goes to
+    // `target/analysis/<name>.history.json` for artifacts.
+    if let Some(h) = history {
+        print!("\n{}", ncd_simnet::history_report(h));
+        let drift = ncd_core::detect_drift(h, &DriftConfig::default());
+        if !drift.is_empty() {
+            print!("\n{}", ncd_core::render_drift_events(&drift));
+        }
+        let recurrence = ncd_core::pattern_recurrence(h);
+        if !recurrence.is_empty() {
+            print!("\n{}", ncd_core::render_recurrence(&recurrence));
+        }
+        let dir = std::path::Path::new("target").join("analysis");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = ncd_simnet::write_history_json(dir.join(format!("{name}.history.json")), h);
         }
     }
 
@@ -549,7 +718,7 @@ pub fn report_with_metrics(
     series: &[Series],
     metrics: Option<&MetricsRegistry>,
 ) {
-    report_impl(name, x_label, y_label, series, metrics, None)
+    report_impl(name, x_label, y_label, series, metrics, None, None)
 }
 
 /// [`report_with_metrics`], plus the merged communication map: appends the
@@ -564,7 +733,23 @@ pub fn report_with_observability(
     metrics: Option<&MetricsRegistry>,
     comm_map: Option<&ClusterCommMap>,
 ) {
-    report_impl(name, x_label, y_label, series, metrics, comm_map)
+    report_impl(name, x_label, y_label, series, metrics, comm_map, None)
+}
+
+/// [`report_with_observability`], plus the merged epoch [`History`]:
+/// appends the time-series sparkline dashboard, offline drift events and
+/// the pattern-recurrence table, and writes the byte-stable series JSON
+/// to `target/analysis/<name>.history.json` for CI artifact upload.
+pub fn report_with_history(
+    name: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    metrics: Option<&MetricsRegistry>,
+    comm_map: Option<&ClusterCommMap>,
+    history: Option<&History>,
+) {
+    report_impl(name, x_label, y_label, series, metrics, comm_map, history)
 }
 
 fn write_json_report(
@@ -855,6 +1040,98 @@ mod tests {
         let on_disk = std::fs::read_to_string("target/flight/unit_test_gate_fig.flight.txt")
             .expect("flight dump written for artifact upload");
         assert!(on_disk.contains("pack-block engine=single-context"));
+    }
+
+    #[test]
+    fn bench_cli_parses_every_flag_form() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        let cli = BenchCli::from_args(&to_args(&[
+            "bench",
+            "--smoke",
+            "--report",
+            "json",
+            "--baseline",
+            "check",
+            "--tolerance",
+            "5",
+        ]));
+        assert_eq!(
+            cli,
+            BenchCli {
+                smoke: true,
+                report_json: true,
+                baseline: BaselineMode::Check,
+                tolerance_pct: 5.0,
+            }
+        );
+        let eqs = BenchCli::from_args(&to_args(&[
+            "bench",
+            "--report=json",
+            "--baseline=write",
+            "--tolerance=2.5",
+        ]));
+        assert_eq!(
+            eqs,
+            BenchCli {
+                smoke: false,
+                report_json: true,
+                baseline: BaselineMode::Write,
+                tolerance_pct: 2.5,
+            }
+        );
+        let none = BenchCli::from_args(&to_args(&["bench"]));
+        assert_eq!(
+            none,
+            BenchCli {
+                smoke: false,
+                report_json: false,
+                baseline: BaselineMode::Off,
+                tolerance_pct: 10.0,
+            }
+        );
+    }
+
+    #[test]
+    fn history_phase_collects_epoch_series_and_artifacts() {
+        let (_, stats, _metrics, map, history) = time_phase_history(
+            ClusterConfig::uniform(4),
+            MpiConfig::optimized(),
+            3,
+            |comm, _| {
+                let counts = vec![64usize; 4];
+                let send = vec![1u8; 64];
+                let mut recv = vec![0u8; 256];
+                comm.allgatherv(&send, &counts, &mut recv);
+            },
+        );
+        assert_eq!(stats.len(), 4);
+        assert_eq!(history.n, 4);
+        // Warmup epochs were dropped: exactly the 3 measured calls.
+        let pts = history.series("allgatherv/recursive_doubling");
+        assert_eq!(pts.len(), 3, "labels: {:?}", history.series_labels());
+        // The history totals agree with the comm map's.
+        assert_eq!(
+            pts.iter().map(|p| p.bytes).sum::<u64>(),
+            map.total.total_bytes()
+        );
+        // A uniform steady series recurs perfectly.
+        let rec = ncd_core::pattern_recurrence(&history);
+        assert_eq!(rec[0].distinct, 1);
+        assert_eq!(rec[0].stability, 1.0);
+
+        report_with_history(
+            "unit_test_history_fig",
+            "n",
+            "us",
+            &[],
+            None,
+            Some(&map),
+            Some(&history),
+        );
+        let json = std::fs::read_to_string("target/analysis/unit_test_history_fig.history.json")
+            .expect("history artifact written");
+        assert!(json.starts_with("{\"ranks\":4,"));
+        assert!(json.contains("allgatherv/recursive_doubling"));
     }
 
     #[test]

@@ -217,8 +217,10 @@ impl Comm<'_> {
         // One comm-map epoch per call, keyed by the algorithm that
         // produced the traffic (pinned and auto-selected runs alike).
         if self.rank_ref().comm_map_enabled() {
-            self.rank_mut()
-                .comm_epoch(&format!("allgatherv/{}", algo.label()));
+            let label = format!("allgatherv/{}", algo.label());
+            self.rank_mut().comm_epoch(&label);
+            let volumes: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+            self.drift_epoch(&label, &volumes);
         }
     }
 

@@ -160,8 +160,10 @@ impl Comm<'_> {
         // One comm-map epoch per call, keyed by the schedule that
         // produced the traffic (pinned and auto-selected runs alike).
         if self.rank_ref().comm_map_enabled() {
-            self.rank_mut()
-                .comm_epoch(&format!("alltoallw/{}", schedule.label()));
+            let label = format!("alltoallw/{}", schedule.label());
+            self.rank_mut().comm_epoch(&label);
+            let volumes: Vec<u64> = recvs.iter().map(|r| r.bytes() as u64).collect();
+            self.drift_epoch(&label, &volumes);
         }
     }
 

@@ -18,9 +18,11 @@
 use std::sync::Arc;
 
 use ncd_datatype::{BlockMode, Datatype, LastBlock, OpCounts, Unpacker};
-use ncd_simnet::{CostKind, Rank, Tag};
+use ncd_simnet::{ratio_to_millis, CostKind, Rank, Tag};
 
+use crate::commstats::gini;
 use crate::config::MpiConfig;
+use crate::drift::{DriftConfig, DriftDirection, DriftMonitor};
 
 /// A subset of the world's ranks forming a communicator group (the result
 /// of [`Comm::split`], MPI's `MPI_Comm_split`). The group records each
@@ -62,6 +64,10 @@ pub struct Comm<'a> {
     /// Per-communicator split counter, so consecutive splits derive
     /// distinct contexts deterministically.
     split_seq: u32,
+    /// Online regime-shift watcher over the per-collective epoch series.
+    /// Lazily created on the first epoch closed with history recording
+    /// enabled, so an unobserved run never allocates it.
+    drift: Option<DriftMonitor>,
 }
 
 impl<'a> Comm<'a> {
@@ -71,6 +77,7 @@ impl<'a> Comm<'a> {
             cfg,
             group: None,
             split_seq: 0,
+            drift: None,
         }
     }
 
@@ -199,6 +206,7 @@ impl<'a> Comm<'a> {
             cfg: self.cfg.clone(),
             group: Some(group.clone()),
             split_seq: 0,
+            drift: None,
         };
         Some(f(&mut sub))
     }
@@ -215,6 +223,33 @@ impl<'a> Comm<'a> {
 
     pub fn rank_ref(&self) -> &Rank {
         self.rank
+    }
+
+    /// Feed the drift monitor one closed collective epoch: `volumes` are
+    /// the per-peer byte counts this rank knows locally (receive counts
+    /// for allgatherv, per-source receive volumes for alltoallw). Fired
+    /// regime shifts are mirrored into the trace, the metrics registry and
+    /// the flight recorder's drift ring. No-op unless history recording is
+    /// enabled on the rank.
+    pub(crate) fn drift_epoch(&mut self, label: &str, volumes: &[u64]) {
+        if !self.rank.history_enabled() {
+            return;
+        }
+        let monitor = self
+            .drift
+            .get_or_insert_with(|| DriftMonitor::new(DriftConfig::default()));
+        let total: u64 = volumes.iter().sum();
+        let skew = gini(volumes);
+        for e in monitor.observe(label, total as f64, skew) {
+            self.rank.observe_drift_event(
+                &e.label,
+                &e.metric,
+                e.occurrence,
+                e.direction == DriftDirection::Up,
+                ratio_to_millis(e.baseline),
+                ratio_to_millis(e.observed),
+            );
+        }
     }
 
     /// Charge the time cost of executed datatype-engine operations.

@@ -27,9 +27,11 @@
 //! `max(declared, measured)` ratio — the declared ratio is the evidence
 //! the selector itself computed from the count array at call time.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use ncd_simnet::{millis_to_ratio, ClusterCommMap, CommMatrix, CostModel, EventKind, TraceEvent};
+use ncd_simnet::{
+    millis_to_ratio, ClusterCommMap, CommMatrix, CostModel, EpochMatrix, EventKind, TraceEvent,
+};
 
 use crate::config::MpiConfig;
 use crate::select::outlier_ratio_of;
@@ -214,6 +216,21 @@ pub struct Misselection {
     pub detail: String,
 }
 
+/// Result of [`detect_misselections`]: the flagged selections plus the
+/// join's coverage accounting, so a decision log and a comm map captured
+/// over different windows cannot silently produce an empty-looking audit.
+#[derive(Clone, Debug, Default)]
+pub struct MisselectionAudit {
+    /// Selections the measured traffic contradicts.
+    pub flags: Vec<Misselection>,
+    /// Decisions whose `(label, occurrence)` epoch was not in the map —
+    /// all of them when no map was provided.
+    pub unmatched_decisions: usize,
+    /// Collective (non-`stage:`) epochs no decision joined with; 0 when
+    /// no map was provided.
+    pub unmatched_epochs: usize,
+}
+
 fn ceil_log2(n: usize) -> u32 {
     debug_assert!(n >= 1);
     usize::BITS - (n - 1).leading_zeros()
@@ -241,12 +258,27 @@ fn ceil_log2(n: usize) -> u32 {
 ///
 /// Estimates are deliberately coarse — single-step LogGP terms, no
 /// overlap — and are meant to rank the alternative, not predict it.
+///
+/// The join is keyed, not scanned: the map's epochs are indexed by
+/// `(label, occurrence)` once up front, and every decision that finds no
+/// epoch — and every collective epoch no decision claims — is *counted*
+/// in the returned [`MisselectionAudit`] instead of being silently
+/// skipped, so a truncated trace or a map captured over a different
+/// window is visible in the result.
 pub fn detect_misselections(
     decisions: &[AlgorithmDecision],
     map: Option<&ClusterCommMap>,
     cost: &CostModel,
     cfg: &MpiConfig,
-) -> Vec<Misselection> {
+) -> MisselectionAudit {
+    let mut epoch_index: HashMap<(&str, u32), &EpochMatrix> = HashMap::new();
+    if let Some(m) = map {
+        for e in &m.epochs {
+            epoch_index.insert((e.label.as_str(), e.occurrence), e);
+        }
+    }
+    let mut matched: HashSet<(&str, u32)> = HashSet::new();
+    let mut unmatched_decisions = 0usize;
     let mut occurrences: HashMap<String, u32> = HashMap::new();
     let mut out = Vec::new();
     for d in decisions {
@@ -257,14 +289,16 @@ pub fn detect_misselections(
             *c += 1;
             v
         };
+        let epoch = epoch_index.get(&(label.as_str(), occ)).copied();
+        match epoch {
+            Some(e) => {
+                matched.insert((e.label.as_str(), e.occurrence));
+            }
+            None => unmatched_decisions += 1,
+        }
         if d.n < 2 {
             continue;
         }
-        let epoch = map.and_then(|m| {
-            m.epochs
-                .iter()
-                .find(|e| e.label == label && e.occurrence == occ)
-        });
         match (d.collective.as_str(), d.chosen.as_str()) {
             ("allgatherv", "ring") => {
                 let measured = epoch
@@ -354,7 +388,22 @@ pub fn detect_misselections(
             _ => {}
         }
     }
-    out
+    // Collective epochs (not `stage:` profiling epochs — those never have
+    // a matching decision by construction) that no decision joined with.
+    let unmatched_epochs = map.map_or(0, |m| {
+        m.epochs
+            .iter()
+            .filter(|e| {
+                !e.label.starts_with("stage:")
+                    && !matched.contains(&(e.label.as_str(), e.occurrence))
+            })
+            .count()
+    });
+    MisselectionAudit {
+        flags: out,
+        unmatched_decisions,
+        unmatched_epochs,
+    }
 }
 
 fn render_ratio(r: f64) -> String {
@@ -498,17 +547,19 @@ mod tests {
     fn ring_over_outliers_is_flagged_even_without_a_map() {
         let cfg = MpiConfig::baseline();
         let cost = CostModel::default();
-        let flags = detect_misselections(&[ring_decision(8192.0)], None, &cost, &cfg);
-        assert_eq!(flags.len(), 1);
-        let f = &flags[0];
+        let audit = detect_misselections(&[ring_decision(8192.0)], None, &cost, &cfg);
+        assert_eq!(audit.flags.len(), 1);
+        let f = &audit.flags[0];
         assert_eq!(f.suggested, "recursive_doubling");
         assert_eq!(f.occurrence, 0);
         assert!(f.est_suggested_ns < f.est_chosen_ns);
         assert!(f.detail.contains("ring serializes"));
+        assert_eq!(audit.unmatched_decisions, 1, "no map joins no decision");
+        assert_eq!(audit.unmatched_epochs, 0);
 
         // A uniform ring selection is left alone.
         let ok = detect_misselections(&[ring_decision(1.0)], None, &cost, &cfg);
-        assert!(ok.is_empty());
+        assert!(ok.flags.is_empty());
     }
 
     #[test]
@@ -532,10 +583,15 @@ mod tests {
                 matrix: em,
             }],
         };
-        let flags = detect_misselections(&[ring_decision(1.0)], Some(&map), &cost, &cfg);
-        assert_eq!(flags.len(), 1);
-        assert!(flags[0].measured_ratio > cfg.outlier_ratio);
-        assert_eq!(flags[0].declared_ratio, 1.0);
+        let audit = detect_misselections(&[ring_decision(1.0)], Some(&map), &cost, &cfg);
+        assert_eq!(audit.flags.len(), 1);
+        assert!(audit.flags[0].measured_ratio > cfg.outlier_ratio);
+        assert_eq!(audit.flags[0].declared_ratio, 1.0);
+        assert_eq!(
+            (audit.unmatched_decisions, audit.unmatched_epochs),
+            (0, 0),
+            "decision and epoch joined exactly"
+        );
     }
 
     #[test]
@@ -565,16 +621,16 @@ mod tests {
                 matrix: em.clone(),
             }],
         };
-        let flags = detect_misselections(
+        let audit = detect_misselections(
             &[mk("round_robin")],
             Some(&map_for("alltoallw/round_robin")),
             &cost,
             &cfg,
         );
-        assert_eq!(flags.len(), 1);
-        assert_eq!(flags[0].suggested, "binned");
-        assert!(flags[0].est_suggested_ns < flags[0].est_chosen_ns);
-        assert!(flags[0].detail.contains("zero bytes"));
+        assert_eq!(audit.flags.len(), 1);
+        assert_eq!(audit.flags[0].suggested, "binned");
+        assert!(audit.flags[0].est_suggested_ns < audit.flags[0].est_chosen_ns);
+        assert!(audit.flags[0].detail.contains("zero bytes"));
 
         let ok = detect_misselections(
             &[mk("binned")],
@@ -582,11 +638,12 @@ mod tests {
             &cost,
             &cfg,
         );
-        assert!(ok.is_empty(), "binned over sparse traffic is the fix");
+        assert!(ok.flags.is_empty(), "binned over sparse traffic is the fix");
 
         // Round-robin without a captured epoch cannot be judged.
         let no_map = detect_misselections(&[mk("round_robin")], None, &cost, &cfg);
-        assert!(no_map.is_empty());
+        assert!(no_map.flags.is_empty());
+        assert_eq!(no_map.unmatched_decisions, 1);
     }
 
     #[test]
@@ -627,14 +684,54 @@ mod tests {
                 },
             ],
         };
-        let flags = detect_misselections(
+        let audit = detect_misselections(
             &[ring_decision(1.0), ring_decision(1.0)],
             Some(&map),
             &cost,
             &cfg,
         );
-        assert_eq!(flags.len(), 1);
-        assert_eq!(flags[0].occurrence, 1, "only the second call is flagged");
+        assert_eq!(audit.flags.len(), 1);
+        assert_eq!(
+            audit.flags[0].occurrence, 1,
+            "only the second call is flagged"
+        );
+    }
+
+    #[test]
+    fn mismatched_decision_and_epoch_counts_are_reported_not_skipped() {
+        let cfg = MpiConfig::baseline();
+        let cost = CostModel::default();
+        // Three ring decisions, but the map holds only the first epoch —
+        // plus an orphan epoch from a collective that logged no decision
+        // and a stage: epoch (which never has a decision by design).
+        let em = |label: &str, occ: u32| EpochMatrix {
+            label: label.to_string(),
+            occurrence: occ,
+            matrix: CommMatrix::new(8),
+        };
+        let map = ClusterCommMap {
+            n: 8,
+            total: CommMatrix::new(8),
+            epochs: vec![
+                em("allgatherv/ring", 0),
+                em("alltoallw/binned", 0),
+                em("stage:solve", 0),
+            ],
+        };
+        let audit = detect_misselections(
+            &[ring_decision(1.0), ring_decision(1.0), ring_decision(1.0)],
+            Some(&map),
+            &cost,
+            &cfg,
+        );
+        assert_eq!(
+            audit.unmatched_decisions, 2,
+            "ring occurrences 1 and 2 found no epoch"
+        );
+        assert_eq!(
+            audit.unmatched_epochs, 1,
+            "the binned epoch is orphaned; the stage: epoch is exempt"
+        );
     }
 
     #[test]

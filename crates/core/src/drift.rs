@@ -1,0 +1,587 @@
+//! Temporal drift detection and pattern-recurrence analytics.
+//!
+//! The paper's central observation is that communication in adaptive PETSc
+//! applications is *nonuniform* — and in adaptive mesh codes the shape of
+//! that nonuniformity is not even stationary: a remesh moves the hotspot,
+//! and yesterday's tuned algorithm choice quietly becomes today's
+//! misselection. This module watches the per-epoch time series recorded by
+//! [`ncd_simnet::history`] and flags **regime shifts** — sustained changes
+//! in traffic volume or skew — as structured [`DriftEvent`]s, the same way
+//! `commstats` surfaces per-call [`AlgorithmDecision`]s.
+//!
+//! Two entry points cover the two consumption styles:
+//!
+//! * **Online** — [`DriftMonitor`] lives inside a `Comm` and is fed each
+//!   collective's volume vector as its epoch closes. Fired events are
+//!   mirrored into the trace ([`EventKind::Drift`]), the metrics registry,
+//!   and the flight recorder's dedicated drift ring, so a post-mortem dump
+//!   shows the last few regime shifts even after the main ring wrapped.
+//! * **Offline** — [`detect_drift`] replays a merged [`History`] through
+//!   the same detector, for analysis of an exported run.
+//!
+//! The detector is an EWMA-normalised CUSUM ([`CusumDetector`]): an
+//! exponentially weighted mean/deviation tracks the current regime, each
+//! sample's z-score feeds two one-sided cumulative sums, and a sum
+//! exceeding the decision threshold fires a shift in that direction. After
+//! firing, the detector re-warms on the new regime, so a large step is
+//! flagged at most [`DriftConfig::warmup`]` + 1` epochs after it lands.
+//!
+//! [`pattern_recurrence`] answers the complementary question — "is the
+//! *shape* of the traffic recurring?" — by joining the order-invariant
+//! pattern hashes across epochs of each series.
+//!
+//! [`AlgorithmDecision`]: crate::commstats::AlgorithmDecision
+//! [`EventKind::Drift`]: ncd_simnet::EventKind::Drift
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ncd_simnet::{millis_to_ratio, EventKind, History, TraceEvent};
+
+/// Tuning for the EWMA/CUSUM changepoint detector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor for the running mean and deviation; higher
+    /// adapts faster but forgets the baseline sooner.
+    pub ewma_alpha: f64,
+    /// CUSUM slack in z-score units: drift smaller than `k` sigmas per
+    /// epoch never accumulates.
+    pub cusum_k: f64,
+    /// CUSUM decision threshold: fire when a one-sided sum exceeds it.
+    pub cusum_h: f64,
+    /// Samples absorbed into the baseline before testing begins — both at
+    /// startup and after each fired event (re-warming on the new regime).
+    pub warmup: u32,
+    /// Deviation floor as a fraction of `max(|mean|, 1)`, so a perfectly
+    /// steady baseline cannot make an infinitesimal wiggle look like an
+    /// infinite z-score.
+    pub sigma_floor: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            ewma_alpha: 0.3,
+            cusum_k: 0.5,
+            cusum_h: 4.0,
+            warmup: 3,
+            sigma_floor: 0.05,
+        }
+    }
+}
+
+/// Which way a monitored series moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftDirection {
+    Up,
+    Down,
+}
+
+/// One detected regime shift in a monitored series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftEvent {
+    /// Epoch label (`<collective>/<algorithm>` or `stage:<path>`).
+    pub label: String,
+    /// Monitored metric within the series: `"bytes"` or `"skew"`.
+    pub metric: String,
+    /// Occurrence index of the epoch that fired the detector.
+    pub occurrence: u32,
+    pub direction: DriftDirection,
+    /// EWMA mean of the pre-shift regime.
+    pub baseline: f64,
+    /// The observation that fired the detector.
+    pub observed: f64,
+}
+
+/// EWMA-normalised two-sided CUSUM changepoint detector over one scalar
+/// series. Feed observations in order with [`observe`](Self::observe);
+/// a `Some` return is a fired shift, after which the detector has already
+/// reset onto the new regime.
+#[derive(Clone, Debug)]
+pub struct CusumDetector {
+    cfg: DriftConfig,
+    mean: f64,
+    dev: f64,
+    s_pos: f64,
+    s_neg: f64,
+    count: u32,
+}
+
+impl CusumDetector {
+    pub fn new(cfg: DriftConfig) -> Self {
+        CusumDetector {
+            cfg,
+            mean: 0.0,
+            dev: 0.0,
+            s_pos: 0.0,
+            s_neg: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Observations absorbed since the last reset (or construction).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Current baseline estimate (EWMA mean).
+    pub fn baseline(&self) -> f64 {
+        self.mean
+    }
+
+    /// Feed the next observation. Returns the fired shift, if any, as
+    /// `(direction, baseline)` — the caller owns labelling/occurrence
+    /// bookkeeping. Non-finite observations are absorbed into nothing and
+    /// never fire (an infinite outlier ratio is a *shape* statement, not a
+    /// volume one — the skew series uses the bounded Gini instead).
+    pub fn observe(&mut self, x: f64) -> Option<(DriftDirection, f64)> {
+        if !x.is_finite() {
+            return None;
+        }
+        self.count += 1;
+        if self.count == 1 {
+            self.mean = x;
+            self.dev = 0.0;
+            return None;
+        }
+        let fired = if self.count > self.cfg.warmup {
+            let sigma = self
+                .dev
+                .max(self.cfg.sigma_floor * self.mean.abs().max(1.0));
+            let z = (x - self.mean) / sigma;
+            self.s_pos = (self.s_pos + z - self.cfg.cusum_k).max(0.0);
+            self.s_neg = (self.s_neg - z - self.cfg.cusum_k).max(0.0);
+            if self.s_pos > self.cfg.cusum_h {
+                Some(DriftDirection::Up)
+            } else if self.s_neg > self.cfg.cusum_h {
+                Some(DriftDirection::Down)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some(direction) = fired {
+            let baseline = self.mean;
+            // Re-warm on the new regime: the fired observation becomes the
+            // seed of the next baseline.
+            self.mean = x;
+            self.dev = 0.0;
+            self.s_pos = 0.0;
+            self.s_neg = 0.0;
+            self.count = 1;
+            return Some((direction, baseline));
+        }
+        let a = self.cfg.ewma_alpha;
+        self.dev = a * (x - self.mean).abs() + (1.0 - a) * self.dev;
+        self.mean = a * x + (1.0 - a) * self.mean;
+        None
+    }
+}
+
+/// Per-series detector pair: traffic volume and skew move independently
+/// (a remesh can redistribute the same total), so each gets its own CUSUM.
+#[derive(Debug)]
+struct SeriesState {
+    bytes: CusumDetector,
+    skew: CusumDetector,
+    occurrence: u32,
+}
+
+/// Online drift monitor over many labelled series. One lives inside each
+/// `Comm` once history recording is enabled; collectives feed it their
+/// per-peer volume vector as each epoch closes.
+#[derive(Debug)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    series: HashMap<String, SeriesState>,
+}
+
+impl DriftMonitor {
+    pub fn new(cfg: DriftConfig) -> Self {
+        DriftMonitor {
+            cfg,
+            series: HashMap::new(),
+        }
+    }
+
+    /// Feed one closed epoch of `label`: total volume in bytes plus a
+    /// bounded skew statistic (Gini of the per-peer volumes). Returns the
+    /// shifts fired by this epoch — at most one per metric.
+    pub fn observe(&mut self, label: &str, total_bytes: f64, skew: f64) -> Vec<DriftEvent> {
+        let state = self
+            .series
+            .entry(label.to_string())
+            .or_insert_with(|| SeriesState {
+                bytes: CusumDetector::new(self.cfg.clone()),
+                skew: CusumDetector::new(self.cfg.clone()),
+                occurrence: 0,
+            });
+        let occurrence = state.occurrence;
+        state.occurrence += 1;
+        let mut out = Vec::new();
+        for (metric, detector, x) in [
+            ("bytes", &mut state.bytes, total_bytes),
+            ("skew", &mut state.skew, skew),
+        ] {
+            if let Some((direction, baseline)) = detector.observe(x) {
+                out.push(DriftEvent {
+                    label: label.to_string(),
+                    metric: metric.to_string(),
+                    occurrence,
+                    direction,
+                    baseline,
+                    observed: x,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Replay a merged [`History`] through the detector offline: every series
+/// contributes a `bytes` (cluster total) and a `skew` (per-rank Gini)
+/// stream. Events come out grouped by series in first-seen order, each
+/// series' events in occurrence order.
+pub fn detect_drift(history: &History, cfg: &DriftConfig) -> Vec<DriftEvent> {
+    let mut out = Vec::new();
+    for label in history.series_labels() {
+        let mut monitor = DriftMonitor::new(cfg.clone());
+        for p in history.series(label) {
+            for mut e in monitor.observe(label, p.bytes as f64, p.gini) {
+                // The monitor counts its own occurrences from zero; report
+                // the history's, which survive merge gaps.
+                e.occurrence = p.occurrence;
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+/// Recover [`DriftEvent`]s from one rank's trace (the online monitor's
+/// mirror of its fired events), in emission order.
+pub fn drift_events_from_trace(events: &[TraceEvent]) -> Vec<DriftEvent> {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Drift {
+                label,
+                metric,
+                occurrence,
+                up,
+                baseline_millis,
+                observed_millis,
+            } => Some(DriftEvent {
+                label: label.clone(),
+                metric: metric.clone(),
+                occurrence: *occurrence,
+                direction: if *up {
+                    DriftDirection::Up
+                } else {
+                    DriftDirection::Down
+                },
+                baseline: millis_to_ratio(*baseline_millis),
+                observed: millis_to_ratio(*observed_millis),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// How often each series' traffic *shape* recurs across its epochs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternRecurrence {
+    pub label: String,
+    /// Epochs observed for this series.
+    pub epochs: usize,
+    /// Distinct pattern hashes among them.
+    pub distinct: usize,
+    /// Most frequent pattern hash (ties break to the smallest hash).
+    pub dominant: u64,
+    pub dominant_count: usize,
+    /// `dominant_count / epochs` — 1.0 means the shape never changed.
+    pub stability: f64,
+}
+
+/// Join the pattern hashes across each series' epochs: a stable series
+/// (stability 1.0) is a candidate for caching its packing schedule or
+/// algorithm choice; a series whose hash churns every epoch is not.
+pub fn pattern_recurrence(history: &History) -> Vec<PatternRecurrence> {
+    history
+        .series_labels()
+        .into_iter()
+        .map(|label| {
+            let points = history.series(label);
+            let mut counts: HashMap<u64, usize> = HashMap::new();
+            for p in &points {
+                *counts.entry(p.pattern).or_insert(0) += 1;
+            }
+            let (dominant, dominant_count) = counts
+                .iter()
+                .map(|(&h, &c)| (h, c))
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .unwrap_or((0, 0));
+            PatternRecurrence {
+                label: label.to_string(),
+                epochs: points.len(),
+                distinct: counts.len(),
+                dominant,
+                dominant_count,
+                stability: if points.is_empty() {
+                    0.0
+                } else {
+                    dominant_count as f64 / points.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+fn render_value(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Human-readable drift log, one line per event.
+pub fn render_drift_events(events: &[DriftEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== drift events ({}) ===", events.len());
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{:<30} {:<6} occ={:<4} {:<4} baseline={} observed={}",
+            e.label,
+            e.metric,
+            e.occurrence,
+            match e.direction {
+                DriftDirection::Up => "up",
+                DriftDirection::Down => "down",
+            },
+            render_value(e.baseline),
+            render_value(e.observed),
+        );
+    }
+    out
+}
+
+/// Human-readable recurrence table, one line per series.
+pub fn render_recurrence(recurrences: &[PatternRecurrence]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<30} {:>6} {:>8} {:>18} {:>9}",
+        "series", "epochs", "distinct", "dominant", "stability"
+    );
+    for r in recurrences {
+        let _ = writeln!(
+            out,
+            "{:<30} {:>6} {:>8} {:>18} {:>8.0}%",
+            r.label,
+            r.epochs,
+            r.distinct,
+            format!("{:016x}", r.dominant),
+            r.stability * 100.0,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncd_simnet::{EpochPoint, SimTime};
+
+    fn point(label: &str, occurrence: u32, bytes: u64, gini: f64, pattern: u64) -> EpochPoint {
+        EpochPoint {
+            label: label.to_string(),
+            occurrence,
+            time: SimTime(1_000 * (occurrence as u64 + 1)),
+            bytes,
+            msgs: 4,
+            outlier_ratio: 1.0,
+            gini,
+            spread: 1.0,
+            algo: label.split_once('/').map(|(_, a)| a.to_string()),
+            pattern,
+        }
+    }
+
+    #[test]
+    fn stationary_series_never_fires() {
+        let mut d = CusumDetector::new(DriftConfig::default());
+        for i in 0..200u64 {
+            // Small bounded wiggle around 1000.
+            let x = 1000.0 + ((i * 7) % 13) as f64 - 6.0;
+            assert_eq!(d.observe(x), None, "fired spuriously at sample {i}");
+        }
+    }
+
+    #[test]
+    fn step_up_fires_within_warmup_plus_one() {
+        let cfg = DriftConfig::default();
+        let mut d = CusumDetector::new(cfg.clone());
+        for _ in 0..20 {
+            assert_eq!(d.observe(1000.0), None);
+        }
+        // A 16x step: the z-score dwarfs k and h, so the very first
+        // post-shift sample past warmup must fire.
+        let mut fired_at = None;
+        for lag in 0..=(cfg.warmup as usize + 1) {
+            if let Some((direction, baseline)) = d.observe(16_000.0) {
+                assert_eq!(direction, DriftDirection::Up);
+                assert!((baseline - 1000.0).abs() < 1e-9, "baseline {baseline}");
+                fired_at = Some(lag);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(0), "large step must fire immediately");
+        // Post-fire the detector re-warmed on the new regime: the new
+        // level is now quiet.
+        for _ in 0..20 {
+            assert_eq!(d.observe(16_000.0), None);
+        }
+    }
+
+    #[test]
+    fn step_down_fires_down() {
+        let mut d = CusumDetector::new(DriftConfig::default());
+        for _ in 0..10 {
+            d.observe(8_000.0);
+        }
+        let fired = d.observe(100.0);
+        assert!(
+            matches!(fired, Some((DriftDirection::Down, _))),
+            "got {fired:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut d = CusumDetector::new(DriftConfig::default());
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        assert_eq!(d.observe(f64::INFINITY), None);
+        assert_eq!(d.observe(f64::NAN), None);
+        assert_eq!(d.count(), 10, "non-finite samples must not count");
+    }
+
+    #[test]
+    fn monitor_tracks_series_and_metrics_independently() {
+        let mut m = DriftMonitor::new(DriftConfig::default());
+        for _ in 0..10 {
+            assert!(m.observe("allgatherv/ring", 1000.0, 0.1).is_empty());
+            assert!(m.observe("alltoallw/binned", 500.0, 0.5).is_empty());
+        }
+        // Shift only the skew of one series; the other series and the
+        // bytes metric stay quiet.
+        let events = m.observe("allgatherv/ring", 1000.0, 0.9);
+        assert_eq!(events.len(), 1, "events {events:?}");
+        assert_eq!(events[0].label, "allgatherv/ring");
+        assert_eq!(events[0].metric, "skew");
+        assert_eq!(events[0].direction, DriftDirection::Up);
+        assert_eq!(events[0].occurrence, 10);
+        assert!(m.observe("alltoallw/binned", 500.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn offline_detect_reports_history_occurrences() {
+        let mut points = Vec::new();
+        for occ in 0..12u32 {
+            let bytes = if occ < 8 { 4_096 } else { 262_144 };
+            points.push(point("allgatherv/ring", occ, bytes, 0.2, 7));
+        }
+        let history = History { n: 4, points };
+        let events = detect_drift(&history, &DriftConfig::default());
+        assert_eq!(events.len(), 1, "events {events:?}");
+        assert_eq!(events[0].metric, "bytes");
+        assert_eq!(events[0].direction, DriftDirection::Up);
+        assert_eq!(events[0].occurrence, 8, "shift lands at occurrence 8");
+    }
+
+    #[test]
+    fn recurrence_counts_dominant_pattern_with_tiebreak() {
+        let history = History {
+            n: 2,
+            points: vec![
+                point("stage:solve", 0, 100, 0.0, 0xbbb),
+                point("stage:solve", 1, 100, 0.0, 0xaaa),
+                point("stage:solve", 2, 100, 0.0, 0xbbb),
+                point("stage:solve", 3, 100, 0.0, 0xaaa),
+                point("allgatherv/ring", 0, 64, 0.0, 0x1),
+            ],
+        };
+        let rec = pattern_recurrence(&history);
+        assert_eq!(rec.len(), 2);
+        let solve = &rec[0];
+        assert_eq!(solve.label, "stage:solve");
+        assert_eq!((solve.epochs, solve.distinct), (4, 2));
+        // 2-2 tie between 0xaaa and 0xbbb: smallest hash wins.
+        assert_eq!((solve.dominant, solve.dominant_count), (0xaaa, 2));
+        assert!((solve.stability - 0.5).abs() < 1e-12);
+        let ag = &rec[1];
+        assert_eq!(
+            (ag.dominant, ag.dominant_count, ag.stability),
+            (0x1, 1, 1.0)
+        );
+    }
+
+    #[test]
+    fn renderers_cover_every_event_and_series() {
+        let events = vec![DriftEvent {
+            label: "allgatherv/ring".to_string(),
+            metric: "bytes".to_string(),
+            occurrence: 8,
+            direction: DriftDirection::Up,
+            baseline: 4096.0,
+            observed: 262_144.0,
+        }];
+        let log = render_drift_events(&events);
+        assert!(log.contains("=== drift events (1) ==="));
+        assert!(log.contains("allgatherv/ring"));
+        assert!(log.contains("up"));
+        assert!(log.contains("baseline=4096.000"));
+        assert!(log.contains("observed=262144.000"));
+
+        let table = render_recurrence(&pattern_recurrence(&History {
+            n: 2,
+            points: vec![point("stage:solve", 0, 100, 0.0, 0xabc)],
+        }));
+        assert!(table.contains("stage:solve"));
+        assert!(table.contains("0000000000000abc"));
+        assert!(table.contains("100%"));
+    }
+
+    #[test]
+    fn drift_events_round_trip_through_the_trace() {
+        use ncd_simnet::TraceEvent;
+        let events = vec![TraceEvent {
+            kind: EventKind::Drift {
+                label: "alltoallw/binned".to_string(),
+                metric: "skew".to_string(),
+                occurrence: 3,
+                up: false,
+                baseline_millis: 900,
+                observed_millis: 100,
+            },
+            start: SimTime(5),
+            end: SimTime(5),
+        }];
+        let recovered = drift_events_from_trace(&events);
+        assert_eq!(
+            recovered,
+            vec![DriftEvent {
+                label: "alltoallw/binned".to_string(),
+                metric: "skew".to_string(),
+                occurrence: 3,
+                direction: DriftDirection::Down,
+                baseline: 0.9,
+                observed: 0.1,
+            }]
+        );
+    }
+}

@@ -32,6 +32,7 @@ pub mod coll;
 pub mod comm;
 pub mod commstats;
 pub mod config;
+pub mod drift;
 pub mod request;
 pub mod select;
 
@@ -40,9 +41,14 @@ pub use comm::{bytes_to_f64s, f64s_to_bytes, Comm, CommGroup};
 pub use commstats::{
     analyze_comm_map, analyze_matrix, decisions_from_trace, decisions_from_traces,
     detect_misselections, gini, render_decision_log, AlgorithmDecision, CommAnalysis,
-    EpochAnalysis, Misselection,
+    EpochAnalysis, Misselection, MisselectionAudit,
 };
 pub use config::{MpiConfig, MpiFlavor};
+pub use drift::{
+    detect_drift, drift_events_from_trace, pattern_recurrence, render_drift_events,
+    render_recurrence, CusumDetector, DriftConfig, DriftDirection, DriftEvent, DriftMonitor,
+    PatternRecurrence,
+};
 pub use request::{Completion, Request};
 pub use select::{
     detect_outliers, detect_outliers_with_ratio, k_select, outlier_ratio_of, VolumeShape,

@@ -120,12 +120,13 @@ fn forced_ring_over_outliers_is_flagged_as_misselection() {
         "the call closed a measured epoch"
     );
 
-    let flags = detect_misselections(
+    let audit = detect_misselections(
         &decisions,
         Some(&merged),
         &CostModel::default(),
         &MpiConfig::baseline(),
     );
+    let flags = &audit.flags;
     assert_eq!(flags.len(), 1, "the ring over outliers is a misselection");
     assert_eq!(flags[0].chosen, "ring");
     assert_eq!(flags[0].suggested, "recursive_doubling");
@@ -134,6 +135,11 @@ fn forced_ring_over_outliers_is_flagged_as_misselection() {
         "what-if: binomial {} ns beats ring {} ns",
         flags[0].est_suggested_ns,
         flags[0].est_chosen_ns
+    );
+    assert_eq!(
+        (audit.unmatched_decisions, audit.unmatched_epochs),
+        (0, 0),
+        "same-run decision log and map join fully"
     );
 
     // The Optimized flavor's choice on the same volume set is clean.
@@ -147,6 +153,7 @@ fn forced_ring_over_outliers_is_flagged_as_misselection() {
         &CostModel::default(),
         &MpiConfig::baseline()
     )
+    .flags
     .is_empty());
 }
 
@@ -174,22 +181,24 @@ fn sparse_round_robin_is_flagged_from_the_measured_epoch() {
 
     let maps: Vec<RankCommMap> = out.iter().map(|(_, m)| m.clone()).collect();
     let merged = merge_comm_maps(&maps);
-    let flags = detect_misselections(
+    let audit = detect_misselections(
         &decisions,
         Some(&merged),
         &CostModel::default(),
         &MpiConfig::baseline(),
     );
-    assert_eq!(flags.len(), 1);
-    assert_eq!(flags[0].suggested, "binned");
-    assert!(flags[0].detail.contains("zero bytes"));
+    assert_eq!(audit.flags.len(), 1);
+    assert_eq!(audit.flags[0].suggested, "binned");
+    assert!(audit.flags[0].detail.contains("zero bytes"));
 
-    // Without the measured map there is no evidence to convict.
-    assert!(detect_misselections(
+    // Without the measured map there is no evidence to convict — and the
+    // audit says exactly how much went unjoined.
+    let no_map = detect_misselections(
         &decisions,
         None,
         &CostModel::default(),
-        &MpiConfig::baseline()
-    )
-    .is_empty());
+        &MpiConfig::baseline(),
+    );
+    assert!(no_map.flags.is_empty());
+    assert_eq!(no_map.unmatched_decisions, decisions.len());
 }

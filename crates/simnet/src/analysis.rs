@@ -237,6 +237,7 @@ fn describe(kind: &EventKind) -> String {
         EventKind::AlgoDecision {
             collective, chosen, ..
         } => format!("decision {collective} -> {chosen}"),
+        EventKind::Drift { label, metric, .. } => format!("drift {label} {metric}"),
     }
 }
 
@@ -418,7 +419,8 @@ pub fn attribute_rounds(traces: &[Vec<TraceEvent>]) -> RoundAttribution {
                 | EventKind::Span { .. }
                 | EventKind::PackBlock { .. }
                 | EventKind::IrecvPost { .. }
-                | EventKind::AlgoDecision { .. } => {}
+                | EventKind::AlgoDecision { .. }
+                | EventKind::Drift { .. } => {}
             }
         }
     }

@@ -214,6 +214,29 @@ pub fn chrome_trace_json(traces: &[Vec<TraceEvent>]) -> String {
                         json_escape(reason)
                     ),
                 ),
+                EventKind::Drift {
+                    label,
+                    metric,
+                    occurrence,
+                    up,
+                    baseline_millis,
+                    observed_millis,
+                } => complete_event(
+                    // Zero-duration complete event, like decisions: only
+                    // "X" events carry args, and the shift evidence is the
+                    // point.
+                    &mut out,
+                    &format!("drift {label} {metric}"),
+                    "drift",
+                    e.start,
+                    e.end,
+                    rank,
+                    &format!(
+                        "\"label\":\"{}\",\"metric\":\"{}\",\"occurrence\":{occurrence},\"up\":{up},\"baseline_millis\":{baseline_millis},\"observed_millis\":{observed_millis}",
+                        json_escape(label),
+                        json_escape(metric)
+                    ),
+                ),
             }
         }
     }
@@ -489,6 +512,18 @@ mod tests {
                 start: SimTime(450),
                 end: SimTime(450),
             },
+            TraceEvent {
+                kind: EventKind::Drift {
+                    label: "allgatherv/ring".to_string(),
+                    metric: "bytes".to_string(),
+                    occurrence: 6,
+                    up: true,
+                    baseline_millis: 4_096_000,
+                    observed_millis: 65_536_000,
+                },
+                start: SimTime(470),
+                end: SimTime(470),
+            },
         ];
         let json = chrome_trace_json(&[events]);
         assert!(json.contains("\"name\":\"send to 1\""));
@@ -516,6 +551,12 @@ mod tests {
         ));
         assert!(json.contains(
             "\"n\":16,\"total_bytes\":65664,\"ratio_millis\":8192000,\"pow2\":true,\"reason\":\"outliers: adaptive short-message path\""
+        ));
+        // Drift flags: zero-duration spans carrying the shift evidence.
+        assert!(json
+            .contains("\"name\":\"drift allgatherv/ring bytes\",\"cat\":\"drift\",\"ph\":\"X\""));
+        assert!(json.contains(
+            "\"label\":\"allgatherv/ring\",\"metric\":\"bytes\",\"occurrence\":6,\"up\":true,\"baseline_millis\":4096000,\"observed_millis\":65536000"
         ));
     }
 

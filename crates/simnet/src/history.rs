@@ -1,0 +1,570 @@
+//! Epoch time-series history: the temporal layer over the comm map.
+//!
+//! The comm map ([`crate::commmap`]) answers *who talked to whom* inside
+//! one epoch; this module answers *how that changes over time*. When
+//! enabled, every closed epoch — one per auto- or pinned collective call
+//! (`<collective>/<algorithm>`) and one per profiling stage
+//! (`stage:<path>`) — appends a compact per-rank record: the simulated
+//! close time, the bytes/messages delivered to this rank during the
+//! epoch, and an order-invariant 64-bit **pattern hash** of the per-source
+//! recv-length vector. The cross-rank merge ([`merge_histories`]) joins
+//! records by `(label, occurrence)` exactly like the comm-map merge and
+//! derives, per cluster-wide epoch, the nonuniformity analytics the
+//! paper's selection heuristics consume: outlier ratio, Gini, and spread
+//! over the per-rank delivered totals.
+//!
+//! The pattern hash is the recurrence signal the adaptive-selection
+//! roadmap needs: two epochs whose recv-length vectors are identical hash
+//! identically, so a hash join across occurrences reports how often a
+//! communication pattern repeats — and therefore whether caching a
+//! persistent plan for it would pay. The cluster hash is a wrapping sum
+//! of per-rank FNV-1a partials, so it is invariant to the order ranks are
+//! merged in but sensitive (w.h.p.) to any single length change.
+//!
+//! Like the comm map and the flight recorder, the history store never
+//! touches the simulated clock: enabling it changes no timing, and it is
+//! off by default.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::commmap::{ratio_to_millis, RankEpoch};
+use crate::export::json_escape;
+use crate::time::SimTime;
+
+/// The bulk quantile used for the per-epoch outlier ratio, matching the
+/// default the analytics layer applies to comm matrices.
+const OUTLIER_FRACTION: f64 = 0.9;
+
+/// Fold one little-endian `u64` into an FNV-1a state.
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// This rank's additive share of the cluster pattern hash for one epoch:
+/// FNV-1a over the rank id followed by the per-source recv-length vector
+/// (8 LE bytes each). Cluster hashes combine per-rank shares with
+/// `wrapping_add`, so the combined hash is independent of merge order yet
+/// changes (w.h.p.) when any single length does.
+pub fn pattern_hash_rank(rank: usize, lengths: &[u64]) -> u64 {
+    let mut h = fnv_u64(0xcbf2_9ce4_8422_2325, rank as u64);
+    for &len in lengths {
+        h = fnv_u64(h, len);
+    }
+    h
+}
+
+/// One appended record on one rank: a closed epoch's delivered totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankEpochRecord {
+    pub label: String,
+    /// 0-based occurrence of `label` on this rank (the epoch-matching key).
+    pub occurrence: u32,
+    /// Simulated time at which the epoch closed on this rank.
+    pub time: SimTime,
+    /// Total bytes delivered to this rank during the epoch.
+    pub bytes: u64,
+    pub msgs: u64,
+    /// This rank's additive pattern-hash share ([`pattern_hash_rank`]).
+    pub pattern: u64,
+}
+
+/// Per-rank epoch time-series store. Owned by [`crate::Rank`]; construct
+/// directly only in tests and fixtures. Off by default — when off, an
+/// append costs one branch.
+#[derive(Debug, Clone)]
+pub struct RankHistory {
+    rank: usize,
+    size: usize,
+    enabled: bool,
+    records: Vec<RankEpochRecord>,
+}
+
+impl RankHistory {
+    /// A disabled history for `rank` in a cluster of `size` ranks.
+    pub fn new(rank: usize, size: usize) -> Self {
+        RankHistory {
+            rank,
+            size,
+            enabled: false,
+            records: Vec::new(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn records(&self) -> &[RankEpochRecord] {
+        &self.records
+    }
+
+    /// Append the record derived from a just-closed comm-map epoch at
+    /// simulated time `time`. No-op when disabled. Normally fed by
+    /// [`crate::Rank::comm_epoch`] / [`crate::Rank::stage_end`]; public so
+    /// fixtures can build histories by hand.
+    pub fn append(&mut self, epoch: &RankEpoch, time: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        self.records.push(RankEpochRecord {
+            label: epoch.label.clone(),
+            occurrence: epoch.occurrence,
+            time,
+            bytes: epoch.bytes.iter().sum(),
+            msgs: epoch.msgs.iter().sum(),
+            pattern: pattern_hash_rank(self.rank, &epoch.bytes),
+        });
+    }
+}
+
+/// One cluster-wide epoch of the merged history: the per-call analytics
+/// record the drift detector consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    pub label: String,
+    pub occurrence: u32,
+    /// Latest close time across the contributing ranks.
+    pub time: SimTime,
+    /// Total bytes delivered cluster-wide during the epoch.
+    pub bytes: u64,
+    pub msgs: u64,
+    /// Outlier ratio over the per-rank delivered totals (max over the 0.9
+    /// bulk quantile; `f64::INFINITY` when the bulk is zero but the max is
+    /// not).
+    pub outlier_ratio: f64,
+    /// Gini coefficient over the per-rank delivered totals (zeros count).
+    pub gini: f64,
+    /// Max over min of the *nonzero* per-rank totals (0 when fewer than
+    /// one rank received traffic).
+    pub spread: f64,
+    /// Algorithm parsed from a `<collective>/<algorithm>` label; `None`
+    /// for `stage:` epochs.
+    pub algo: Option<String>,
+    /// Order-invariant cluster pattern hash (wrapping sum of the per-rank
+    /// shares).
+    pub pattern: u64,
+}
+
+/// The merged, cluster-wide epoch time-series.
+#[derive(Debug, Clone)]
+pub struct History {
+    pub n: usize,
+    /// Epochs in first-seen merge order (call order in an SPMD program).
+    pub points: Vec<EpochPoint>,
+}
+
+impl History {
+    /// Distinct labels in first-seen order.
+    pub fn series_labels(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.label.as_str()) {
+                out.push(&p.label);
+            }
+        }
+        out
+    }
+
+    /// The points of one labelled series, in occurrence order as merged.
+    pub fn series(&self, label: &str) -> Vec<&EpochPoint> {
+        self.points.iter().filter(|p| p.label == label).collect()
+    }
+}
+
+/// Sorted-quantile outlier ratio over a volume set, mirroring the
+/// analytics layer's convention: max over the `fraction` bulk quantile, 0
+/// for sets smaller than two or all-zero, infinite when the bulk quantile
+/// is zero under a nonzero max.
+fn outlier_ratio(volumes: &[u64], fraction: f64) -> f64 {
+    if volumes.len() < 2 {
+        return 0.0;
+    }
+    let mut sorted = volumes.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let max = sorted[n - 1];
+    if max == 0 {
+        return 0.0;
+    }
+    let k_bulk = (((n as f64) * fraction).ceil() as usize).clamp(1, n) - 1;
+    let bulk = sorted[k_bulk];
+    if bulk == 0 {
+        return f64::INFINITY;
+    }
+    max as f64 / bulk as f64
+}
+
+/// Gini coefficient of a volume set (zeros count; empty or all-zero = 0).
+/// Local duplicate of the analytics layer's definition — simnet sits
+/// below ncd-core and cannot depend on it.
+fn gini(volumes: &[u64]) -> f64 {
+    let n = volumes.len();
+    let total: u128 = volumes.iter().map(|&v| v as u128).sum();
+    if n == 0 || total == 0 {
+        return 0.0;
+    }
+    let mut sorted = volumes.to_vec();
+    sorted.sort_unstable();
+    let weighted: u128 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u128 + 1) * v as u128)
+        .sum();
+    (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+fn algo_of(label: &str) -> Option<String> {
+    label
+        .split_once('/')
+        .map(|(_, algorithm)| algorithm.to_string())
+}
+
+/// Merge per-rank histories into the cluster-wide time-series. Records
+/// are matched across ranks by `(label, occurrence)` and appear in the
+/// order first seen scanning ranks 0..n (like [`crate::merge_comm_maps`]);
+/// a rank that never closed a given epoch contributes zero bytes to its
+/// analytics. Panics if `histories` is empty or the ranks disagree on
+/// cluster size.
+pub fn merge_histories(histories: &[RankHistory]) -> History {
+    let n = histories.first().expect("merge_histories on no ranks").size;
+    struct Partial {
+        label: String,
+        occurrence: u32,
+        time: SimTime,
+        msgs: u64,
+        pattern: u64,
+        per_rank: Vec<u64>,
+    }
+    let mut partials: Vec<Partial> = Vec::new();
+    let mut index: HashMap<(String, u32), usize> = HashMap::new();
+    for h in histories {
+        assert_eq!(h.size, n, "rank histories from different cluster sizes");
+        for r in &h.records {
+            let key = (r.label.clone(), r.occurrence);
+            let slot = *index.entry(key).or_insert_with(|| {
+                partials.push(Partial {
+                    label: r.label.clone(),
+                    occurrence: r.occurrence,
+                    time: SimTime::ZERO,
+                    msgs: 0,
+                    pattern: 0,
+                    per_rank: vec![0; n],
+                });
+                partials.len() - 1
+            });
+            let p = &mut partials[slot];
+            p.time = p.time.max(r.time);
+            p.msgs += r.msgs;
+            p.pattern = p.pattern.wrapping_add(r.pattern);
+            p.per_rank[h.rank] += r.bytes;
+        }
+    }
+    let points = partials
+        .into_iter()
+        .map(|p| {
+            let nonzero: Vec<u64> = p.per_rank.iter().copied().filter(|&b| b > 0).collect();
+            let spread = match (nonzero.iter().max(), nonzero.iter().min()) {
+                (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+                _ => 0.0,
+            };
+            EpochPoint {
+                algo: algo_of(&p.label),
+                label: p.label,
+                occurrence: p.occurrence,
+                time: p.time,
+                bytes: p.per_rank.iter().sum(),
+                msgs: p.msgs,
+                outlier_ratio: outlier_ratio(&p.per_rank, OUTLIER_FRACTION),
+                gini: gini(&p.per_rank),
+                spread,
+                pattern: p.pattern,
+            }
+        })
+        .collect();
+    History { n, points }
+}
+
+/// Shade ramp for the sparklines, lightest to darkest; index 0 is exact
+/// zero (matches the comm-map heatmap ramp).
+const RAMP: &[u8] = b".:-=+*#%@";
+
+/// Render `values` as a one-character-per-point sparkline, linearly
+/// scaled so the series maximum maps to the darkest shade and exact zero
+/// to `.`.
+pub fn sparkline(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            let c = if v == 0 || max == 0 {
+                RAMP[0]
+            } else {
+                let hi = (RAMP.len() - 1) as u64;
+                RAMP[(1 + (v.saturating_mul(hi - 1)) / max).min(hi) as usize]
+            };
+            c as char
+        })
+        .collect()
+}
+
+fn fmt_ratio(r: f64) -> String {
+    if r.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// ASCII dashboard of the merged history: one row per labelled series
+/// with bytes-over-time and skew-over-time sparklines, the last epoch's
+/// analytics, and the number of distinct communication patterns seen.
+pub fn history_report(history: &History) -> String {
+    let mut out = format!(
+        "=== epoch history ({} ranks, {} epochs, {} series) ===\n",
+        history.n,
+        history.points.len(),
+        history.series_labels().len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<30} {:>6}  {:<20} {:<20} {:>10} {:>6} {:>8}",
+        "series", "epochs", "bytes/epoch", "gini/epoch", "last B", "ratio", "patterns"
+    );
+    for label in history.series_labels() {
+        let points = history.series(label);
+        let bytes: Vec<u64> = points.iter().map(|p| p.bytes).collect();
+        let ginis: Vec<u64> = points.iter().map(|p| ratio_to_millis(p.gini)).collect();
+        let mut patterns: Vec<u64> = points.iter().map(|p| p.pattern).collect();
+        patterns.sort_unstable();
+        patterns.dedup();
+        let last = points.last().expect("series labels come from points");
+        let _ = writeln!(
+            out,
+            "{:<30} {:>6}  {:<20} {:<20} {:>10} {:>6} {:>8}",
+            label,
+            points.len(),
+            sparkline(&bytes),
+            sparkline(&ginis),
+            last.bytes,
+            fmt_ratio(last.outlier_ratio),
+            patterns.len()
+        );
+    }
+    out
+}
+
+/// Serialize the merged history as JSON. Hand-rolled for byte stability
+/// (golden-tested): fixed field order, one series object per label in
+/// first-seen order, each point as
+/// `[occurrence, time_ns, bytes, msgs, ratio_millis, gini_millis,
+/// spread_millis, "pattern hex"]`. Ratios are stored in integer
+/// thousandths ([`ratio_to_millis`]; `u64::MAX` = infinite) so the output
+/// has no float formatting to drift.
+pub fn history_json(history: &History) -> String {
+    let mut out = format!(
+        "{{\"ranks\":{},\"epochs\":{},\"series\":[",
+        history.n,
+        history.points.len()
+    );
+    for (i, label) in history.series_labels().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let points = history.series(label);
+        let _ = write!(out, "{{\"label\":\"{}\",\"algo\":", json_escape(label));
+        match &points[0].algo {
+            Some(a) => {
+                let _ = write!(out, "\"{}\"", json_escape(a));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"points\":[");
+        for (j, p) in points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "[{},{},{},{},{},{},{},\"{:016x}\"]",
+                p.occurrence,
+                p.time.as_ns(),
+                p.bytes,
+                p.msgs,
+                ratio_to_millis(p.outlier_ratio),
+                ratio_to_millis(p.gini),
+                ratio_to_millis(p.spread),
+                p.pattern
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write [`history_json`] to `path`, creating parent directories.
+pub fn write_history_json(path: impl AsRef<Path>, history: &History) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, history_json(history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(label: &str, occurrence: u32, bytes: Vec<u64>) -> RankEpoch {
+        let msgs = bytes.iter().map(|&b| u64::from(b > 0)).collect();
+        RankEpoch {
+            label: label.to_string(),
+            occurrence,
+            bytes,
+            msgs,
+        }
+    }
+
+    fn two_rank_fixture() -> Vec<RankHistory> {
+        let mut a = RankHistory::new(0, 2);
+        let mut b = RankHistory::new(1, 2);
+        a.enable();
+        b.enable();
+        a.append(&epoch("allgatherv/ring", 0, vec![0, 64]), SimTime(100));
+        b.append(&epoch("allgatherv/ring", 0, vec![32, 0]), SimTime(120));
+        a.append(&epoch("allgatherv/ring", 1, vec![0, 8]), SimTime(200));
+        b.append(&epoch("allgatherv/ring", 1, vec![8, 0]), SimTime(190));
+        a.append(&epoch("stage:solve", 0, vec![0, 0]), SimTime(300));
+        b.append(&epoch("stage:solve", 0, vec![0, 0]), SimTime(300));
+        vec![a, b]
+    }
+
+    #[test]
+    fn disabled_history_records_nothing() {
+        let mut h = RankHistory::new(0, 2);
+        h.append(&epoch("x", 0, vec![1, 2]), SimTime(5));
+        assert!(h.records().is_empty());
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn append_derives_totals_and_pattern() {
+        let mut h = RankHistory::new(3, 4);
+        h.enable();
+        h.append(&epoch("alltoallw/binned", 0, vec![1, 0, 2, 0]), SimTime(7));
+        let r = &h.records()[0];
+        assert_eq!(r.bytes, 3);
+        assert_eq!(r.msgs, 2);
+        assert_eq!(r.time, SimTime(7));
+        assert_eq!(r.pattern, pattern_hash_rank(3, &[1, 0, 2, 0]));
+    }
+
+    #[test]
+    fn merge_joins_by_label_and_occurrence() {
+        let merged = merge_histories(&two_rank_fixture());
+        assert_eq!(merged.n, 2);
+        assert_eq!(merged.points.len(), 3);
+        let p = &merged.points[0];
+        assert_eq!((p.label.as_str(), p.occurrence), ("allgatherv/ring", 0));
+        assert_eq!(p.bytes, 96);
+        assert_eq!(p.msgs, 2);
+        assert_eq!(
+            p.time,
+            SimTime(120),
+            "cluster epoch closes with the last rank"
+        );
+        assert_eq!(p.algo.as_deref(), Some("ring"));
+        assert!((p.spread - 2.0).abs() < 1e-12, "64 vs 32: spread 2");
+        assert!(p.gini > 0.0);
+        assert_eq!(
+            merged.points[2].algo, None,
+            "stage epochs carry no algorithm"
+        );
+        assert_eq!(merged.points[2].bytes, 0);
+        assert_eq!(merged.points[2].spread, 0.0);
+    }
+
+    #[test]
+    fn cluster_pattern_hash_is_merge_order_invariant() {
+        let maps = two_rank_fixture();
+        let forward = merge_histories(&maps);
+        let reversed: Vec<RankHistory> = maps.into_iter().rev().collect();
+        let backward = merge_histories(&reversed);
+        let key = |h: &History| {
+            h.points
+                .iter()
+                .map(|p| (p.label.clone(), p.occurrence, p.pattern))
+                .collect::<std::collections::HashSet<_>>()
+        };
+        assert_eq!(key(&forward), key(&backward));
+    }
+
+    #[test]
+    fn pattern_hash_is_length_sensitive() {
+        let base = pattern_hash_rank(0, &[8, 8, 64]);
+        assert_ne!(base, pattern_hash_rank(0, &[8, 8, 65]));
+        assert_ne!(base, pattern_hash_rank(0, &[8, 64, 8]));
+        assert_ne!(base, pattern_hash_rank(1, &[8, 8, 64]));
+    }
+
+    #[test]
+    fn outlier_ratio_matches_analytics_convention() {
+        assert_eq!(outlier_ratio(&[], 0.9), 0.0);
+        assert_eq!(outlier_ratio(&[7], 0.9), 0.0);
+        assert_eq!(outlier_ratio(&[0, 0], 0.9), 0.0);
+        assert_eq!(outlier_ratio(&[0, 5], 0.9), 1.0);
+        let mut sparse = vec![0u64; 9];
+        sparse.push(5);
+        assert!(outlier_ratio(&sparse, 0.9).is_infinite());
+        let r = outlier_ratio(&[10, 10, 10, 10, 10, 10, 10, 10, 10, 1000], 0.9);
+        assert!((r - 100.0).abs() < 1e-12, "ratio {r}");
+    }
+
+    #[test]
+    fn sparkline_scales_zero_and_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "..");
+        let s = sparkline(&[0, 1, 100]);
+        assert_eq!(s.len(), 3);
+        assert!(s.starts_with('.'));
+        assert!(s.ends_with('@'));
+    }
+
+    #[test]
+    fn report_lists_every_series_with_sparklines() {
+        let report = history_report(&merge_histories(&two_rank_fixture()));
+        assert!(report.contains("2 ranks, 3 epochs, 2 series"), "{report}");
+        assert!(report.contains("allgatherv/ring"), "{report}");
+        assert!(report.contains("stage:solve"), "{report}");
+        assert!(report.contains("patterns"), "{report}");
+    }
+
+    #[test]
+    fn json_has_fixed_field_order() {
+        let json = history_json(&merge_histories(&two_rank_fixture()));
+        assert!(json.starts_with("{\"ranks\":2,\"epochs\":3,\"series\":["));
+        assert!(json.contains("\"label\":\"allgatherv/ring\",\"algo\":\"ring\",\"points\":["));
+        assert!(json.contains("\"label\":\"stage:solve\",\"algo\":null"));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -45,6 +45,7 @@
 pub mod analysis;
 pub mod commmap;
 pub mod export;
+pub mod history;
 pub mod mailbox;
 pub mod metrics;
 pub mod profile;
@@ -65,12 +66,16 @@ pub use commmap::{
 pub use export::{
     analysis_json, chrome_trace_json, metrics_json, profile_json, write_chrome_trace,
 };
+pub use history::{
+    history_json, history_report, merge_histories, pattern_hash_rank, sparkline,
+    write_history_json, EpochPoint, History, RankEpochRecord, RankHistory,
+};
 pub use mailbox::{NetMsg, Tag, ANY_TAG};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use profile::{imbalance_report, Profiler, StageStats};
 pub use recorder::{
     clear_dump_hook, dump_on, last_run_dump, render_dump, store_last_run, trigger, Anomaly,
-    RankRecorder, RecCode, Recorded, DECISION_SLOTS,
+    RankRecorder, RecCode, Recorded, DECISION_SLOTS, DRIFT_SLOTS,
 };
 pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
 pub use stats::{CostKind, Stats};

@@ -37,6 +37,7 @@ pub enum RecCode {
     IrecvPost = 7,
     SendWait = 8,
     AlgoDecision = 9,
+    Drift = 10,
 }
 
 impl RecCode {
@@ -51,6 +52,7 @@ impl RecCode {
             7 => Some(RecCode::IrecvPost),
             8 => Some(RecCode::SendWait),
             9 => Some(RecCode::AlgoDecision),
+            10 => Some(RecCode::Drift),
             _ => None,
         }
     }
@@ -69,6 +71,7 @@ impl RecCode {
 /// | `IrecvPost` | src (MAX=any)| tag      | –         | –         | –     |
 /// | `SendWait`  | residual ns  | –        | –         | –         | –     |
 /// | `AlgoDecision` | coll hash | chosen hash | n<<1\|pow2 | bytes | ratio millis |
+/// | `Drift`     | label hash | metric hash | occ<<1\|up | baseline millis | observed millis |
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Recorded {
     /// Global order within the rank (1-based claim order).
@@ -113,6 +116,13 @@ pub fn fnv1a(s: &str) -> u64 {
 /// so a baseline-gate dump always shows which algorithms were active.
 pub const DECISION_SLOTS: usize = 8;
 
+/// How many [`RecCode::Drift`] records each rank keeps in the dedicated
+/// drift ring. Changepoints are rarer than decisions but just as easily
+/// evicted from the main ring by the traffic that caused them; the
+/// dedicated ring guarantees an anomaly dump shows the recent regime
+/// shifts.
+pub const DRIFT_SLOTS: usize = 8;
+
 /// A per-rank flight recorder: fixed capacity, overwrites oldest.
 pub struct RankRecorder {
     rank: usize,
@@ -126,6 +136,9 @@ pub struct RankRecorder {
     /// eviction. Decisions are rare (one per adaptive collective call),
     /// so a mutex off the hot path is fine.
     decisions: Mutex<Vec<Recorded>>,
+    /// Last [`DRIFT_SLOTS`] drift events, immune to main-ring eviction
+    /// for the same reason.
+    drifts: Mutex<Vec<Recorded>>,
 }
 
 impl RankRecorder {
@@ -138,6 +151,7 @@ impl RankRecorder {
             slots: (0..cap).map(|_| Slot::default()).collect(),
             labels: Mutex::new(Vec::new()),
             decisions: Mutex::new(Vec::new()),
+            drifts: Mutex::new(Vec::new()),
         }
     }
 
@@ -168,12 +182,17 @@ impl RankRecorder {
         slot.d.store(d, Ordering::Relaxed);
         slot.e.store(e, Ordering::Relaxed);
         slot.seq.store(seq, Ordering::Release);
-        if code == RecCode::AlgoDecision {
-            let mut decisions = self.decisions.lock().expect("decision ring poisoned");
-            if decisions.len() == DECISION_SLOTS {
-                decisions.remove(0);
+        let side_ring = match code {
+            RecCode::AlgoDecision => Some((&self.decisions, DECISION_SLOTS)),
+            RecCode::Drift => Some((&self.drifts, DRIFT_SLOTS)),
+            _ => None,
+        };
+        if let Some((ring, slots)) = side_ring {
+            let mut ring = ring.lock().expect("side ring poisoned");
+            if ring.len() == slots {
+                ring.remove(0);
             }
-            decisions.push(Recorded {
+            ring.push(Recorded {
                 seq,
                 time,
                 code,
@@ -192,6 +211,11 @@ impl RankRecorder {
             .lock()
             .expect("decision ring poisoned")
             .clone()
+    }
+
+    /// The last [`DRIFT_SLOTS`] drift events, oldest → newest.
+    pub fn recent_drifts(&self) -> Vec<Recorded> {
+        self.drifts.lock().expect("drift ring poisoned").clone()
     }
 
     /// Record a label-carrying event, interning the label so dumps can
@@ -294,14 +318,28 @@ impl RankRecorder {
                 r.c >> 1,
                 r.c & 1 == 1,
                 r.d,
-                if r.e == u64::MAX {
-                    "inf".to_string()
-                } else {
-                    format!("{}.{:03}", r.e / 1000, r.e % 1000)
-                },
+                render_millis(r.e),
+            ),
+            RecCode::Drift => format!(
+                "drift      {} {} occ={} {} baseline={} observed={}",
+                self.label_of(r.a),
+                self.label_of(r.b),
+                r.c >> 1,
+                if r.c & 1 == 1 { "up" } else { "down" },
+                render_millis(r.d),
+                render_millis(r.e),
             ),
         };
         format!("{head} {body}")
+    }
+}
+
+/// Format an integer-thousandths payload word (`u64::MAX` = infinite).
+fn render_millis(millis: u64) -> String {
+    if millis == u64::MAX {
+        "inf".to_string()
+    } else {
+        format!("{}.{:03}", millis / 1000, millis % 1000)
     }
 }
 
@@ -330,6 +368,18 @@ pub fn render_dump(recorders: &[Arc<RankRecorder>]) -> String {
                 decisions.len()
             ));
             for r in &decisions {
+                out.push_str(&rec.render_record(r));
+                out.push('\n');
+            }
+        }
+        let drifts = rec.recent_drifts();
+        if !drifts.is_empty() {
+            out.push_str(&format!(
+                "rank {:>3}: last {} drift events\n",
+                rec.rank(),
+                drifts.len()
+            ));
+            for r in &drifts {
                 out.push_str(&rec.render_record(r));
                 out.push('\n');
             }
@@ -536,6 +586,47 @@ mod tests {
         assert_eq!(decisions.len(), DECISION_SLOTS);
         assert_eq!(decisions[0].d, 3, "oldest surviving decision");
         assert_eq!(decisions.last().unwrap().d, DECISION_SLOTS as u64 + 2);
+    }
+
+    #[test]
+    fn drift_events_survive_main_ring_eviction() {
+        let rec = RankRecorder::new(0, 8);
+        let label = rec.intern("allgatherv/ring");
+        let metric = rec.intern("bytes");
+        rec.record(
+            RecCode::Drift,
+            SimTime(5),
+            label,
+            metric,
+            (4 << 1) | 1,
+            1_000,
+            5_500,
+        );
+        for i in 0..100u64 {
+            rec.record(RecCode::Send, SimTime(i + 10), 1, 64, i, 0, 0);
+        }
+        let dump = render_dump(&[Arc::new(rec)]);
+        assert!(dump.contains("last 1 drift events"), "{dump}");
+        assert!(
+            dump.contains(
+                "drift      allgatherv/ring bytes occ=4 up baseline=1.000 observed=5.500"
+            ),
+            "{dump}"
+        );
+    }
+
+    #[test]
+    fn drift_ring_keeps_only_the_last_slots() {
+        let rec = RankRecorder::new(0, 256);
+        let label = rec.intern("alltoallw/binned");
+        let metric = rec.intern("skew");
+        for i in 0..(DRIFT_SLOTS as u64 + 2) {
+            rec.record(RecCode::Drift, SimTime(i), label, metric, i << 1, i, 0);
+        }
+        let drifts = rec.recent_drifts();
+        assert_eq!(drifts.len(), DRIFT_SLOTS);
+        assert_eq!(drifts[0].d, 2, "oldest surviving drift event");
+        assert_eq!(drifts.last().unwrap().d, DRIFT_SLOTS as u64 + 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::commmap::RankCommMap;
+use crate::history::RankHistory;
 use crate::mailbox::{Mailbox, NetMsg, Tag};
 use crate::metrics::MetricsRegistry;
 use crate::profile::Profiler;
@@ -187,6 +188,7 @@ impl Cluster {
                             recorder: recorders[rank_id].clone(),
                             wait_spike_threshold: None,
                             commmap: RankCommMap::new(rank_id, n),
+                            history: RankHistory::new(rank_id, n),
                         };
                         f(&mut rank)
                     })
@@ -241,6 +243,10 @@ pub struct Rank {
     /// Communication-topology map (see [`crate::commmap`]). Off by
     /// default; when off, every delivery costs one branch.
     commmap: RankCommMap,
+    /// Epoch time-series history (see [`crate::history`]): one compact
+    /// record per closed comm-map epoch. Off by default; enabling it also
+    /// enables the comm map it derives from.
+    history: RankHistory,
 }
 
 impl Rank {
@@ -411,6 +417,7 @@ impl Rank {
             );
             if self.commmap.is_enabled() {
                 self.commmap.close_epoch(&format!("stage:{}", closed.path));
+                self.history_append_last();
             }
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent {
@@ -541,6 +548,45 @@ impl Rank {
     /// `stage:<path>` epochs automatically.
     pub fn comm_epoch(&mut self, label: &str) {
         self.commmap.close_epoch(label);
+        self.history_append_last();
+    }
+
+    /// Mirror the just-closed comm-map epoch into the history store (a
+    /// branch when the history is disabled; see [`crate::history`]).
+    fn history_append_last(&mut self) {
+        if !self.history.is_enabled() {
+            return;
+        }
+        if let Some(epoch) = self.commmap.epochs().last() {
+            self.history.append(epoch, self.now);
+        }
+    }
+
+    /// Start appending the epoch time-series history (see
+    /// [`crate::history`]). The history derives its records from closed
+    /// comm-map epochs, so enabling it also enables the comm map. Never
+    /// touches the simulated clock.
+    pub fn enable_history(&mut self) {
+        self.commmap.enable();
+        self.history.enable();
+    }
+
+    pub fn history(&self) -> &RankHistory {
+        &self.history
+    }
+
+    pub fn history_enabled(&self) -> bool {
+        self.history.is_enabled()
+    }
+
+    /// Take the accumulated history, leaving a fresh one with the same
+    /// enabled state.
+    pub fn take_history(&mut self) -> RankHistory {
+        let mut fresh = RankHistory::new(self.rank, self.size);
+        if self.history.is_enabled() {
+            fresh.enable();
+        }
+        std::mem::replace(&mut self.history, fresh)
     }
 
     /// Record one algorithm-selection decision: always into the flight
@@ -599,6 +645,59 @@ impl Rank {
             }
             self.metrics
                 .observe("decision_bytes", collective, chosen, total_bytes);
+        }
+    }
+
+    /// Record one detected communication-drift event: always into the
+    /// flight recorder (which also parks it in the dedicated drift ring
+    /// shown by anomaly dumps); into the trace as an [`EventKind::Drift`]
+    /// when tracing is on; and into `drift/*` metrics when metrics are
+    /// on. `label` is the epoch series that shifted (e.g.
+    /// `allgatherv/ring`), `metric` the monitored quantity (`bytes`,
+    /// `skew`), and the baseline/observed values are in integer
+    /// thousandths ([`crate::ratio_to_millis`]; `u64::MAX` = infinite).
+    /// Never touches the simulated clock.
+    pub fn observe_drift_event(
+        &mut self,
+        label: &str,
+        metric: &str,
+        occurrence: u32,
+        up: bool,
+        baseline_millis: u64,
+        observed_millis: u64,
+    ) {
+        let label_hash = self.recorder.intern(label);
+        let metric_hash = self.recorder.intern(metric);
+        self.recorder.record(
+            RecCode::Drift,
+            self.now,
+            label_hash,
+            metric_hash,
+            ((occurrence as u64) << 1) | up as u64,
+            baseline_millis,
+            observed_millis,
+        );
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                kind: EventKind::Drift {
+                    label: label.to_string(),
+                    metric: metric.to_string(),
+                    occurrence,
+                    up,
+                    baseline_millis,
+                    observed_millis,
+                },
+                start: self.now,
+                end: self.now,
+            });
+        }
+        if self.metrics.is_enabled() {
+            self.metrics.counter_add("drift", label, metric, 1);
+            let observed = crate::commmap::millis_to_ratio(observed_millis);
+            if observed.is_finite() {
+                self.metrics
+                    .gauge_set("drift_observed", label, metric, observed);
+            }
         }
     }
 

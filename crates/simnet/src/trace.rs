@@ -75,6 +75,20 @@ pub enum EventKind {
         chosen: String,
         reason: String,
     },
+    /// A changepoint detected by the drift monitor (see `ncd-core`'s
+    /// drift module): the epoch series `label` shifted in `metric`
+    /// (`bytes`, `skew`) at the given occurrence. A zero-length instant;
+    /// the baseline and observed values are stored in integer thousandths
+    /// ([`crate::commmap::ratio_to_millis`], `u64::MAX` = infinite) so the
+    /// event stays `Eq` and exports stay byte-stable.
+    Drift {
+        label: String,
+        metric: String,
+        occurrence: u32,
+        up: bool,
+        baseline_millis: u64,
+        observed_millis: u64,
+    },
 }
 
 /// One traced span of simulated time on one rank.
@@ -107,9 +121,10 @@ fn cell_priority(kind: &EventKind) -> u8 {
         // zero-length bookkeeping instant that should not mask traffic.
         EventKind::SendWait { .. } => 2,
         EventKind::IrecvPost { .. } => 1,
-        // Decisions are bookkeeping instants like irecv posts: visible on
-        // idle cells, never masking traffic.
+        // Decisions and drift flags are bookkeeping instants like irecv
+        // posts: visible on idle cells, never masking traffic.
         EventKind::AlgoDecision { .. } => 1,
+        EventKind::Drift { .. } => 1,
     }
 }
 
@@ -130,6 +145,7 @@ fn cell_char(kind: &EventKind) -> u8 {
         EventKind::SendWait { .. } => b'w',
         EventKind::IrecvPost { .. } => b'v',
         EventKind::AlgoDecision { .. } => b'a',
+        EventKind::Drift { .. } => b'!',
     }
 }
 

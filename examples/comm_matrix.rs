@@ -138,9 +138,14 @@ fn main() {
     print!("{}", render_decision_log(&decisions));
 
     // --- Misselections -----------------------------------------------------
-    let flags = detect_misselections(&decisions, Some(&merged), &CostModel::default(), &cfg);
-    println!("\nmisselections (measured traffic vs chosen algorithm):");
-    for f in &flags {
+    let audit = detect_misselections(&decisions, Some(&merged), &CostModel::default(), &cfg);
+    let flags = &audit.flags;
+    println!(
+        "\nmisselections (measured traffic vs chosen algorithm, \
+         {} unjoined decisions / {} orphan epochs):",
+        audit.unmatched_decisions, audit.unmatched_epochs
+    );
+    for f in flags {
         println!(
             "  {}#{}: chose {}, suggest {} — {} (est {:.0} us -> {:.0} us)",
             f.collective,

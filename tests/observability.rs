@@ -121,6 +121,9 @@ fn busy_workload(rank: &mut nucomm::simnet::Rank, cfg: &MpiConfig, observed: boo
         rank.enable_metrics();
         rank.enable_tracing();
         rank.enable_profiling();
+        // The temporal layer rides along: epoch history (which pulls in
+        // the comm map) plus the online drift monitor it arms.
+        rank.enable_history();
         rank.stage_begin("workload");
     }
     let mut comm = Comm::new(rank, cfg.clone());
@@ -171,7 +174,7 @@ fn observability_disabled_and_enabled_produce_identical_times() {
                 .run(|rank| busy_workload(rank, &cfg, true));
             assert_eq!(
                 quiet, observed,
-                "metrics/tracing/profiling must not perturb simulated time \
+                "metrics/tracing/profiling/history must not perturb simulated time \
                  ({:?}, {ranks} ranks)",
                 cfg.flavor
             );
