@@ -18,11 +18,17 @@
 //! latency series are gated against committed baselines with
 //! `--baseline check`.
 
-use ncd_bench::{improvement_pct, report, report_with_observability, BenchCli, Series};
-use ncd_core::{Comm, MpiConfig, WPeer};
+use ncd_bench::{
+    improvement_pct, report, report_with_diagnosis, report_with_observability, BenchCli, Series,
+};
+use ncd_core::{
+    decisions_from_trace, detect_misselections, remediation_hints, render_hints, Comm, MpiConfig,
+    WPeer,
+};
 use ncd_datatype::Datatype;
 use ncd_simnet::{
-    merge_comm_maps, Cluster, ClusterCommMap, ClusterConfig, MetricsRegistry, SimTime,
+    diagnose, merge_comm_maps, mirror_to_flight_recorder, Cluster, ClusterCommMap, ClusterConfig,
+    MetricsRegistry, SimTime,
 };
 
 const STEPS: usize = 10;
@@ -153,4 +159,91 @@ fn main() {
         &series,
     );
     cli.gate("ext_amr_scaling", &series[..2]);
+
+    // (c) Root-cause diagnosis phase. Runs last so the flight recorders
+    // parked by this run are the ones a later anomaly dump would show,
+    // with the mirrored findings in them.
+    diagnosis_phase(&cli, depth_ranks);
+}
+
+/// A skewed-counts allgatherv under the *baseline* selector: the outlier
+/// rank both computes longest and contributes the outlier volume, and the
+/// baseline picks the ring over it (total over the long threshold). The
+/// wait-state classifier must blame the majority of the allgatherv wait
+/// on the outlier rank via sender-caused patterns, and the remediation
+/// join must cross-reference the misselection the decision audit flags.
+/// The outlier's blame share is gated so the classifier cannot silently
+/// drift.
+fn diagnosis_phase(cli: &BenchCli, nranks: usize) {
+    const DIAG_STEPS: usize = 4;
+    const OUTLIER: usize = 0;
+    let cluster = ClusterConfig::paper_testbed(nranks);
+    let cost = cluster.cost.clone();
+    let cfg = MpiConfig::baseline();
+    let mpi = cfg.clone();
+    let out = Cluster::new(cluster).run(move |rank| {
+        rank.enable_tracing();
+        rank.enable_comm_map();
+        let mut comm = Comm::new(rank, mpi.clone());
+        let me = comm.rank();
+        let n = comm.size();
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        let _ = comm.rank_mut().take_comm_map(); // drop warmup traffic
+        let mut counts = vec![64usize; n];
+        counts[OUTLIER] = 64 * 1024;
+        let total: usize = counts.iter().sum();
+        for _ in 0..DIAG_STEPS {
+            if me == OUTLIER {
+                // The refinement hotspot: more cells, more compute,
+                // entering the collective late every step.
+                comm.rank_mut().compute_flops(20_000_000);
+            }
+            let send = vec![me as u8; counts[me]];
+            let mut recv = vec![0u8; total];
+            comm.allgatherv(&send, &counts, &mut recv);
+        }
+        let map = comm.rank_mut().take_comm_map();
+        let trace = comm.rank_mut().take_trace();
+        (trace, map)
+    });
+    let (traces, maps): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+    let map = merge_comm_maps(&maps);
+    let diag = diagnose(&traces);
+    let decisions = decisions_from_trace(&traces[OUTLIER]);
+    let audit = detect_misselections(&decisions, Some(&map), &cost, &cfg);
+    let hints = remediation_hints(&diag, &decisions, &audit, &[]);
+    report_with_diagnosis(
+        "ext_amr_diagnosis",
+        "metric",
+        &format!("skewed allgatherv under the baseline ring, {nranks} ranks"),
+        &[],
+        None,
+        Some(&map),
+        None,
+        Some(&diag),
+    );
+    print!("{}", render_hints(&hints));
+    let mirrored = mirror_to_flight_recorder(&diag, 5);
+    println!("{mirrored} finding(s) mirrored into the flight recorder");
+
+    let op_total = diag.op_severity("allgatherv");
+    let outlier_caused = diag.sender_caused_severity("allgatherv", OUTLIER);
+    let share = 100.0 * outlier_caused.as_ns() as f64 / op_total.as_ns().max(1) as f64;
+    println!(
+        "outlier blame share: {share:.1}% of {op_total} allgatherv wait is \
+         sender-caused by rank {OUTLIER}"
+    );
+    assert!(
+        share > 50.0,
+        "the outlier rank must own the majority of the allgatherv wait, got {share:.1}%"
+    );
+    assert!(
+        hints.iter().any(|h| h.contains("misselection")),
+        "the top finding must cross-reference the flagged ring misselection: {hints:?}"
+    );
+
+    let mut s = Series::new("outlier-blame-share-%");
+    s.push("allgatherv", share);
+    cli.gate("ext_amr_diagnosis", &[s]);
 }

@@ -9,7 +9,7 @@
 
 use ncd_core::{Comm, DriftConfig, MpiConfig};
 use ncd_simnet::{
-    merge_comm_maps, merge_histories, Cluster, ClusterCommMap, ClusterConfig, History,
+    merge_comm_maps, merge_histories, Cluster, ClusterCommMap, ClusterConfig, Diagnosis, History,
     MetricsRegistry, SimTime, Stats,
 };
 
@@ -574,9 +574,10 @@ impl Series {
 /// written to `target/figures/<name>.json`; benches that collect metrics
 /// use [`report_with_metrics`] to include the registry snapshot.
 pub fn report(name: &str, x_label: &str, y_label: &str, series: &[Series]) {
-    report_impl(name, x_label, y_label, series, None, None, None)
+    report_impl(name, x_label, y_label, series, None, None, None, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report_impl(
     name: &str,
     x_label: &str,
@@ -585,6 +586,7 @@ fn report_impl(
     metrics: Option<&MetricsRegistry>,
     comm_map: Option<&ClusterCommMap>,
     history: Option<&History>,
+    diagnosis: Option<&Diagnosis>,
 ) {
     println!("\n=== {name} ({y_label}) ===");
     print!("{:>14}", x_label);
@@ -659,6 +661,18 @@ fn report_impl(
         }
     }
 
+    // The root-cause diagnosis, when the bench classified its traces
+    // ([`report_with_diagnosis`]): the ranked wait-pattern findings and
+    // blame matrix, with the byte-stable classification JSON written to
+    // `target/analysis/<name>.diagnosis.json` for CI artifact upload.
+    if let Some(d) = diagnosis {
+        print!("\n{}", d.render(10));
+        let dir = std::path::Path::new("target").join("analysis");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = ncd_simnet::write_diagnosis_json(dir.join(format!("{name}.diagnosis.json")), d);
+        }
+    }
+
     // CSV alongside (best effort; benches may run in read-only setups).
     let dir = std::path::Path::new("target").join("figures");
     if std::fs::create_dir_all(&dir).is_ok() {
@@ -718,7 +732,7 @@ pub fn report_with_metrics(
     series: &[Series],
     metrics: Option<&MetricsRegistry>,
 ) {
-    report_impl(name, x_label, y_label, series, metrics, None, None)
+    report_impl(name, x_label, y_label, series, metrics, None, None, None)
 }
 
 /// [`report_with_metrics`], plus the merged communication map: appends the
@@ -733,7 +747,9 @@ pub fn report_with_observability(
     metrics: Option<&MetricsRegistry>,
     comm_map: Option<&ClusterCommMap>,
 ) {
-    report_impl(name, x_label, y_label, series, metrics, comm_map, None)
+    report_impl(
+        name, x_label, y_label, series, metrics, comm_map, None, None,
+    )
 }
 
 /// [`report_with_observability`], plus the merged epoch [`History`]:
@@ -749,7 +765,29 @@ pub fn report_with_history(
     comm_map: Option<&ClusterCommMap>,
     history: Option<&History>,
 ) {
-    report_impl(name, x_label, y_label, series, metrics, comm_map, history)
+    report_impl(
+        name, x_label, y_label, series, metrics, comm_map, history, None,
+    )
+}
+
+/// [`report_with_history`], plus a wait-state [`Diagnosis`] classified
+/// from the bench's traces: appends the ranked finding table and blame
+/// matrix to the report and writes the byte-stable classification JSON
+/// to `target/analysis/<name>.diagnosis.json` for CI artifact upload.
+#[allow(clippy::too_many_arguments)]
+pub fn report_with_diagnosis(
+    name: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    metrics: Option<&MetricsRegistry>,
+    comm_map: Option<&ClusterCommMap>,
+    history: Option<&History>,
+    diagnosis: Option<&Diagnosis>,
+) {
+    report_impl(
+        name, x_label, y_label, series, metrics, comm_map, history, diagnosis,
+    )
 }
 
 fn write_json_report(
@@ -973,7 +1011,7 @@ mod tests {
         report_with_observability("unit_test_obs_fig", "n", "us", &[s], Some(&reg), Some(&map));
         let json = std::fs::read_to_string("target/analysis/unit_test_obs_fig.comm.json")
             .expect("comm matrix artifact");
-        assert!(json.starts_with("{\"ranks\":2,"));
+        assert!(json.starts_with("{\"schema\":1,\"ranks\":2,"));
         assert!(json.contains("[0,1,4096,1]"));
         let decisions = std::fs::read_to_string("target/analysis/unit_test_obs_fig.decisions.txt")
             .expect("decision table artifact");
@@ -1130,8 +1168,39 @@ mod tests {
         );
         let json = std::fs::read_to_string("target/analysis/unit_test_history_fig.history.json")
             .expect("history artifact written");
-        assert!(json.starts_with("{\"ranks\":4,"));
+        assert!(json.starts_with("{\"schema\":1,\"ranks\":4,"));
         assert!(json.contains("allgatherv/recursive_doubling"));
+    }
+
+    #[test]
+    fn diagnosis_report_writes_artifacts() {
+        use ncd_simnet::{diagnose, Tag};
+        let traces = Cluster::new(ClusterConfig::uniform(2)).run(|rank| {
+            rank.enable_tracing();
+            if rank.rank() == 0 {
+                rank.compute_flops(1_000_000);
+                rank.send_bytes(1, Tag(0), vec![0u8; 64]);
+            } else {
+                let _ = rank.recv_bytes(Some(0), Tag(0));
+            }
+            rank.take_trace()
+        });
+        let d = diagnose(&traces);
+        assert!(d.classified > SimTime::ZERO, "rank 1 must have waited");
+        report_with_diagnosis(
+            "unit_test_diag_fig",
+            "n",
+            "us",
+            &[],
+            None,
+            None,
+            None,
+            Some(&d),
+        );
+        let json = std::fs::read_to_string("target/analysis/unit_test_diag_fig.diagnosis.json")
+            .expect("diagnosis artifact written");
+        assert!(json.starts_with("{\"schema\":1,"), "{json}");
+        assert!(json.contains("\"pattern\":\"late-sender\""), "{json}");
     }
 
     #[test]

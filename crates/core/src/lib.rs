@@ -32,6 +32,7 @@ pub mod coll;
 pub mod comm;
 pub mod commstats;
 pub mod config;
+pub mod diagnose;
 pub mod drift;
 pub mod request;
 pub mod select;
@@ -44,6 +45,7 @@ pub use commstats::{
     EpochAnalysis, Misselection, MisselectionAudit,
 };
 pub use config::{MpiConfig, MpiFlavor};
+pub use diagnose::{remediation_hints, render_hints};
 pub use drift::{
     detect_drift, drift_events_from_trace, pattern_recurrence, render_drift_events,
     render_recurrence, CusumDetector, DriftConfig, DriftDirection, DriftEvent, DriftMonitor,

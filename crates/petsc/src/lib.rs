@@ -53,7 +53,10 @@ pub use ksp::{
 pub use layout::Layout;
 pub use mat::AijMat;
 pub use mg::{LaplacianOp, Multigrid, SmootherKind};
-pub use scatter::{InsertMode, ScatterBackend, ScatterHandle, VecScatter};
+pub use scatter::{
+    InsertMode, ScatterBackend, ScatterHandle, VecScatter, STAGE_SCATTER_APPLY,
+    STAGE_SCATTER_BEGIN, STAGE_SCATTER_END,
+};
 pub use snes::{newton_krylov, Bratu2d, NonlinearFunction, SnesResult, SnesSettings};
 pub use stencil::{StencilEntry, StencilOp};
 pub use ts::{integrate, HeatEquation, RhsFunction, TsScheme, TsSettings};

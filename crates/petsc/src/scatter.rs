@@ -29,6 +29,16 @@ use crate::is::IndexSet;
 use crate::layout::Layout;
 use crate::vec::PVec;
 
+/// Stage label mirrored into the trace by [`VecScatter::apply`] (when
+/// profiling and tracing are enabled). Pass the begin/end pair to
+/// [`ncd_simnet::stage_overlap`] to measure how much of the scatter's
+/// wire time the caller's compute hid.
+pub const STAGE_SCATTER_APPLY: &str = "scatter_apply";
+/// Stage label mirrored into the trace by [`VecScatter::begin`].
+pub const STAGE_SCATTER_BEGIN: &str = "scatter_begin";
+/// Stage label mirrored into the trace by [`VecScatter::end`].
+pub const STAGE_SCATTER_END: &str = "scatter_end";
+
 /// Execution strategy for a compiled scatter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScatterBackend {
@@ -330,10 +340,10 @@ impl VecScatter {
     /// with the ghost traffic.
     pub fn apply(&self, comm: &mut Comm, x: &PVec, y: &mut PVec, backend: ScatterBackend) {
         self.record_apply_metrics(comm, backend, "apply");
-        comm.rank_mut().stage_begin("scatter_apply");
+        comm.rank_mut().stage_begin(STAGE_SCATTER_APPLY);
         let handle = self.begin_inner(comm, x, y, backend);
         self.end_inner(comm, handle, y);
-        comm.rank_mut().stage_end("scatter_apply");
+        comm.rank_mut().stage_end(STAGE_SCATTER_APPLY);
     }
 
     /// Initiate the scatter (PETSc's `VecScatterBegin`): local copies are
@@ -355,9 +365,9 @@ impl VecScatter {
         backend: ScatterBackend,
     ) -> ScatterHandle {
         self.record_apply_metrics(comm, backend, "begin");
-        comm.rank_mut().stage_begin("scatter_begin");
+        comm.rank_mut().stage_begin(STAGE_SCATTER_BEGIN);
         let handle = self.begin_inner(comm, x, y, backend);
-        comm.rank_mut().stage_end("scatter_begin");
+        comm.rank_mut().stage_end(STAGE_SCATTER_BEGIN);
         handle
     }
 
@@ -365,9 +375,9 @@ impl VecScatter {
     /// inbound messages (in arrival order) into `y` and drain the sends,
     /// charging only wait time the caller's compute did not hide.
     pub fn end(&self, comm: &mut Comm, handle: ScatterHandle, y: &mut PVec) {
-        comm.rank_mut().stage_begin("scatter_end");
+        comm.rank_mut().stage_begin(STAGE_SCATTER_END);
         self.end_inner(comm, handle, y);
-        comm.rank_mut().stage_end("scatter_end");
+        comm.rank_mut().stage_end(STAGE_SCATTER_END);
     }
 
     fn record_apply_metrics(&self, comm: &mut Comm, backend: ScatterBackend, op: &'static str) {

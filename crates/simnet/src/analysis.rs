@@ -116,6 +116,30 @@ impl<'a> HbGraph<'a> {
         out
     }
 
+    /// Send nodes no traced receive consumed (receiver not tracing, a
+    /// truncated trace, or a correlation bug), sorted by `(rank, index)`.
+    /// The dual of [`HbGraph::unmatched_recvs`]; both are surfaced as an
+    /// explicit WARNING in [`CriticalPath::render`] and the diagnosis
+    /// report instead of being silently dropped.
+    pub fn unmatched_sends(&self) -> Vec<NodeId> {
+        let mut matched: std::collections::HashSet<(usize, u64)> = std::collections::HashSet::new();
+        for events in self.traces {
+            for e in events {
+                if let EventKind::Recv { src, seq, .. } = &e.kind {
+                    matched.insert((*src, *seq));
+                }
+            }
+        }
+        let mut out: Vec<NodeId> = self
+            .sends
+            .iter()
+            .filter(|(key, _)| !matched.contains(key))
+            .map(|(_, node)| *node)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// The collective-round label (`op` of the governing
     /// [`EventKind::Round`]) in effect at `node`, if any.
     pub fn op_label(&self, node: NodeId) -> Option<&str> {
@@ -135,6 +159,8 @@ impl<'a> HbGraph<'a> {
     ///
     /// Returns an empty path when no rank recorded any event.
     pub fn critical_path(&self) -> CriticalPath {
+        let unmatched_recvs = self.unmatched_recvs().len();
+        let unmatched_sends = self.unmatched_sends().len();
         // Deterministic tie-break: highest end wins, then lowest rank,
         // then latest index (the later event of equal end is downstream).
         let mut cur: Option<NodeId> = None;
@@ -154,6 +180,8 @@ impl<'a> HbGraph<'a> {
                 steps: Vec::new(),
                 makespan: SimTime::ZERO,
                 message_hops: 0,
+                unmatched_recvs,
+                unmatched_sends,
             };
         };
         let makespan = self.event(cur).end;
@@ -211,6 +239,8 @@ impl<'a> HbGraph<'a> {
             steps,
             makespan,
             message_hops,
+            unmatched_recvs,
+            unmatched_sends,
         }
     }
 }
@@ -282,6 +312,13 @@ pub struct CriticalPath {
     /// Number of message edges (rank hops) on the path — Θ(N) for the
     /// ring allgatherv's outlier chain, Θ(log N) for recursive doubling.
     pub message_hops: usize,
+    /// Receives whose matching send was not in the traces (see
+    /// [`HbGraph::unmatched_recvs`]); nonzero means waits went
+    /// unattributed and the render carries a WARNING block.
+    pub unmatched_recvs: usize,
+    /// Sends no traced receive consumed (see
+    /// [`HbGraph::unmatched_sends`]).
+    pub unmatched_sends: usize,
 }
 
 impl CriticalPath {
@@ -307,6 +344,10 @@ impl CriticalPath {
             self.steps.len(),
             self.message_hops
         );
+        if let Some(w) = crate::diagnosis::warning_block(self.unmatched_recvs, self.unmatched_sends)
+        {
+            out.push_str(&w);
+        }
         let _ = writeln!(
             out,
             "{:>5} {:>12} {:>12} {:>10} {:>10}  {:<4} event",
@@ -587,6 +628,30 @@ mod tests {
             let send = g.matching_send(recv).expect("matched");
             assert_eq!(send.0, (rank + 3) % 4, "send comes from the left peer");
         }
+    }
+
+    #[test]
+    fn truncated_trace_surfaces_unmatched_warning() {
+        let mut traces = ring_traces(4, 512);
+        let g = HbGraph::build(&traces);
+        assert!(g.unmatched_sends().is_empty(), "fully traced run is clean");
+        // Lose rank 1's trace: rank 2's recv loses its send, and rank 0's
+        // send loses its recv.
+        traces[1].clear();
+        let g = HbGraph::build(&traces);
+        assert_eq!(g.unmatched_recvs(), vec![(2, 2)]);
+        assert_eq!(g.unmatched_sends(), vec![(0, 1)]);
+        let path = g.critical_path();
+        assert_eq!((path.unmatched_recvs, path.unmatched_sends), (1, 1));
+        let rendered = path.render(10);
+        assert!(
+            rendered.contains("WARNING: 1 unmatched recv(s), 1 unmatched send(s)"),
+            "{rendered}"
+        );
+        // A clean path renders no warning.
+        let full = ring_traces(4, 512);
+        let clean = HbGraph::build(&full).critical_path().render(10);
+        assert!(!clean.contains("WARNING"), "{clean}");
     }
 
     #[test]

@@ -378,7 +378,12 @@ fn json_pairs(out: &mut String, m: &CommMatrix) {
 /// order.
 pub fn comm_matrix_json(map: &ClusterCommMap) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{{\"ranks\":{},\"total\":{{", map.n);
+    let _ = write!(
+        out,
+        "{{\"schema\":{},\"ranks\":{},\"total\":{{",
+        crate::export::SCHEMA_VERSION,
+        map.n
+    );
     json_pairs(&mut out, &map.total);
     out.push_str("},\"epochs\":[");
     for (i, epoch) in map.epochs.iter().enumerate() {
@@ -482,7 +487,7 @@ mod tests {
     fn json_lists_nonzero_pairs_in_order() {
         let merged = merge_comm_maps(&two_rank_fixture());
         let json = comm_matrix_json(&merged);
-        assert!(json.starts_with("{\"ranks\":2,\"total\":{\"bytes\":136,\"msgs\":4,"));
+        assert!(json.starts_with("{\"schema\":1,\"ranks\":2,\"total\":{\"bytes\":136,\"msgs\":4,"));
         assert!(json.contains("\"pairs\":[[0,1,64,2],[1,0,72,2]]"));
         assert!(json.contains("\"label\":\"alltoallw/binned\",\"occurrence\":1,"));
     }

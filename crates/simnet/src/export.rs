@@ -18,6 +18,14 @@ use crate::profile::Profiler;
 use crate::time::SimTime;
 use crate::trace::{EventKind, TraceEvent};
 
+/// Format version stamped as the leading `"schema"` field of every
+/// byte-stable analysis-side JSON export (`analysis_json`,
+/// `comm_matrix_json`, `history_json`, `diagnosis_json`), so downstream
+/// tooling can detect format drift. Bump on any breaking shape change
+/// and regenerate the goldens. (The Chrome trace export follows the
+/// external trace-event format and is not versioned here.)
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Escape a string for inclusion in a JSON string literal (quotes not
 /// included).
 pub fn json_escape(s: &str) -> String {
@@ -333,7 +341,7 @@ pub fn profile_json(p: &Profiler) -> String {
 /// committing as a CI artifact or diffing across commits.
 pub fn analysis_json(path: &CriticalPath, attr: &RoundAttribution) -> String {
     let mut out = format!(
-        "{{\"makespan_ns\":{},\"message_hops\":{},\"steps\":[",
+        "{{\"schema\":{SCHEMA_VERSION},\"makespan_ns\":{},\"message_hops\":{},\"steps\":[",
         path.makespan.as_ns(),
         path.message_hops
     );
@@ -610,7 +618,9 @@ mod tests {
             }],
         );
         let json = analysis_json(&path, &attr);
-        assert!(json.starts_with("{\"makespan_ns\":200,\"message_hops\":1,"));
+        assert!(json.starts_with(&format!(
+            "{{\"schema\":{SCHEMA_VERSION},\"makespan_ns\":200,\"message_hops\":1,"
+        )));
         assert!(json.contains("\"via_message\":true"));
         assert!(json.contains("\"op\":\"x/y\""));
         assert!(json.contains("\"wait_ns\":40"));

@@ -382,7 +382,8 @@ pub fn history_report(history: &History) -> String {
 /// has no float formatting to drift.
 pub fn history_json(history: &History) -> String {
     let mut out = format!(
-        "{{\"ranks\":{},\"epochs\":{},\"series\":[",
+        "{{\"schema\":{},\"ranks\":{},\"epochs\":{},\"series\":[",
+        crate::export::SCHEMA_VERSION,
         history.n,
         history.points.len()
     );
@@ -562,7 +563,7 @@ mod tests {
     #[test]
     fn json_has_fixed_field_order() {
         let json = history_json(&merge_histories(&two_rank_fixture()));
-        assert!(json.starts_with("{\"ranks\":2,\"epochs\":3,\"series\":["));
+        assert!(json.starts_with("{\"schema\":1,\"ranks\":2,\"epochs\":3,\"series\":["));
         assert!(json.contains("\"label\":\"allgatherv/ring\",\"algo\":\"ring\",\"points\":["));
         assert!(json.contains("\"label\":\"stage:solve\",\"algo\":null"));
         assert!(json.ends_with("]}"));

@@ -44,6 +44,7 @@
 
 pub mod analysis;
 pub mod commmap;
+pub mod diagnosis;
 pub mod export;
 pub mod history;
 pub mod mailbox;
@@ -63,8 +64,14 @@ pub use commmap::{
     comm_matrix_json, merge_comm_maps, millis_to_ratio, ratio_to_millis, render_heatmap,
     write_comm_matrix_json, ClusterCommMap, CommMatrix, EpochMatrix, RankCommMap, RankEpoch,
 };
+pub use diagnosis::{
+    check_severity_bound, diagnose, diagnosis_json, diagnosis_report, mirror_to_flight_recorder,
+    render_stage_overlap, stage_overlap, write_diagnosis_json, Diagnosis, Finding, StageOverlap,
+    WaitInstance, WaitPattern, ALL_PATTERNS,
+};
 pub use export::{
     analysis_json, chrome_trace_json, metrics_json, profile_json, write_chrome_trace,
+    SCHEMA_VERSION,
 };
 pub use history::{
     history_json, history_report, merge_histories, pattern_hash_rank, sparkline,
@@ -74,8 +81,9 @@ pub use mailbox::{NetMsg, Tag, ANY_TAG};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use profile::{imbalance_report, Profiler, StageStats};
 pub use recorder::{
-    clear_dump_hook, dump_on, last_run_dump, render_dump, store_last_run, trigger, Anomaly,
-    RankRecorder, RecCode, Recorded, DECISION_SLOTS, DRIFT_SLOTS,
+    clear_dump_hook, dump_on, last_run_dump, last_run_recorders, render_dump, store_last_run,
+    trigger, Anomaly, RankRecorder, RecCode, Recorded, DECISION_SLOTS, DIAGNOSIS_SLOTS,
+    DRIFT_SLOTS,
 };
 pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
 pub use stats::{CostKind, Stats};

@@ -38,6 +38,7 @@ pub enum RecCode {
     SendWait = 8,
     AlgoDecision = 9,
     Drift = 10,
+    Diagnosis = 11,
 }
 
 impl RecCode {
@@ -53,6 +54,7 @@ impl RecCode {
             8 => Some(RecCode::SendWait),
             9 => Some(RecCode::AlgoDecision),
             10 => Some(RecCode::Drift),
+            11 => Some(RecCode::Diagnosis),
             _ => None,
         }
     }
@@ -72,6 +74,7 @@ impl RecCode {
 /// | `SendWait`  | residual ns  | –        | –         | –         | –     |
 /// | `AlgoDecision` | coll hash | chosen hash | n<<1\|pow2 | bytes | ratio millis |
 /// | `Drift`     | label hash | metric hash | occ<<1\|up | baseline millis | observed millis |
+/// | `Diagnosis` | pattern hash | op hash | blamed rank | instances | severity ns |
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Recorded {
     /// Global order within the rank (1-based claim order).
@@ -123,6 +126,13 @@ pub const DECISION_SLOTS: usize = 8;
 /// shifts.
 pub const DRIFT_SLOTS: usize = 8;
 
+/// How many [`RecCode::Diagnosis`] records each rank keeps in the
+/// dedicated diagnosis ring. Top findings are mirrored in post-mortem by
+/// `crate::diagnosis::mirror_to_flight_recorder`, so an anomaly dump
+/// fired later (e.g. by the bench baseline gate) carries the diagnosis
+/// alongside the raw event window.
+pub const DIAGNOSIS_SLOTS: usize = 8;
+
 /// A per-rank flight recorder: fixed capacity, overwrites oldest.
 pub struct RankRecorder {
     rank: usize,
@@ -139,6 +149,9 @@ pub struct RankRecorder {
     /// Last [`DRIFT_SLOTS`] drift events, immune to main-ring eviction
     /// for the same reason.
     drifts: Mutex<Vec<Recorded>>,
+    /// Last [`DIAGNOSIS_SLOTS`] mirrored diagnosis findings, immune to
+    /// main-ring eviction for the same reason.
+    diagnoses: Mutex<Vec<Recorded>>,
 }
 
 impl RankRecorder {
@@ -152,6 +165,7 @@ impl RankRecorder {
             labels: Mutex::new(Vec::new()),
             decisions: Mutex::new(Vec::new()),
             drifts: Mutex::new(Vec::new()),
+            diagnoses: Mutex::new(Vec::new()),
         }
     }
 
@@ -185,6 +199,7 @@ impl RankRecorder {
         let side_ring = match code {
             RecCode::AlgoDecision => Some((&self.decisions, DECISION_SLOTS)),
             RecCode::Drift => Some((&self.drifts, DRIFT_SLOTS)),
+            RecCode::Diagnosis => Some((&self.diagnoses, DIAGNOSIS_SLOTS)),
             _ => None,
         };
         if let Some((ring, slots)) = side_ring {
@@ -216,6 +231,15 @@ impl RankRecorder {
     /// The last [`DRIFT_SLOTS`] drift events, oldest → newest.
     pub fn recent_drifts(&self) -> Vec<Recorded> {
         self.drifts.lock().expect("drift ring poisoned").clone()
+    }
+
+    /// The last [`DIAGNOSIS_SLOTS`] mirrored diagnosis findings, oldest →
+    /// newest.
+    pub fn recent_diagnoses(&self) -> Vec<Recorded> {
+        self.diagnoses
+            .lock()
+            .expect("diagnosis ring poisoned")
+            .clone()
     }
 
     /// Record a label-carrying event, interning the label so dumps can
@@ -329,6 +353,14 @@ impl RankRecorder {
                 render_millis(r.d),
                 render_millis(r.e),
             ),
+            RecCode::Diagnosis => format!(
+                "diag       {} op={} blamed={} instances={} severity_ns={}",
+                self.label_of(r.a),
+                self.label_of(r.b),
+                r.c,
+                r.d,
+                r.e,
+            ),
         };
         format!("{head} {body}")
     }
@@ -380,6 +412,18 @@ pub fn render_dump(recorders: &[Arc<RankRecorder>]) -> String {
                 drifts.len()
             ));
             for r in &drifts {
+                out.push_str(&rec.render_record(r));
+                out.push('\n');
+            }
+        }
+        let diagnoses = rec.recent_diagnoses();
+        if !diagnoses.is_empty() {
+            out.push_str(&format!(
+                "rank {:>3}: last {} diagnosis findings\n",
+                rec.rank(),
+                diagnoses.len()
+            ));
+            for r in &diagnoses {
                 out.push_str(&rec.render_record(r));
                 out.push('\n');
             }
@@ -455,6 +499,14 @@ pub fn trigger(anomaly: &Anomaly, dump: &str) {
 /// [`crate::Cluster::run`]; the newest run wins.
 pub fn store_last_run(recorders: Vec<Arc<RankRecorder>>) {
     *LAST_RUN.lock().expect("last-run store poisoned") = Some(recorders);
+}
+
+/// The most recent run's flight recorders, if any run has happened in
+/// this process. Post-mortem analyses (e.g.
+/// [`crate::diagnosis::mirror_to_flight_recorder`]) use this to attach
+/// findings to the ranks they implicate.
+pub fn last_run_recorders() -> Option<Vec<Arc<RankRecorder>>> {
+    LAST_RUN.lock().expect("last-run store poisoned").clone()
 }
 
 /// Render the most recent run's flight recorders, if any run has happened

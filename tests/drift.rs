@@ -134,5 +134,8 @@ fn drift_events_reach_trace_ring_and_recurrence_join() {
     assert_eq!(ring.dominant_count, EPOCHS);
     // And the byte-stable export covers the full series.
     let json = history_json(&history);
-    assert!(json.starts_with(&format!("{{\"ranks\":{RANKS},\"epochs\":{}", 3 * EPOCHS)));
+    assert!(json.starts_with(&format!(
+        "{{\"schema\":1,\"ranks\":{RANKS},\"epochs\":{}",
+        3 * EPOCHS
+    )));
 }

@@ -11,7 +11,10 @@
 
 use nucomm::core::{Comm, MpiConfig};
 use nucomm::datatype::{matrix_column_type, Datatype};
-use nucomm::simnet::{Cluster, ClusterConfig, CostKind, MetricsRegistry, SimTime, Stats, Tag};
+use nucomm::simnet::{
+    check_severity_bound, diagnose, Cluster, ClusterConfig, CostKind, MetricsRegistry, SimTime,
+    Stats, Tag, TraceEvent,
+};
 
 /// The Figure 13 workload: rank 0 sends `n` strided columns, rank 1
 /// receives them contiguously. Returns per-rank stats and the cluster-wide
@@ -116,7 +119,11 @@ fn search_share_grows_single_context_and_stays_zero_dual() {
 /// The workload for the no-overhead check: an allgatherv (multi-round
 /// collective, exercises rounds instrumentation) followed by an alltoallw
 /// (bin counters) and a strided send/recv pair (engine counters).
-fn busy_workload(rank: &mut nucomm::simnet::Rank, cfg: &MpiConfig, observed: bool) -> SimTime {
+fn busy_workload(
+    rank: &mut nucomm::simnet::Rank,
+    cfg: &MpiConfig,
+    observed: bool,
+) -> (SimTime, Vec<TraceEvent>) {
     if observed {
         rank.enable_metrics();
         rank.enable_tracing();
@@ -161,22 +168,41 @@ fn busy_workload(rank: &mut nucomm::simnet::Rank, cfg: &MpiConfig, observed: boo
     if observed {
         comm.rank_mut().stage_end("workload");
     }
-    comm.rank_ref().now()
+    (comm.rank_ref().now(), comm.rank_mut().take_trace())
 }
 
 #[test]
 fn observability_disabled_and_enabled_produce_identical_times() {
     for cfg in [MpiConfig::baseline(), MpiConfig::optimized()] {
         for ranks in [4, 8] {
-            let quiet = Cluster::new(ClusterConfig::paper_testbed(ranks))
-                .run(|rank| busy_workload(rank, &cfg, false));
-            let observed = Cluster::new(ClusterConfig::paper_testbed(ranks))
+            let quiet: Vec<SimTime> = Cluster::new(ClusterConfig::paper_testbed(ranks))
+                .run(|rank| busy_workload(rank, &cfg, false))
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+            let out = Cluster::new(ClusterConfig::paper_testbed(ranks))
                 .run(|rank| busy_workload(rank, &cfg, true));
+            let (observed, traces): (Vec<SimTime>, Vec<Vec<TraceEvent>>) = out.into_iter().unzip();
             assert_eq!(
                 quiet, observed,
                 "metrics/tracing/profiling/history must not perturb simulated time \
                  ({:?}, {ranks} ranks)",
                 cfg.flavor
+            );
+
+            // Diagnosis is post-mortem: it classifies the traces the
+            // observed run captured at zero cost, so the full diagnosis
+            // pipeline runs off a clock that matches the quiet run's.
+            let diag = diagnose(&traces);
+            assert_eq!(diag.n, ranks);
+            assert!(
+                diag.makespan <= *observed.iter().max().expect("nonempty"),
+                "the diagnosed makespan comes from the same unperturbed clock"
+            );
+            assert_eq!(
+                check_severity_bound(&traces, &diag),
+                None,
+                "classified severity stays within the attributed wait"
             );
         }
     }
