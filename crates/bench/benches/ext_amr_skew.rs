@@ -19,7 +19,8 @@
 //! `--baseline check`.
 
 use ncd_bench::{
-    improvement_pct, report, report_with_diagnosis, report_with_observability, BenchCli, Series,
+    improvement_pct, relabel, report, report_with_diagnosis, report_with_observability, BenchCli,
+    Series,
 };
 use ncd_core::{
     decisions_from_trace, detect_misselections, remediation_hints, render_hints, Comm, MpiConfig,
@@ -28,7 +29,7 @@ use ncd_core::{
 use ncd_datatype::Datatype;
 use ncd_simnet::{
     diagnose, merge_comm_maps, mirror_to_flight_recorder, Cluster, ClusterCommMap, ClusterConfig,
-    MetricsRegistry, SimTime,
+    MetricsRegistry, SimTime, TraceEvent,
 };
 
 const STEPS: usize = 10;
@@ -129,16 +130,16 @@ fn main() {
         binned.push(depth.to_string(), tn.as_ms());
         imp.push(depth.to_string(), improvement_pct(tb, tn));
     }
-    let series = vec![base, binned, imp];
+    let series_depth = vec![base, binned, imp];
     report_with_observability(
         "ext_amr_depth",
         "refinement depth",
         &format!("time per run (msec), {depth_ranks} ranks"),
-        &series,
+        &series_depth,
         Some(&decisions),
         skew_map.as_ref(),
     );
-    cli.gate("ext_amr_depth", &series[..2]);
+    cli.gate("ext_amr_depth", &series_depth[..2]);
 
     // (b) Scaling sweep at depth 2.
     let mut base = Series::new("round-robin");
@@ -151,19 +152,44 @@ fn main() {
         binned.push(n.to_string(), tn.as_ms());
         imp.push(n.to_string(), improvement_pct(tb, tn));
     }
-    let series = vec![base, binned, imp];
+    let series_scaling = vec![base, binned, imp];
     report(
         "ext_amr_scaling",
         "processes",
         "time per run (msec), depth 2",
-        &series,
+        &series_scaling,
     );
-    cli.gate("ext_amr_scaling", &series[..2]);
+    cli.gate("ext_amr_scaling", &series_scaling[..2]);
 
     // (c) Root-cause diagnosis phase. Runs last so the flight recorders
     // parked by this run are the ones a later anomaly dump would show,
     // with the mirrored findings in them.
-    diagnosis_phase(&cli, depth_ranks);
+    let (diag_series, diag_map, diag_traces) = diagnosis_phase(&cli, depth_ranks);
+
+    // Observatory pass: both sweeps' series (relabelled so the two
+    // round-robin/three-bin pairs stay distinct in the differential's
+    // join) plus the diagnosis run's traffic matrix and traces — the
+    // skewed-allgatherv workload whose wait blame and finding set the
+    // finding-diff tracks across commits.
+    if cli.wants_observatory() {
+        let mut ledgered = relabel("depth", &series_depth);
+        ledgered.extend(relabel("scaling", &series_scaling));
+        ledgered.push(diag_series);
+        let knobs = vec![
+            ("ranks".to_string(), depth_ranks.to_string()),
+            ("steps".to_string(), STEPS.to_string()),
+            ("diag_flavor".to_string(), "baseline-ring".to_string()),
+        ];
+        cli.observatory(
+            "ext_amr_skew",
+            &knobs,
+            &ledgered,
+            None,
+            Some(&diag_map),
+            None,
+            Some(&diag_traces),
+        );
+    }
 }
 
 /// A skewed-counts allgatherv under the *baseline* selector: the outlier
@@ -173,8 +199,12 @@ fn main() {
 /// on the outlier rank via sender-caused patterns, and the remediation
 /// join must cross-reference the misselection the decision audit flags.
 /// The outlier's blame share is gated so the classifier cannot silently
-/// drift.
-fn diagnosis_phase(cli: &BenchCli, nranks: usize) {
+/// drift. Returns the gated blame-share series plus the run's traffic
+/// matrix and per-rank traces so the observatory pass can ledger them.
+fn diagnosis_phase(
+    cli: &BenchCli,
+    nranks: usize,
+) -> (Series, ClusterCommMap, Vec<Vec<TraceEvent>>) {
     const DIAG_STEPS: usize = 4;
     const OUTLIER: usize = 0;
     let cluster = ClusterConfig::paper_testbed(nranks);
@@ -245,5 +275,6 @@ fn diagnosis_phase(cli: &BenchCli, nranks: usize) {
 
     let mut s = Series::new("outlier-blame-share-%");
     s.push("allgatherv", share);
-    cli.gate("ext_amr_diagnosis", &[s]);
+    cli.gate("ext_amr_diagnosis", std::slice::from_ref(&s));
+    (s, map, traces)
 }

@@ -27,7 +27,7 @@ use ncd_core::{
 };
 use ncd_simnet::{
     merge_comm_maps, merge_histories, Cluster, ClusterCommMap, ClusterConfig, History,
-    MetricsRegistry, SimTime,
+    MetricsRegistry, SimTime, TraceEvent,
 };
 
 const BASE_DOUBLES: usize = 16;
@@ -93,6 +93,7 @@ fn run(
     ClusterCommMap,
     History,
     Vec<DriftEvent>,
+    Vec<Vec<TraceEvent>>,
 ) {
     let out = Cluster::new(ClusterConfig::paper_testbed(nranks)).run(|rank| {
         rank.enable_metrics();
@@ -121,32 +122,30 @@ fn run(
             ));
             last = now;
         }
-        let drift = drift_events_from_trace(&comm.rank_mut().take_trace());
+        let trace = comm.rank_mut().take_trace();
+        let drift = drift_events_from_trace(&trace);
         let metrics = comm.rank_mut().take_metrics();
         let map = comm.rank_mut().take_comm_map();
         let history = comm.rank_mut().take_history();
-        (marks, metrics, map, history, drift)
+        (marks, metrics, map, history, drift, trace)
     });
     let nregimes = out[0].0.len();
     let marks = (0..nregimes)
-        .map(|i| {
-            out.iter()
-                .map(|(m, _, _, _, _)| m[i])
-                .max()
-                .expect("nonempty")
-        })
+        .map(|i| out.iter().map(|(m, ..)| m[i]).max().expect("nonempty"))
         .collect();
     let mut merged = MetricsRegistry::enabled();
     let mut maps = Vec::with_capacity(out.len());
     let mut histories = Vec::with_capacity(out.len());
     let mut drift = Vec::new();
-    for (_, m, map, h, d) in out {
+    let mut traces = Vec::with_capacity(out.len());
+    for (_, m, map, h, d, tr) in out {
         merged.merge(&m);
         maps.push(map);
         histories.push(h);
         if drift.is_empty() {
             drift = d; // SPMD: every rank's monitor fires identically
         }
+        traces.push(tr);
     }
     (
         marks,
@@ -154,6 +153,7 @@ fn run(
         merge_comm_maps(&maps),
         merge_histories(&histories),
         drift,
+        traces,
     )
 }
 
@@ -161,7 +161,7 @@ fn main() {
     let cli = BenchCli::parse();
     let (nranks, epochs) = if cli.smoke { (16, 8) } else { (64, 12) };
 
-    let (marks, metrics, map, history, drift) = run(nranks, epochs);
+    let (marks, metrics, map, history, drift, traces) = run(nranks, epochs);
     let mut lat = Series::new("step-latency");
     for (i, t) in marks.iter().enumerate() {
         lat.push(format!("regime{i}"), t.as_us());
@@ -211,4 +211,26 @@ fn main() {
     assert_eq!(ring.dominant_count, epochs);
 
     cli.gate("ext_drift", &series);
+
+    // Observatory pass: the drift run is already fully traced (the
+    // detector feeds off the trace), so ledgering it costs nothing extra.
+    // The epoch history rides along, letting the differential flag a
+    // regime whose step latency drifted between commits.
+    if cli.wants_observatory() {
+        let knobs = vec![
+            ("ranks".to_string(), nranks.to_string()),
+            ("epochs_per_regime".to_string(), epochs.to_string()),
+            ("regimes".to_string(), "3".to_string()),
+            ("algorithm".to_string(), "ring-pinned".to_string()),
+        ];
+        cli.observatory(
+            "ext_drift",
+            &knobs,
+            &series,
+            Some(&metrics),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
+        );
+    }
 }

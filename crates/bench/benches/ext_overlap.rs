@@ -11,7 +11,7 @@
 //! lower-is-better latency series are gated against committed baselines
 //! with `--baseline check`.
 
-use ncd_bench::{improvement_pct, report, BenchCli, Series};
+use ncd_bench::{improvement_pct, report, time_phase_traced, BenchCli, Series};
 use ncd_core::{Comm, MpiConfig};
 use ncd_petsc::{DistributedArray, ScatterBackend, StencilKind};
 use ncd_simnet::{Cluster, ClusterConfig, SimTime};
@@ -77,4 +77,42 @@ fn main() {
     // Gate the two latency series only; the derived hidden-% series is
     // higher-is-better and stays out of the baseline.
     cli.gate("ext_overlap", &series[..2]);
+
+    // Observatory pass: one traced overlapped exchange at the sweep's
+    // largest compute slab, so a shrinking overlap window shows up in the
+    // differential as wait-time growth on the scatter's end phase.
+    if cli.wants_observatory() {
+        let flops = *sweep.last().expect("nonempty sweep");
+        let (_, _, metrics, map, history, traces) = time_phase_traced(
+            ClusterConfig::paper_testbed(nranks),
+            MpiConfig::optimized(),
+            3,
+            move |comm, _| {
+                let da = DistributedArray::new(comm, &[grid, grid], 1, StencilKind::Star, 1);
+                let mut g = da.create_global_vec();
+                for (off, p) in da.owned_points().enumerate() {
+                    g.local_mut()[off] = (p[0] * 31 + p[1]) as f64;
+                }
+                let mut l = da.create_local_vec();
+                let h = da.global_to_local_begin(comm, &g, &mut l, ScatterBackend::HandTuned);
+                comm.rank_mut().compute_flops(flops);
+                da.global_to_local_end(comm, h, &mut l);
+            },
+        );
+        let knobs = vec![
+            ("ranks".to_string(), nranks.to_string()),
+            ("grid".to_string(), format!("{grid}x{grid}")),
+            ("interior_flops".to_string(), flops.to_string()),
+            ("mode".to_string(), "overlapped".to_string()),
+        ];
+        cli.observatory(
+            "ext_overlap",
+            &knobs,
+            &series,
+            Some(&metrics),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
+        );
+    }
 }

@@ -14,25 +14,33 @@
 //! with a `-log_view`-style per-engine table (blocks, sparse/dense mix,
 //! seek segments) that makes the quadratic re-search directly visible.
 
-use ncd_bench::{improvement_pct, report_with_metrics, time_phase_metrics, BenchCli, Series};
-use ncd_core::MpiConfig;
+use ncd_bench::{
+    improvement_pct, report_with_metrics, time_phase_metrics, time_phase_traced, BenchCli, Series,
+};
+use ncd_core::{Comm, MpiConfig};
 use ncd_datatype::{matrix_column_type, Datatype};
 use ncd_simnet::{ClusterConfig, MetricsRegistry, SimTime, Tag};
 
-fn transpose_latency(n: usize, cfg: MpiConfig, merged: &mut MetricsRegistry) -> SimTime {
+/// One column-major send / contiguous receive of an NxN matrix of
+/// three-double elements between ranks 0 and 1.
+fn transpose_once(comm: &mut Comm, n: usize) {
     let bytes = n * n * 24;
+    let col = matrix_column_type(n, n, 3).expect("column type");
+    if comm.rank() == 0 {
+        let src = vec![1u8; bytes];
+        comm.send(&src, &col, n, 1, Tag(1));
+    } else {
+        let mut dst = vec![0u8; bytes];
+        let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
+        comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
+    }
+}
+
+fn transpose_latency(n: usize, cfg: MpiConfig, merged: &mut MetricsRegistry) -> SimTime {
     let reps = if n <= 256 { 3 } else { 1 };
     let (t, _, metrics) =
         time_phase_metrics(ClusterConfig::uniform(2), cfg, reps, move |comm, _| {
-            let col = matrix_column_type(n, n, 3).expect("column type");
-            if comm.rank() == 0 {
-                let src = vec![1u8; bytes];
-                comm.send(&src, &col, n, 1, Tag(1));
-            } else {
-                let mut dst = vec![0u8; bytes];
-                let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
-                comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
-            }
+            transpose_once(comm, n)
         });
     merged.merge(&metrics);
     t
@@ -57,11 +65,40 @@ fn main() {
         new.push(label.clone(), tn.as_ms());
         imp.push(label, improvement_pct(tb, tn));
     }
+    let series = [base, new, imp];
     report_with_metrics(
         "fig12_transpose",
         "matrix",
         "latency (msec)",
-        &[base, new, imp],
+        &series,
         Some(&metrics),
     );
+
+    // Observatory pass: one traced transpose at the sweep's largest
+    // matrix under the optimized engine, so pack-pipeline regressions
+    // (seek counters, per-block search) land in the ledgered metrics the
+    // differential classifies as pack-side.
+    if cli.wants_observatory() {
+        let n = *sizes.last().expect("nonempty sweep");
+        let (_, _, tm, map, history, traces) = time_phase_traced(
+            ClusterConfig::uniform(2),
+            MpiConfig::optimized(),
+            1,
+            move |comm, _| transpose_once(comm, n),
+        );
+        let knobs = vec![
+            ("matrix".to_string(), format!("{n}x{n}")),
+            ("ranks".to_string(), "2".to_string()),
+            ("flavor".to_string(), "auto".to_string()),
+        ];
+        cli.observatory(
+            "fig12_transpose",
+            &knobs,
+            &series,
+            Some(&tm),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
+        );
+    }
 }

@@ -10,24 +10,33 @@
 //! machine-readable run report — the plotted series plus the cluster-wide
 //! metrics snapshot — to `target/figures/<name>.json`.
 
-use ncd_bench::{aggregate, report_with_metrics, time_phase_metrics, BenchCli, Series};
-use ncd_core::MpiConfig;
+use ncd_bench::{
+    aggregate, relabel, report_with_metrics, time_phase_metrics, time_phase_traced, BenchCli,
+    Series,
+};
+use ncd_core::{Comm, MpiConfig};
 use ncd_datatype::{matrix_column_type, Datatype};
 use ncd_simnet::{ClusterConfig, CostKind, MetricsRegistry, Tag};
 
-fn breakdown(n: usize, cfg: MpiConfig) -> (f64, f64, f64, MetricsRegistry) {
+/// The transpose exchange the breakdown instruments (same communication
+/// as Figure 12's benchmark).
+fn transpose_once(comm: &mut Comm, n: usize) {
     let bytes = n * n * 24;
+    let col = matrix_column_type(n, n, 3).expect("column type");
+    if comm.rank() == 0 {
+        let src = vec![1u8; bytes];
+        comm.send(&src, &col, n, 1, Tag(1));
+    } else {
+        let mut dst = vec![0u8; bytes];
+        let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
+        comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
+    }
+}
+
+fn breakdown(n: usize, cfg: MpiConfig) -> (f64, f64, f64, MetricsRegistry) {
     let (_, stats, metrics) =
         time_phase_metrics(ClusterConfig::uniform(2), cfg, 1, move |comm, _| {
-            let col = matrix_column_type(n, n, 3).expect("column type");
-            if comm.rank() == 0 {
-                let src = vec![1u8; bytes];
-                comm.send(&src, &col, n, 1, Tag(1));
-            } else {
-                let mut dst = vec![0u8; bytes];
-                let row = Datatype::contiguous(bytes, &Datatype::byte()).expect("contiguous");
-                comm.recv(&mut dst, &row, 1, Some(0), Tag(1));
-            }
+            transpose_once(comm, n)
         });
     let total = aggregate(&stats);
     // "Comm" from the application's view includes time blocked on the wire.
@@ -50,9 +59,10 @@ fn main() {
     } else {
         &[64, 128, 256, 512, 1024]
     };
-    for (cfg, name) in [
-        (MpiConfig::baseline(), "fig13a_breakdown_baseline"),
-        (MpiConfig::optimized(), "fig13b_breakdown_optimized"),
+    let mut ledgered: Vec<Series> = Vec::new();
+    for (cfg, name, prefix) in [
+        (MpiConfig::baseline(), "fig13a_breakdown_baseline", "base"),
+        (MpiConfig::optimized(), "fig13b_breakdown_optimized", "opt"),
     ] {
         let mut comm_s = Series::new("comm-%");
         let mut pack_s = Series::new("pack-%");
@@ -66,12 +76,38 @@ fn main() {
             search_s.push(label, s);
             merged.merge(&m);
         }
-        report_with_metrics(
-            name,
-            "matrix",
-            "% of time",
-            &[comm_s, pack_s, search_s],
-            Some(&merged),
+        let series = [comm_s, pack_s, search_s];
+        report_with_metrics(name, "matrix", "% of time", &series, Some(&merged));
+        if cli.wants_observatory() {
+            ledgered.extend(relabel(prefix, &series));
+        }
+    }
+
+    // Observatory pass: both engines' breakdown series in one ledgered
+    // run, plus a traced transpose at the largest matrix under the
+    // optimized engine so a search-share regression arrives with the
+    // pack-pipeline counters that explain it.
+    if cli.wants_observatory() {
+        let n = *sizes.last().expect("nonempty sweep");
+        let (_, _, tm, map, history, traces) = time_phase_traced(
+            ClusterConfig::uniform(2),
+            MpiConfig::optimized(),
+            1,
+            move |comm, _| transpose_once(comm, n),
+        );
+        let knobs = vec![
+            ("matrix".to_string(), format!("{n}x{n}")),
+            ("ranks".to_string(), "2".to_string()),
+            ("flavor".to_string(), "auto".to_string()),
+        ];
+        cli.observatory(
+            "fig13_breakdown",
+            &knobs,
+            &ledgered,
+            Some(&tm),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
         );
     }
 }

@@ -13,18 +13,26 @@
 //! Paper result: both series grow, the baseline faster; ~20% improvement
 //! at 64 processes / 32 KB.
 
-use ncd_bench::{improvement_pct, report, time_phase, BenchCli, Series};
-use ncd_core::MpiConfig;
+use ncd_bench::{
+    improvement_pct, relabel, report, time_phase, time_phase_traced, BenchCli, Series,
+};
+use ncd_core::{Comm, MpiConfig};
 use ncd_simnet::{ClusterConfig, SimTime};
+
+/// One allgatherv where rank 0 contributes `outlier_doubles` doubles and
+/// everyone else a single double.
+fn skewed_allgatherv(comm: &mut Comm, outlier_doubles: usize) {
+    let mut counts = vec![8usize; comm.size()];
+    counts[0] = outlier_doubles * 8;
+    let me = comm.rank();
+    let send = vec![me as u8; counts[me]];
+    let mut recv = vec![0u8; counts.iter().sum()];
+    comm.allgatherv(&send, &counts, &mut recv);
+}
 
 fn allgatherv_latency(nprocs: usize, outlier_doubles: usize, cfg: MpiConfig) -> SimTime {
     let (t, _) = time_phase(ClusterConfig::uniform(nprocs), cfg, 5, move |comm, _| {
-        let mut counts = vec![8usize; nprocs];
-        counts[0] = outlier_doubles * 8;
-        let me = comm.rank();
-        let send = vec![me as u8; counts[me]];
-        let mut recv = vec![0u8; counts.iter().sum()];
-        comm.allgatherv(&send, &counts, &mut recv);
+        skewed_allgatherv(comm, outlier_doubles)
     });
     t
 }
@@ -87,4 +95,34 @@ fn main() {
         "latency (usec), 32KB outlier",
         &series_b,
     );
+
+    // Observatory pass: one fully traced run of the representative
+    // configuration (the 32 KB outlier on the largest machine of the
+    // sweep, selector left on auto), so the ledgered run carries the
+    // decision audit, the critical path and the wait-state diagnosis the
+    // differential engine attributes regressions with.
+    if cli.wants_observatory() {
+        let (_, _, metrics, map, history, traces) = time_phase_traced(
+            ClusterConfig::uniform(procs_a),
+            MpiConfig::optimized(),
+            5,
+            |comm, _| skewed_allgatherv(comm, 4096),
+        );
+        let knobs = vec![
+            ("procs".to_string(), procs_a.to_string()),
+            ("outlier_doubles".to_string(), "4096".to_string()),
+            ("flavor".to_string(), "auto".to_string()),
+        ];
+        let mut ledgered = relabel("a", &series_a);
+        ledgered.extend(relabel("b", &series_b));
+        cli.observatory(
+            "fig14_allgatherv",
+            &knobs,
+            &ledgered,
+            Some(&metrics),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
+        );
+    }
 }

@@ -14,38 +14,37 @@
 //!
 //! Paper result: ~50% improvement at 32 processes, >88% at 128.
 
-use ncd_bench::{improvement_pct, report, time_phase, BenchCli, Series};
-use ncd_core::{MpiConfig, WPeer};
+use ncd_bench::{improvement_pct, report, time_phase, time_phase_traced, BenchCli, Series};
+use ncd_core::{Comm, MpiConfig, WPeer};
 use ncd_datatype::Datatype;
 use ncd_simnet::{ClusterConfig, SimTime};
 
-/// Each rank sends a 10x10 matrix of doubles (800 B) to its ring
-/// successor and predecessor.
+/// One ring exchange: each rank sends a 10x10 matrix of doubles (800 B)
+/// to its ring successor and predecessor.
+fn ring_exchange(comm: &mut Comm) {
+    let me = comm.rank();
+    let n = comm.size();
+    let succ = (me + 1) % n;
+    let pred = (me + n - 1) % n;
+    let matrix = Datatype::contiguous(100, &Datatype::double()).expect("matrix type");
+    let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
+    let mut sends: Vec<WPeer> = (0..n).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+    let mut recvs = sends.clone();
+    sends[succ] = WPeer::new(0, 1, matrix.clone());
+    recvs[pred] = WPeer::new(0, 1, matrix.clone());
+    if n > 2 {
+        sends[pred] = WPeer::new(800, 1, matrix.clone());
+        recvs[succ] = WPeer::new(800, 1, matrix.clone());
+    }
+    let sendbuf = vec![me as u8; 1600];
+    let mut recvbuf = vec![0u8; 1600];
+    comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+}
+
 fn ring_exchange_latency(nprocs: usize, cfg: MpiConfig) -> SimTime {
-    let (t, _) = time_phase(
-        ClusterConfig::paper_testbed(nprocs),
-        cfg,
-        10,
-        move |comm, _| {
-            let me = comm.rank();
-            let n = comm.size();
-            let succ = (me + 1) % n;
-            let pred = (me + n - 1) % n;
-            let matrix = Datatype::contiguous(100, &Datatype::double()).expect("matrix type");
-            let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
-            let mut sends: Vec<WPeer> = (0..n).map(|_| WPeer::new(0, 0, empty.clone())).collect();
-            let mut recvs = sends.clone();
-            sends[succ] = WPeer::new(0, 1, matrix.clone());
-            recvs[pred] = WPeer::new(0, 1, matrix.clone());
-            if n > 2 {
-                sends[pred] = WPeer::new(800, 1, matrix.clone());
-                recvs[succ] = WPeer::new(800, 1, matrix.clone());
-            }
-            let sendbuf = vec![me as u8; 1600];
-            let mut recvbuf = vec![0u8; 1600];
-            comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
-        },
-    );
+    let (t, _) = time_phase(ClusterConfig::paper_testbed(nprocs), cfg, 10, |comm, _| {
+        ring_exchange(comm)
+    });
     t
 }
 
@@ -73,4 +72,32 @@ fn main() {
     let series = [base, new, imp];
     cli.gate("fig15_alltoallw", &series[..2]);
     report("fig15_alltoallw", "processes", "latency (usec)", &series);
+
+    // Observatory pass: one fully traced ring exchange under the
+    // optimized schedule (a mid-size machine — tracing 128 heterogeneous
+    // ranks adds nothing the differential needs), so skew regressions
+    // show up with wait-state blame attached.
+    if cli.wants_observatory() {
+        let n = if cli.smoke { 16 } else { 32 };
+        let (_, _, metrics, map, history, traces) = time_phase_traced(
+            ClusterConfig::paper_testbed(n),
+            MpiConfig::optimized(),
+            10,
+            |comm, _| ring_exchange(comm),
+        );
+        let knobs = vec![
+            ("procs".to_string(), n.to_string()),
+            ("matrix".to_string(), "10x10-doubles".to_string()),
+            ("flavor".to_string(), "auto".to_string()),
+        ];
+        cli.observatory(
+            "fig15_alltoallw",
+            &knobs,
+            &series,
+            Some(&metrics),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
+        );
+    }
 }

@@ -16,7 +16,7 @@
 //! Paper result: the optimized MPI recovers to within ~4% of hand-tuned
 //! (>95% better than the baseline at 128 procs).
 
-use ncd_bench::{improvement_pct, report, BenchCli, Series};
+use ncd_bench::{improvement_pct, report, time_phase_traced, BenchCli, Series};
 use ncd_core::{Comm, MpiConfig};
 use ncd_petsc::{IndexSet, Layout, PVec, ScatterBackend, VecScatter};
 use ncd_simnet::{Cluster, ClusterConfig, SimTime};
@@ -90,16 +90,60 @@ fn main() {
         imp_new.push(n.to_string(), improvement_pct(tb, tn));
         imp_hand.push(n.to_string(), improvement_pct(tb, th));
     }
-    report(
-        "fig16a_vecscatter",
-        "processes",
-        "latency (usec)",
-        &[hand, base, new],
-    );
+    let latency = [hand, base, new];
+    let improvement = [imp_new, imp_hand];
+    report("fig16a_vecscatter", "processes", "latency (usec)", &latency);
     report(
         "fig16b_vecscatter_improvement",
         "processes",
         "% improvement over MVAPICH2-0.9.5",
-        &[imp_new, imp_hand],
+        &improvement,
     );
+
+    // Observatory pass: one traced scatter (plan creation + apply) under
+    // the optimized datatype path, so the ledgered run carries the
+    // alltoallw schedule decisions and the per-peer traffic matrix the
+    // differential diffs structurally.
+    if cli.wants_observatory() {
+        let n = if cli.smoke { 16 } else { 32 };
+        let (_, _, metrics, map, history, traces) = time_phase_traced(
+            ClusterConfig::paper_testbed(n),
+            MpiConfig::optimized(),
+            3,
+            |comm, _| {
+                let n_global = LOCAL_ELEMS * comm.size();
+                let layout = Layout::balanced(n_global, comm.size());
+                let (s, e) = layout.range(comm.rank());
+                let x = PVec::from_local(
+                    layout.clone(),
+                    comm.rank(),
+                    (s..e).map(|g| g as f64).collect(),
+                );
+                let mut y = PVec::zeros(layout.clone(), comm.rank());
+                let src = IndexSet::stride(s, 1, e - s);
+                let dst =
+                    IndexSet::general((s..e).map(|g| dest_of(g, n_global)).collect::<Vec<_>>());
+                let plan = VecScatter::create(comm, layout.clone(), &src, layout, &dst);
+                plan.apply(comm, &x, &mut y, ScatterBackend::Datatype);
+            },
+        );
+        let knobs = vec![
+            ("procs".to_string(), n.to_string()),
+            ("local_elems".to_string(), LOCAL_ELEMS.to_string()),
+            ("backend".to_string(), "datatype".to_string()),
+            ("flavor".to_string(), "auto".to_string()),
+        ];
+        let mut ledgered: Vec<Series> = Vec::new();
+        ledgered.extend(latency);
+        ledgered.extend(improvement);
+        cli.observatory(
+            "fig16_vecscatter",
+            &knobs,
+            &ledgered,
+            Some(&metrics),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
+        );
+    }
 }

@@ -16,13 +16,41 @@
 //! (≈90% improvement there) and sits within ~3% of hand-tuned (which leads
 //! by ~10% at 4 processes).
 
-use ncd_bench::{improvement_pct, report, BenchCli, Series};
+use ncd_bench::{improvement_pct, report, time_phase_traced, BenchCli, Series};
 use ncd_core::{Comm, MpiConfig};
 use ncd_petsc::{richardson, KspSettings, LaplacianOp, Multigrid, PVec, ScatterBackend};
 use ncd_simnet::{Cluster, ClusterConfig, SimTime};
 
 const GRID: usize = 100;
 const LEVELS: usize = 3;
+
+/// One full multigrid solve (setup + Richardson/V-cycle) on this
+/// communicator — the body both the timed sweep and the traced
+/// observatory pass run.
+fn mg_solve(comm: &mut Comm, backend: ScatterBackend) {
+    let h = 1.0 / GRID as f64;
+    let mg = Multigrid::new(comm, &[GRID, GRID, GRID], h, LEVELS, backend);
+    let da = mg.fine_da();
+    let op = LaplacianOp::new(da, h);
+    let mut b = PVec::zeros(da.global_layout().clone(), comm.rank());
+    for (off, p) in da.owned_points().enumerate() {
+        let (x, y, z) = (
+            (p[0] as f64 + 0.5) * h,
+            (p[1] as f64 + 0.5) * h,
+            (p[2] as f64 + 0.5) * h,
+        );
+        b.local_mut()[off] = x + y + z;
+    }
+    let mut x = PVec::zeros(da.global_layout().clone(), comm.rank());
+    let settings = KspSettings {
+        rtol: 1e-6,
+        max_it: 30,
+        backend,
+        ..Default::default()
+    };
+    let res = richardson(comm, &op, &mg, 1.0, &b, &mut x, &settings);
+    assert!(res.converged, "MG solve did not converge: {res:?}");
+}
 
 fn solve_time(nprocs: usize, cfg: MpiConfig, backend: ScatterBackend) -> (SimTime, usize) {
     let out = Cluster::new(ClusterConfig::paper_testbed(nprocs)).run(|rank| {
@@ -87,16 +115,49 @@ fn main() {
         imp_hand.push(n.to_string(), improvement_pct(tb, th));
         eprintln!("n={n}: solver iterations = {it_h}");
     }
+    let time = [hand, base, new];
+    let improvement = [imp_new, imp_hand];
     report(
         "fig17a_multigrid",
         "processes",
         "execution time (sec)",
-        &[hand, base, new],
+        &time,
     );
     report(
         "fig17b_multigrid_improvement",
         "processes",
         "% improvement over MVAPICH2-0.9.5",
-        &[imp_new, imp_hand],
+        &improvement,
     );
+
+    // Observatory pass: one traced solve on the smallest machine of the
+    // sweep (the solve itself is the expensive part; the trace only needs
+    // a representative ghost-exchange pattern), optimized datatype path.
+    if cli.wants_observatory() {
+        let n = procs[0];
+        let (_, _, metrics, map, history, traces) = time_phase_traced(
+            ClusterConfig::paper_testbed(n),
+            MpiConfig::optimized(),
+            1,
+            |comm, _| mg_solve(comm, ScatterBackend::Datatype),
+        );
+        let knobs = vec![
+            ("procs".to_string(), n.to_string()),
+            ("grid".to_string(), format!("{GRID}^3")),
+            ("levels".to_string(), LEVELS.to_string()),
+            ("backend".to_string(), "datatype".to_string()),
+        ];
+        let mut ledgered: Vec<Series> = Vec::new();
+        ledgered.extend(time);
+        ledgered.extend(improvement);
+        cli.observatory(
+            "fig17_multigrid",
+            &knobs,
+            &ledgered,
+            Some(&metrics),
+            Some(&map),
+            Some(&history),
+            Some(&traces),
+        );
+    }
 }

@@ -15,9 +15,14 @@
 //! those explicitly to [`crate::baseline_gate`] and keep derived
 //! higher-is-better series (improvement %) out of the snapshot.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use crate::Series;
+
+/// Exit code for `--baseline check` when no snapshot is committed, kept
+/// distinct from `1` (an actual regression) so CI logs are unambiguous
+/// about *why* the gate failed.
+pub const EXIT_MISSING_BASELINE: i32 = 3;
 
 /// What [`crate::baseline_gate`] should do, from `--baseline write|check`
 /// (or `NCD_BASELINE=write|check`). Unrecognized values abort rather than
@@ -95,13 +100,58 @@ pub fn baseline_path(name: &str, smoke: bool) -> PathBuf {
     baseline_dir().join(format!("{name}.{mode}.json"))
 }
 
+/// The cargo bench target this process was built from: the file stem of
+/// `argv[0]` with the trailing `-<metadata hash>` cargo appends stripped.
+/// Used to print copy-pasteable `cargo bench` commands in gate messages.
+pub fn bench_target() -> Option<String> {
+    target_from(&std::env::args().next()?)
+}
+
+/// [`bench_target`] over an explicit `argv[0]`, for tests.
+pub fn target_from(argv0: &str) -> Option<String> {
+    let stem = Path::new(argv0).file_stem()?.to_str()?;
+    Some(match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem.to_string(),
+    })
+}
+
+/// The message `--baseline check` prints when the committed snapshot does
+/// not exist: names the expected path and the exact write command, so the
+/// fix is copy-paste instead of archaeology.
+pub fn missing_snapshot_message(
+    name: &str,
+    path: &Path,
+    target: Option<&str>,
+    smoke: bool,
+    err: &str,
+) -> String {
+    let target = target.unwrap_or("<bench target>");
+    let smoke_flag = if smoke { "--smoke " } else { "" };
+    format!(
+        "baseline check FAILED for {name}: no committed snapshot ({err})\n\
+         expected path: {}\n\
+         write it with: cargo bench -p ncd-bench --bench {target} -- {smoke_flag}--baseline write\n\
+         then commit the snapshot (exit code {EXIT_MISSING_BASELINE} = missing baseline; 1 = regression)\n",
+        path.display()
+    )
+}
+
 /// Serialize series to the byte-stable snapshot format (same hand-rolled
 /// JSON style as the simnet exports; deterministic input ⇒ identical
-/// bytes on every write).
+/// bytes on every write). Leads with the shared
+/// [`ncd_simnet::SCHEMA_VERSION`] like every export in the workspace.
 pub fn snapshot_json(name: &str, smoke: bool, series: &[Series]) -> String {
     let esc = ncd_simnet::export::json_escape;
     let mut out = format!(
-        "{{\"name\":\"{}\",\"mode\":\"{}\",\"series\":[",
+        "{{\"schema\":{},\"name\":\"{}\",\"mode\":\"{}\",\"series\":[",
+        ncd_simnet::SCHEMA_VERSION,
         esc(name),
         if smoke { "smoke" } else { "full" }
     );
@@ -130,7 +180,9 @@ pub fn parse_snapshot(text: &str) -> Vec<Series> {
         s: text.as_bytes(),
         pos: 0,
     };
-    p.expect_str("{\"name\":");
+    p.expect_str("{\"schema\":");
+    let _ = p.number();
+    p.expect_str(",\"name\":");
     let _ = p.string();
     p.expect_str(",\"mode\":");
     let _ = p.string();
@@ -415,7 +467,7 @@ mod tests {
             series("rd \"x\"", &[("8", 3.0)]),
         ];
         let json = snapshot_json("fig14", true, &s);
-        assert!(json.starts_with("{\"name\":\"fig14\",\"mode\":\"smoke\""));
+        assert!(json.starts_with("{\"schema\":1,\"name\":\"fig14\",\"mode\":\"smoke\""));
         let back = parse_snapshot(&json);
         assert_eq!(back.len(), 2);
         assert_eq!(back[0].label, "ring");
@@ -481,6 +533,44 @@ mod tests {
         assert_eq!(check_series(&base, &cur, 10.0).len(), 1);
         // Renders without panicking even with NaN cells.
         let _ = render_regressions("fig", &check_series(&base, &[], 10.0), 10.0);
+    }
+
+    #[test]
+    fn target_from_strips_cargo_hash() {
+        assert_eq!(
+            target_from("target/release/deps/fig14_allgatherv-0123456789abcdef").as_deref(),
+            Some("fig14_allgatherv")
+        );
+        // Non-hash suffixes stay (ext_amr_skew has a real dash-less stem;
+        // a short or non-hex tail is part of the name).
+        assert_eq!(
+            target_from("deps/ext_amr_skew-12ab").as_deref(),
+            Some("ext_amr_skew-12ab")
+        );
+        assert_eq!(
+            target_from("fig15_alltoallw").as_deref(),
+            Some("fig15_alltoallw")
+        );
+    }
+
+    #[test]
+    fn missing_snapshot_message_names_path_and_command() {
+        let msg = missing_snapshot_message(
+            "fig14a_allgatherv_size",
+            Path::new("/repo/benches/baselines/fig14a_allgatherv_size.smoke.json"),
+            Some("fig14_allgatherv"),
+            true,
+            "No such file or directory",
+        );
+        assert!(msg
+            .contains("expected path: /repo/benches/baselines/fig14a_allgatherv_size.smoke.json"));
+        assert!(msg.contains(
+            "cargo bench -p ncd-bench --bench fig14_allgatherv -- --smoke --baseline write"
+        ));
+        assert!(msg.contains("exit code 3"));
+        // Full mode drops the --smoke flag.
+        let full = missing_snapshot_message("f", Path::new("p"), Some("f"), false, "e");
+        assert!(full.contains("-- --baseline write"), "{full}");
     }
 
     #[test]

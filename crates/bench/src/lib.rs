@@ -10,12 +10,14 @@
 use ncd_core::{Comm, DriftConfig, MpiConfig};
 use ncd_simnet::{
     merge_comm_maps, merge_histories, Cluster, ClusterCommMap, ClusterConfig, Diagnosis, History,
-    MetricsRegistry, SimTime, Stats,
+    MetricsRegistry, RunManifest, SimTime, Stats, TraceEvent, SCHEMA_VERSION,
 };
 
 pub mod baseline;
 
-pub use baseline::{baseline_mode, check_series, tolerance_pct, BaselineMode};
+pub use baseline::{
+    baseline_mode, check_series, tolerance_pct, BaselineMode, EXIT_MISSING_BASELINE,
+};
 
 /// Whether the bench was asked to run reduced problem sizes (`--smoke` on
 /// the command line or `NCD_SMOKE=1` in the environment) — used by CI so
@@ -40,26 +42,42 @@ pub struct BenchCli {
     pub baseline: BaselineMode,
     /// Regression tolerance in percent (`--tolerance` / `NCD_BASELINE_TOL`).
     pub tolerance_pct: f64,
+    /// Persist this run's byte-stable exports to the observatory ledger
+    /// (`--ledger` / `NCD_LEDGER=1`).
+    pub ledger: bool,
+    /// Compare against a prior ledgered run (`--compare <run-id|latest|path>`
+    /// / `NCD_COMPARE`). Implies `--ledger` for the current run.
+    pub compare: Option<String>,
 }
 
 impl BenchCli {
     /// Parse from the process arguments and environment.
     pub fn parse() -> BenchCli {
-        BenchCli {
-            smoke: smoke_mode(),
-            report_json: json_report_requested(),
-            baseline: baseline_mode(),
-            tolerance_pct: tolerance_pct(),
+        let args: Vec<String> = std::env::args().collect();
+        let mut cli = BenchCli::from_args(&args);
+        cli.smoke = smoke_mode();
+        cli.report_json = json_report_requested();
+        cli.baseline = baseline_mode();
+        cli.tolerance_pct = tolerance_pct();
+        if !cli.ledger {
+            cli.ledger = std::env::var("NCD_LEDGER").as_deref() == Ok("1");
         }
+        if cli.compare.is_none() {
+            cli.compare = std::env::var("NCD_COMPARE").ok().filter(|s| !s.is_empty());
+        }
+        cli
     }
 
     /// Pure parse over an explicit argument list (no environment), for
     /// tests. Flags mirror [`parse`](Self::parse): `--smoke`,
     /// `--report json` / `--report=json`, `--baseline write|check` /
-    /// `--baseline=<mode>`, `--tolerance <pct>` / `--tolerance=<pct>`.
+    /// `--baseline=<mode>`, `--tolerance <pct>` / `--tolerance=<pct>`,
+    /// `--ledger`, `--compare <spec>` / `--compare=<spec>`.
     pub fn from_args(args: &[String]) -> BenchCli {
         let mut report_json = false;
         let mut tolerance = 10.0;
+        let mut ledger = false;
+        let mut compare: Option<String> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -76,11 +94,23 @@ impl BenchCli {
                             .unwrap_or_else(|_| panic!("--tolerance must be a number, got {v:?}"));
                     }
                 }
+                "--ledger" => ledger = true,
+                "--compare" => {
+                    compare = Some(
+                        it.next()
+                            .unwrap_or_else(|| {
+                                panic!("--compare needs a run id, 'latest', or a path")
+                            })
+                            .clone(),
+                    );
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--tolerance=") {
                         tolerance = v
                             .parse()
                             .unwrap_or_else(|_| panic!("--tolerance must be a number, got {v:?}"));
+                    } else if let Some(v) = other.strip_prefix("--compare=") {
+                        compare = Some(v.to_string());
                     }
                 }
             }
@@ -90,7 +120,91 @@ impl BenchCli {
             report_json,
             baseline: baseline::mode_from(args, None),
             tolerance_pct: tolerance,
+            ledger,
+            compare,
         }
+    }
+
+    /// Whether the bench should run its (more expensive, fully traced)
+    /// observatory pass at all: only when the run is being ledgered or
+    /// compared.
+    pub fn wants_observatory(&self) -> bool {
+        self.ledger || self.compare.is_some()
+    }
+
+    /// Ledger the current run's artifacts and, when `--compare` was
+    /// given, print and persist the differential against the base run.
+    ///
+    /// The comparison base is resolved *before* the current run is
+    /// written, so `--compare latest` means "the previous ledgered run",
+    /// not the one this call creates. Returns the computed
+    /// [`RunDiff`](ncd_core::RunDiff)
+    /// when a comparison ran, `None` when only ledgering (or neither flag
+    /// was given). Exits nonzero when the compare spec cannot be
+    /// resolved — a CI observatory step must not silently skip its
+    /// reference run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observatory(
+        &self,
+        name: &str,
+        knobs: &[(String, String)],
+        series: &[Series],
+        metrics: Option<&MetricsRegistry>,
+        comm_map: Option<&ClusterCommMap>,
+        history: Option<&History>,
+        traces: Option<&[Vec<TraceEvent>]>,
+    ) -> Option<ncd_core::RunDiff> {
+        if !self.wants_observatory() {
+            return None;
+        }
+        let root = ncd_simnet::ledger_root();
+        let base_dir = self
+            .compare
+            .as_ref()
+            .map(|spec| resolve_compare_dir(&root, name, spec));
+        let manifest = report_to_ledger(
+            name, self.smoke, knobs, series, metrics, comm_map, history, traces,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write the run ledger for {name}: {e}");
+            std::process::exit(1);
+        });
+        let base_dir = match base_dir? {
+            Ok(dir) => dir,
+            Err(e) => {
+                eprintln!(
+                    "--compare for {name}: {e}\n\
+                     ledger a reference run first: cargo bench ... -- {}--ledger",
+                    if self.smoke { "--smoke " } else { "" }
+                );
+                std::process::exit(1);
+            }
+        };
+        let load = |dir: &std::path::Path| -> ncd_core::RunRecord {
+            let run = ncd_simnet::read_run(dir).unwrap_or_else(|e| {
+                eprintln!("cannot read ledgered run {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            ncd_core::RunRecord::from_ledger(&run).unwrap_or_else(|e| {
+                eprintln!("malformed run artifacts in {}: {e}", dir.display());
+                std::process::exit(1);
+            })
+        };
+        let base = load(&base_dir);
+        let cur = load(&root.join(name).join(&manifest.run_id));
+        let diff = ncd_core::compare(&base, &cur);
+        let table = ncd_core::render_compare(&diff, 10);
+        print!("\n{table}");
+        let bench_dir = root.join(name);
+        if ncd_core::write_diff_json(bench_dir.join("diff.json"), &diff).is_ok()
+            && std::fs::write(bench_dir.join("diff.txt"), &table).is_ok()
+        {
+            println!(
+                "differential written: {} (and diff.txt)",
+                bench_dir.join("diff.json").display()
+            );
+        }
+        Some(diff)
     }
 
     /// [`baseline_gate`] driven by this parse instead of re-reading the
@@ -128,12 +242,17 @@ fn gate_with(name: &str, series: &[Series], smoke: bool, mode: BaselineMode, tol
         }
         BaselineMode::Check => {
             let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                eprintln!(
-                    "baseline check FAILED for {name}: cannot read {} ({e}); \
-                     run with --baseline write and commit the snapshot",
-                    path.display()
+                eprint!(
+                    "{}",
+                    baseline::missing_snapshot_message(
+                        name,
+                        &path,
+                        baseline::bench_target().as_deref(),
+                        smoke,
+                        &e.to_string(),
+                    )
                 );
-                std::process::exit(1);
+                std::process::exit(EXIT_MISSING_BASELINE);
             });
             let base = baseline::parse_snapshot(&text);
             let regs = check_series(&base, series, tol);
@@ -532,6 +651,205 @@ where
     )
 }
 
+/// [`time_phase_history`] with per-rank event tracing additionally
+/// enabled: also returns every rank's trace of the measured (post-warmup)
+/// iterations, so the caller can derive the critical path, the
+/// algorithm-decision audit, and the wait-state diagnosis — everything
+/// the observatory ledger persists. This is the most expensive
+/// observation mode; benches run it once, on a representative
+/// configuration, only when [`BenchCli::wants_observatory`].
+#[allow(clippy::type_complexity)]
+pub fn time_phase_traced<F>(
+    cluster_cfg: ClusterConfig,
+    mpi_cfg: MpiConfig,
+    reps: usize,
+    body: F,
+) -> (
+    SimTime,
+    Vec<Stats>,
+    MetricsRegistry,
+    ClusterCommMap,
+    History,
+    Vec<Vec<TraceEvent>>,
+)
+where
+    F: Fn(&mut Comm, usize) + Send + Sync,
+{
+    assert!(reps > 0);
+    let out = Cluster::new(cluster_cfg).run(|rank| {
+        rank.enable_metrics();
+        rank.enable_history(); // also enables the comm map it derives from
+        rank.enable_tracing();
+        let mut comm = Comm::new(rank, mpi_cfg.clone());
+        body(&mut comm, usize::MAX); // warmup
+        comm.barrier();
+        comm.rank_mut().reset_clock();
+        let _ = comm.rank_mut().take_stats();
+        let _ = comm.rank_mut().take_metrics(); // drop warmup metrics
+        let _ = comm.rank_mut().take_comm_map(); // drop warmup traffic
+        let _ = comm.rank_mut().take_history(); // drop warmup epochs
+        let _ = comm.rank_mut().take_trace(); // drop warmup events
+        for it in 0..reps {
+            body(&mut comm, it);
+        }
+        let t = comm.rank_ref().now();
+        let stats = comm.rank_ref().stats().clone();
+        let metrics = comm.rank_mut().take_metrics();
+        let map = comm.rank_mut().take_comm_map();
+        let history = comm.rank_mut().take_history();
+        let trace = comm.rank_mut().take_trace();
+        (t, stats, metrics, map, history, trace)
+    });
+    let tmax = out
+        .iter()
+        .map(|(t, ..)| *t)
+        .max()
+        .expect("nonempty cluster");
+    let mut merged = MetricsRegistry::enabled();
+    let mut stats = Vec::with_capacity(out.len());
+    let mut maps = Vec::with_capacity(out.len());
+    let mut histories = Vec::with_capacity(out.len());
+    let mut traces = Vec::with_capacity(out.len());
+    for (_, s, m, map, h, tr) in out {
+        merged.merge(&m);
+        stats.push(s);
+        maps.push(map);
+        histories.push(h);
+        traces.push(tr);
+    }
+    (
+        SimTime::from_ns(tmax.as_ns() / reps as u64),
+        stats,
+        merged,
+        merge_comm_maps(&maps),
+        merge_histories(&histories),
+        traces,
+    )
+}
+
+/// Byte-stable JSON of a bench's series for the observatory ledger: the
+/// same `[x, y]` point layout as the figure report, led by the shared
+/// schema version so the differential engine can re-load it.
+pub fn series_json(name: &str, smoke: bool, series: &[Series]) -> String {
+    let esc = ncd_simnet::export::json_escape;
+    let mut out = format!(
+        "{{\"schema\":{SCHEMA_VERSION},\"name\":\"{}\",\"mode\":\"{}\",\"series\":[",
+        esc(name),
+        if smoke { "smoke" } else { "full" }
+    );
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"label\":\"{}\",\"points\":[", esc(&s.label)));
+        for (j, (x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let y_json = if y.is_finite() {
+                y.to_string()
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!("[\"{}\",{y_json}]", esc(x)));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Persist one run into the observatory ledger
+/// (`target/observatory/<name>/<run-id>/`, override with
+/// `NCD_OBSERVATORY`): the gated series plus every byte-stable export the
+/// bench collected — metrics snapshot, comm matrix, epoch history, and
+/// (from the traces) critical-path analysis, the algorithm-decision
+/// audit, and the wait-state diagnosis. The run id is a deterministic
+/// content hash, so re-ledgering an unchanged run is idempotent and an id
+/// change is itself a behaviour-change signal.
+#[allow(clippy::too_many_arguments)]
+pub fn report_to_ledger(
+    name: &str,
+    smoke: bool,
+    knobs: &[(String, String)],
+    series: &[Series],
+    metrics: Option<&MetricsRegistry>,
+    comm_map: Option<&ClusterCommMap>,
+    history: Option<&History>,
+    traces: Option<&[Vec<TraceEvent>]>,
+) -> std::io::Result<RunManifest> {
+    let mut artifacts: Vec<(String, String)> =
+        vec![("series.json".to_string(), series_json(name, smoke, series))];
+    if let Some(m) = metrics {
+        // metrics_json carries no schema field of its own; wrap it so the
+        // artifact leads with the shared version like every other export.
+        artifacts.push((
+            "metrics.json".to_string(),
+            format!(
+                "{{\"schema\":{SCHEMA_VERSION},\"metrics\":{}}}",
+                ncd_simnet::metrics_json(m)
+            ),
+        ));
+    }
+    if let Some(map) = comm_map {
+        artifacts.push(("comm.json".to_string(), ncd_simnet::comm_matrix_json(map)));
+    }
+    if let Some(h) = history {
+        artifacts.push(("history.json".to_string(), ncd_simnet::history_json(h)));
+    }
+    if let Some(traces) = traces {
+        let path = ncd_simnet::HbGraph::build(traces).critical_path();
+        let attr = ncd_simnet::attribute_rounds(traces);
+        artifacts.push((
+            "analysis.json".to_string(),
+            ncd_simnet::analysis_json(&path, &attr),
+        ));
+        // Decisions are symmetric across ranks (every rank selects from
+        // the same counts); rank 0's audit stands for the run.
+        artifacts.push((
+            "decisions.json".to_string(),
+            ncd_core::decisions_json(&ncd_core::decisions_from_trace(&traces[0])),
+        ));
+        artifacts.push((
+            "diagnosis.json".to_string(),
+            ncd_simnet::diagnosis_json(&ncd_simnet::diagnose(traces)),
+        ));
+    }
+    let root = ncd_simnet::ledger_root();
+    let mode = if smoke { "smoke" } else { "full" };
+    let manifest = ncd_simnet::write_run(&root, name, mode, knobs, &artifacts)?;
+    println!(
+        "run ledgered: {name} {} -> {}",
+        manifest.run_id,
+        root.join(name).join(&manifest.run_id).display()
+    );
+    Ok(manifest)
+}
+
+/// Resolve a `--compare` spec for `name` against the ledger at `root`.
+/// Beyond [`ncd_simnet::resolve_run_dir`]'s forms (`latest`, a 16-hex run
+/// id, a run-directory path), a path to an *alternate ledger root*
+/// containing `<name>/latest` — e.g. a committed reference tree — is
+/// followed to that root's latest run for this bench.
+fn resolve_compare_dir(
+    root: &std::path::Path,
+    name: &str,
+    spec: &str,
+) -> Result<std::path::PathBuf, String> {
+    let p = std::path::Path::new(spec);
+    if p.is_dir() && p.join(name).join("latest").is_file() {
+        let id = ncd_simnet::latest_run_id(p, name)
+            .ok_or_else(|| format!("empty latest pointer under {}/{name}", p.display()))?;
+        return Ok(p.join(name).join(id));
+    }
+    let dir = ncd_simnet::resolve_run_dir(root, name, spec)?;
+    if dir.join("manifest.json").is_file() {
+        Ok(dir)
+    } else {
+        Err(format!("no ledgered run at {}", dir.display()))
+    }
+}
+
 /// Aggregate per-rank stats into one cluster-wide breakdown.
 pub fn aggregate(stats: &[Stats]) -> Stats {
     let mut total = Stats::new();
@@ -566,6 +884,20 @@ impl Series {
     pub fn push(&mut self, x: impl Into<String>, y: f64) {
         self.points.push((x.into(), y));
     }
+}
+
+/// Prefix every series label with `prefix/` so two sweeps of the same
+/// bench (which often reuse labels like "MVAPICH2-0.9.5") can share one
+/// ledgered run without colliding in the differential's label-keyed
+/// series join.
+pub fn relabel(prefix: &str, series: &[Series]) -> Vec<Series> {
+    series
+        .iter()
+        .map(|s| Series {
+            label: format!("{prefix}/{}", s.label),
+            points: s.points.clone(),
+        })
+        .collect()
 }
 
 /// Print an aligned table of several series sharing the x axis, and write
@@ -1092,6 +1424,9 @@ mod tests {
             "check",
             "--tolerance",
             "5",
+            "--ledger",
+            "--compare",
+            "latest",
         ]));
         assert_eq!(
             cli,
@@ -1100,6 +1435,8 @@ mod tests {
                 report_json: true,
                 baseline: BaselineMode::Check,
                 tolerance_pct: 5.0,
+                ledger: true,
+                compare: Some("latest".to_string()),
             }
         );
         let eqs = BenchCli::from_args(&to_args(&[
@@ -1107,6 +1444,7 @@ mod tests {
             "--report=json",
             "--baseline=write",
             "--tolerance=2.5",
+            "--compare=0123456789abcdef",
         ]));
         assert_eq!(
             eqs,
@@ -1115,7 +1453,13 @@ mod tests {
                 report_json: true,
                 baseline: BaselineMode::Write,
                 tolerance_pct: 2.5,
+                ledger: false,
+                compare: Some("0123456789abcdef".to_string()),
             }
+        );
+        assert!(
+            eqs.wants_observatory(),
+            "--compare implies an observatory pass"
         );
         let none = BenchCli::from_args(&to_args(&["bench"]));
         assert_eq!(
@@ -1125,8 +1469,76 @@ mod tests {
                 report_json: false,
                 baseline: BaselineMode::Off,
                 tolerance_pct: 10.0,
+                ledger: false,
+                compare: None,
             }
         );
+        assert!(!none.wants_observatory());
+    }
+
+    #[test]
+    fn report_to_ledger_persists_and_reloads_every_artifact() {
+        let root = std::env::temp_dir().join(format!("ncd_obs_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::env::set_var("NCD_OBSERVATORY", &root);
+        let run_once = || {
+            let (t, _, metrics, map, history, traces) = time_phase_traced(
+                ClusterConfig::uniform(4),
+                MpiConfig::optimized(),
+                2,
+                |comm, _| {
+                    let counts = vec![64usize; 4];
+                    let send = vec![1u8; 64];
+                    let mut recv = vec![0u8; 256];
+                    comm.allgatherv(&send, &counts, &mut recv);
+                },
+            );
+            let mut s = Series::new("latency");
+            s.push("4", t.as_ns() as f64 / 1000.0);
+            report_to_ledger(
+                "unit_test_ledger",
+                true,
+                &[("procs".to_string(), "4".to_string())],
+                &[s],
+                Some(&metrics),
+                Some(&map),
+                Some(&history),
+                Some(&traces),
+            )
+            .expect("ledger write")
+        };
+        let m1 = run_once();
+        let m2 = run_once();
+        std::env::remove_var("NCD_OBSERVATORY");
+        // Determinism: the same bench at the same knobs reproduces the
+        // same content hash.
+        assert_eq!(m1.run_id, m2.run_id);
+        let dir = root.join("unit_test_ledger").join(&m1.run_id);
+        let run = ncd_simnet::read_run(&dir).expect("read back");
+        for artifact in [
+            "series.json",
+            "metrics.json",
+            "comm.json",
+            "history.json",
+            "analysis.json",
+            "decisions.json",
+            "diagnosis.json",
+        ] {
+            let text = run
+                .artifact(artifact)
+                .unwrap_or_else(|| panic!("{artifact} missing"));
+            assert!(
+                text.starts_with("{\"schema\":1,"),
+                "{artifact} must lead with the schema: {}",
+                &text[..text.len().min(40)]
+            );
+        }
+        // And the differential engine re-loads it into an exact identity.
+        let rec = ncd_core::RunRecord::from_ledger(&run).expect("parse artifacts");
+        assert!(ncd_core::compare(&rec, &rec).is_empty());
+        assert!(!rec.decisions.is_empty(), "decision audit persisted");
+        assert!(rec.path.is_some() && rec.comm.is_some() && rec.diagnosis.is_some());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

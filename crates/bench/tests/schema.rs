@@ -1,0 +1,101 @@
+//! Every byte-stable export in the workspace must lead with the shared
+//! `SCHEMA_VERSION` from `ncd_simnet::export` — the observatory's
+//! compatibility handshake. A consumer (the differential engine, CI
+//! artifact tooling, a committed reference run) reads the version off the
+//! first bytes before trusting the rest; a writer that forgets the
+//! prefix, or bumps its own private version, breaks silently. This test
+//! drives one real traced run through the ledger and asserts the prefix
+//! on every artifact it persists, plus the writers the ledger does not
+//! own (baseline snapshots, the differential export, the manifest).
+
+use ncd_bench::{baseline, report_to_ledger, series_json, time_phase_traced, Series};
+use ncd_core::{compare, diff_json, Comm, MpiConfig, RunRecord};
+use ncd_simnet::{ledger_root, manifest_json, read_run, ClusterConfig, SCHEMA_VERSION};
+
+fn schema_prefix() -> String {
+    format!("{{\"schema\":{SCHEMA_VERSION},")
+}
+
+#[test]
+fn every_byte_stable_export_leads_with_the_shared_schema_version() {
+    let root = std::env::temp_dir().join(format!("ncd-schema-test-{}", std::process::id()));
+    std::env::set_var("NCD_OBSERVATORY", &root);
+
+    // One real run exercising a collective, so every artifact (series,
+    // metrics, comm matrix, history, analysis, decisions, diagnosis) is
+    // non-trivial.
+    let (_, _, metrics, map, history, traces) = time_phase_traced(
+        ClusterConfig::uniform(4),
+        MpiConfig::optimized(),
+        2,
+        |comm: &mut Comm, _| {
+            let counts = vec![64usize; comm.size()];
+            let me = comm.rank();
+            let send = vec![me as u8; counts[me]];
+            let mut recv = vec![0u8; counts.iter().sum()];
+            comm.allgatherv(&send, &counts, &mut recv);
+        },
+    );
+    let mut s = Series::new("latency-usec");
+    s.push("4", 1.0);
+    let series = [s];
+    let manifest = report_to_ledger(
+        "schema_probe",
+        true,
+        &[("ranks".to_string(), "4".to_string())],
+        &series,
+        Some(&metrics),
+        Some(&map),
+        Some(&history),
+        Some(&traces),
+    )
+    .expect("ledger the probe run");
+
+    // Every persisted artifact, the manifest included, leads with the
+    // shared version.
+    let dir = ledger_root().join("schema_probe").join(&manifest.run_id);
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("run dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let text = std::fs::read_to_string(&path).expect("artifact");
+            assert!(
+                text.starts_with(&schema_prefix()),
+                "{} must lead with {}, got: {}",
+                path.display(),
+                schema_prefix(),
+                &text[..40.min(text.len())]
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(
+        checked,
+        8,
+        "expected manifest + 7 artifacts under {}",
+        dir.display()
+    );
+
+    // Writers the ledger does not own.
+    let direct = [
+        ("series_json", series_json("schema_probe", true, &series)),
+        (
+            "snapshot_json",
+            baseline::snapshot_json("schema_probe", true, &series),
+        ),
+        ("manifest_json", manifest_json(&manifest)),
+        ("diff_json", {
+            let run = read_run(&dir).expect("re-read run");
+            let rec = RunRecord::from_ledger(&run).expect("parse run");
+            diff_json(&compare(&rec, &rec))
+        }),
+    ];
+    for (name, text) in direct {
+        assert!(
+            text.starts_with(&schema_prefix()),
+            "{name} must lead with {}, got: {}",
+            schema_prefix(),
+            &text[..40.min(text.len())]
+        );
+    }
+}

@@ -31,6 +31,7 @@
 pub mod coll;
 pub mod comm;
 pub mod commstats;
+pub mod compare;
 pub mod config;
 pub mod diagnose;
 pub mod drift;
@@ -43,6 +44,11 @@ pub use commstats::{
     analyze_comm_map, analyze_matrix, decisions_from_trace, decisions_from_traces,
     detect_misselections, gini, render_decision_log, AlgorithmDecision, CommAnalysis,
     EpochAnalysis, Misselection, MisselectionAudit,
+};
+pub use compare::{
+    compare, decisions_json, diff_json, render_compare, write_diff_json, AttributionDelta, Cause,
+    CommDiff, DecisionFlip, DecisionRecord, FindingDelta, FindingStatus, HistogramShift,
+    MetricDelta, PathDiff, RegressionClass, RunDiff, RunRecord, SeriesDelta, StepDelta,
 };
 pub use config::{MpiConfig, MpiFlavor};
 pub use diagnose::{remediation_hints, render_hints};

@@ -1,0 +1,638 @@
+//! The run ledger: persistent storage for one run's byte-stable exports.
+//!
+//! Every observability layer in this workspace renders to byte-stable
+//! JSON — metrics, critical-path analysis, comm matrices, epoch history,
+//! decision audits, diagnosis — but until now each artifact died with its
+//! run. The ledger keeps them: a run is identified by a **deterministic
+//! content-hash run id** (FNV-1a over the manifest fields and every
+//! artifact's bytes — no wall-clock, no hostname, nothing
+//! machine-specific), and persisted as one directory of artifacts under
+//! `<root>/<bench>/<run-id>/`:
+//!
+//! ```text
+//! target/observatory/
+//!   fig14a_allgatherv_size/
+//!     a1b2c3d4e5f60718/
+//!       manifest.json      # bench, mode, knobs, schema, run id
+//!       series.json        # the gated latency series
+//!       metrics.json       # cluster-merged registry snapshot
+//!       comm.json          # merged src×dst traffic matrix
+//!       ...
+//!     latest               # run id of the most recent write
+//! ```
+//!
+//! Because the simulation is deterministic, the same code at the same
+//! configuration produces the same bytes and therefore the *same run id*:
+//! re-ledgering an unchanged run is idempotent, and a changed run id is
+//! itself a signal that behaviour moved. The differential engine
+//! (`ncd_core::compare`) reads two ledger entries back and explains what
+//! changed and why.
+//!
+//! The module also carries the small recursive-descent [`Json`] value
+//! parser the comparison layer uses to re-load artifacts. The writers in
+//! this workspace are hand-rolled; the reader accepts the JSON subset
+//! they emit (objects, arrays, strings with the escapes
+//! [`crate::export::json_escape`] produces, finite numbers, booleans,
+//! null).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::export::{json_escape, SCHEMA_VERSION};
+
+/// Identity of one persisted run: everything that names *what* ran, and
+/// the content hash of what it produced. Deliberately contains no
+/// wall-clock timestamp — two runs of the same code at the same knobs
+/// must collide, that is the point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Report name the run belongs to (e.g. `fig14a_allgatherv_size`).
+    pub bench: String,
+    /// Problem-size mode, `smoke` or `full` (same split as the baseline
+    /// store).
+    pub mode: String,
+    /// Export schema version the artifacts were written with.
+    pub schema: u32,
+    /// Bench-specific configuration knobs, as stable `(key, value)`
+    /// string pairs in the order the bench declared them.
+    pub knobs: Vec<(String, String)>,
+    /// 16-hex-digit content hash over the fields above plus every
+    /// artifact's name and bytes.
+    pub run_id: String,
+}
+
+/// Fold bytes into an FNV-1a 64-bit state.
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic run id: FNV-1a over bench, mode, schema, knobs, and
+/// each artifact `(name, contents)` in the given order, rendered as 16
+/// hex digits. A separator byte between fields keeps concatenation
+/// ambiguities out of the hash.
+pub fn run_id(
+    bench: &str,
+    mode: &str,
+    knobs: &[(String, String)],
+    artifacts: &[(String, String)],
+) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in [bench, mode] {
+        h = fnv_bytes(h, part.as_bytes());
+        h = fnv_bytes(h, &[0]);
+    }
+    h = fnv_bytes(h, &SCHEMA_VERSION.to_le_bytes());
+    for (k, v) in knobs {
+        h = fnv_bytes(h, k.as_bytes());
+        h = fnv_bytes(h, &[0]);
+        h = fnv_bytes(h, v.as_bytes());
+        h = fnv_bytes(h, &[0]);
+    }
+    for (name, contents) in artifacts {
+        h = fnv_bytes(h, name.as_bytes());
+        h = fnv_bytes(h, &[0]);
+        h = fnv_bytes(h, contents.as_bytes());
+        h = fnv_bytes(h, &[0]);
+    }
+    format!("{h:016x}")
+}
+
+/// Serialize a manifest (byte-stable, schema-led like every export).
+pub fn manifest_json(m: &RunManifest) -> String {
+    let mut out = format!(
+        "{{\"schema\":{},\"bench\":\"{}\",\"mode\":\"{}\",\"run_id\":\"{}\",\"knobs\":[",
+        m.schema,
+        json_escape(&m.bench),
+        json_escape(&m.mode),
+        json_escape(&m.run_id),
+    );
+    for (i, (k, v)) in m.knobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[\"{}\",\"{}\"]", json_escape(k), json_escape(v));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parse a manifest written by [`manifest_json`].
+pub fn parse_manifest(text: &str) -> Result<RunManifest, String> {
+    let v = parse_json(text)?;
+    let knobs = v
+        .get("knobs")
+        .and_then(Json::as_array)
+        .ok_or("manifest missing knobs")?
+        .iter()
+        .map(|pair| {
+            let arr = pair.as_array().ok_or("knob is not a pair")?;
+            match arr {
+                [k, v] => Ok((
+                    k.as_str().ok_or("knob key not a string")?.to_string(),
+                    v.as_str().ok_or("knob value not a string")?.to_string(),
+                )),
+                _ => Err("knob is not a pair".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let field = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("manifest missing {key}"))
+    };
+    Ok(RunManifest {
+        bench: field("bench")?,
+        mode: field("mode")?,
+        schema: v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("manifest missing schema")? as u32,
+        knobs,
+        run_id: field("run_id")?,
+    })
+}
+
+/// One run read back from disk: its manifest plus every artifact file's
+/// contents keyed by file name (`manifest.json` excluded).
+#[derive(Clone, Debug)]
+pub struct LedgerRun {
+    pub manifest: RunManifest,
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl LedgerRun {
+    /// The contents of one artifact file, if the run recorded it.
+    pub fn artifact(&self, name: &str) -> Option<&str> {
+        self.artifacts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.as_str())
+    }
+}
+
+/// The ledger root: `NCD_OBSERVATORY` when set, else `target/observatory`
+/// relative to the working directory.
+pub fn ledger_root() -> PathBuf {
+    match std::env::var("NCD_OBSERVATORY") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => Path::new("target").join("observatory"),
+    }
+}
+
+/// Persist one run: computes the content-hash run id, writes
+/// `<root>/<bench>/<run-id>/` containing `manifest.json` plus every
+/// artifact, and points `<root>/<bench>/latest` at the new id. Writing
+/// the same content twice is idempotent (same id, same bytes). Returns
+/// the manifest with the computed id.
+pub fn write_run(
+    root: &Path,
+    bench: &str,
+    mode: &str,
+    knobs: &[(String, String)],
+    artifacts: &[(String, String)],
+) -> io::Result<RunManifest> {
+    let manifest = RunManifest {
+        bench: bench.to_string(),
+        mode: mode.to_string(),
+        schema: SCHEMA_VERSION,
+        knobs: knobs.to_vec(),
+        run_id: run_id(bench, mode, knobs, artifacts),
+    };
+    let dir = root.join(bench).join(&manifest.run_id);
+    fs::create_dir_all(&dir)?;
+    fs::write(dir.join("manifest.json"), manifest_json(&manifest))?;
+    for (name, contents) in artifacts {
+        fs::write(dir.join(name), contents)?;
+    }
+    fs::write(root.join(bench).join("latest"), &manifest.run_id)?;
+    Ok(manifest)
+}
+
+/// The run id `<root>/<bench>/latest` points at, if any run was ledgered.
+pub fn latest_run_id(root: &Path, bench: &str) -> Option<String> {
+    let id = fs::read_to_string(root.join(bench).join("latest")).ok()?;
+    let id = id.trim().to_string();
+    (!id.is_empty()).then_some(id)
+}
+
+/// Resolve a `--compare` spec to a run directory: `latest` follows the
+/// latest pointer under `<root>/<bench>/`, a 16-hex-digit id is looked up
+/// under `<root>/<bench>/<id>`, and anything else is taken as a
+/// filesystem path to a run directory (possibly a committed reference
+/// outside the ledger root).
+pub fn resolve_run_dir(root: &Path, bench: &str, spec: &str) -> Result<PathBuf, String> {
+    if spec == "latest" {
+        let id = latest_run_id(root, bench)
+            .ok_or_else(|| format!("no runs ledgered yet under {}/{bench}", root.display()))?;
+        return Ok(root.join(bench).join(id));
+    }
+    if spec.len() == 16 && spec.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Ok(root.join(bench).join(spec));
+    }
+    Ok(PathBuf::from(spec))
+}
+
+/// Read one run directory back: the manifest plus every sibling artifact
+/// file.
+pub fn read_run(dir: &Path) -> Result<LedgerRun, String> {
+    let manifest_text = fs::read_to_string(dir.join("manifest.json"))
+        .map_err(|e| format!("cannot read {}/manifest.json: {e}", dir.display()))?;
+    let manifest = parse_manifest(&manifest_text)?;
+    let mut artifacts = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().to_string();
+        if name == "manifest.json" || !entry.path().is_file() {
+            continue;
+        }
+        let contents = fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
+        artifacts.push((name, contents));
+    }
+    // Directory iteration order is platform-dependent; sort for
+    // determinism.
+    artifacts.sort();
+    Ok(LedgerRun {
+        manifest,
+        artifacts,
+    })
+}
+
+/// A parsed JSON value (the subset this workspace's writers emit).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (None for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numbers round-trip as f64; counts and sizes in this workspace stay
+    /// far below 2^53, so the conversion is exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = JsonParser {
+        s: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != c {
+            return Err(format!(
+                "expected '{}' got '{}' at byte {}",
+                c as char, got as char, self.pos
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.s[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(format!("expected ',' or '}}' got '{}' ", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected ',' or ']' got '{}'", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.s.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.s.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("surrogate in \\u escape")?);
+                        }
+                        _ => return Err(format!("bad escape '\\{}'", e as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let bytes = self
+                            .s
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        out.push_str(std::str::from_utf8(bytes).map_err(|e| e.to_string())?);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_digit() || b"-+.eE".contains(&self.s[self.pos]))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knobs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    fn artifacts(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        knobs(pairs)
+    }
+
+    #[test]
+    fn run_id_is_deterministic_and_content_sensitive() {
+        let k = knobs(&[("procs", "16")]);
+        let a = artifacts(&[("series.json", "{\"x\":1}")]);
+        let id = run_id("fig14", "smoke", &k, &a);
+        assert_eq!(id.len(), 16);
+        assert_eq!(
+            id,
+            run_id("fig14", "smoke", &k, &a),
+            "same content, same id"
+        );
+        let b = artifacts(&[("series.json", "{\"x\":2}")]);
+        assert_ne!(
+            id,
+            run_id("fig14", "smoke", &k, &b),
+            "content changes the id"
+        );
+        assert_ne!(id, run_id("fig14", "full", &k, &a), "mode changes the id");
+        let k2 = knobs(&[("procs", "64")]);
+        assert_ne!(id, run_id("fig14", "smoke", &k2, &a), "knobs change the id");
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = RunManifest {
+            bench: "fig14a".to_string(),
+            mode: "smoke".to_string(),
+            schema: SCHEMA_VERSION,
+            knobs: knobs(&[("flavor", "optimized"), ("n", "16")]),
+            run_id: "00112233445566aa".to_string(),
+        };
+        let json = manifest_json(&m);
+        assert!(json.starts_with(&format!(
+            "{{\"schema\":{SCHEMA_VERSION},\"bench\":\"fig14a\""
+        )));
+        assert_eq!(parse_manifest(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn write_then_read_round_trips_and_updates_latest() {
+        let root = std::env::temp_dir().join(format!("ncd_ledger_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let arts = artifacts(&[
+            ("series.json", "{\"schema\":1,\"s\":[1,2]}"),
+            ("comm.json", "{\"schema\":1,\"ranks\":2}"),
+        ]);
+        let m = write_run(&root, "figx", "smoke", &knobs(&[("n", "4")]), &arts).unwrap();
+        assert_eq!(
+            latest_run_id(&root, "figx").as_deref(),
+            Some(m.run_id.as_str())
+        );
+        let dir = resolve_run_dir(&root, "figx", "latest").unwrap();
+        let run = read_run(&dir).unwrap();
+        assert_eq!(run.manifest, m);
+        assert_eq!(
+            run.artifact("comm.json"),
+            Some("{\"schema\":1,\"ranks\":2}")
+        );
+        assert_eq!(
+            run.artifact("series.json"),
+            Some("{\"schema\":1,\"s\":[1,2]}")
+        );
+        assert_eq!(run.artifact("absent.json"), None);
+        // Idempotent: same content writes the same id.
+        let again = write_run(&root, "figx", "smoke", &knobs(&[("n", "4")]), &arts).unwrap();
+        assert_eq!(again.run_id, m.run_id);
+        // Resolving by explicit id and by path agree.
+        assert_eq!(resolve_run_dir(&root, "figx", &m.run_id).unwrap(), dir);
+        assert_eq!(
+            resolve_run_dir(&root, "figx", dir.to_str().unwrap()).unwrap(),
+            dir
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn resolve_latest_without_runs_is_an_error() {
+        let root = std::env::temp_dir().join("ncd_ledger_test_never_written");
+        let err = resolve_run_dir(&root, "nope", "latest").unwrap_err();
+        assert!(err.contains("no runs ledgered"), "{err}");
+    }
+
+    #[test]
+    fn json_parser_reads_the_writers_subset() {
+        let v = parse_json(
+            "{\"schema\":1,\"name\":\"a\\\"b\",\"ok\":true,\"none\":null,\
+             \"pts\":[[1,2.5],[3,-4e2]],\"nested\":{\"x\":[]}}",
+        )
+        .unwrap();
+        assert_eq!(v.get("schema").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("a\"b"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("none"), Some(&Json::Null));
+        let pts = v.get("pts").and_then(Json::as_array).unwrap();
+        assert_eq!(pts[1].as_array().unwrap()[1].as_f64(), Some(-400.0));
+        assert_eq!(
+            v.get("nested").unwrap().get("x").and_then(Json::as_array),
+            Some(&[][..])
+        );
+        // The escapes json_escape produces round-trip.
+        let tricky = "quote\" slash\\ nl\n tab\t ctl\u{1} unicode\u{00e9}";
+        let doc = format!("{{\"s\":\"{}\"}}", json_escape(tricky));
+        let back = parse_json(&doc).unwrap();
+        assert_eq!(back.get("s").and_then(Json::as_str), Some(tricky));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+}

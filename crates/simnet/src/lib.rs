@@ -47,6 +47,7 @@ pub mod commmap;
 pub mod diagnosis;
 pub mod export;
 pub mod history;
+pub mod ledger;
 pub mod mailbox;
 pub mod metrics;
 pub mod profile;
@@ -76,6 +77,10 @@ pub use export::{
 pub use history::{
     history_json, history_report, merge_histories, pattern_hash_rank, sparkline,
     write_history_json, EpochPoint, History, RankEpochRecord, RankHistory,
+};
+pub use ledger::{
+    latest_run_id, ledger_root, manifest_json, parse_json, parse_manifest, read_run,
+    resolve_run_dir, write_run, Json, LedgerRun, RunManifest,
 };
 pub use mailbox::{NetMsg, Tag, ANY_TAG};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
