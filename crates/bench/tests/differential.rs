@@ -1,0 +1,119 @@
+//! Differential proof for the event-driven scheduler: the same workloads
+//! produce byte-identical observability artifacts under both backends.
+//!
+//! The event scheduler replaces one OS thread per rank with cooperatively
+//! scheduled fibers, but simulated time, message matching, and every
+//! recorded artifact are supposed to be functions of the *simulation*
+//! alone, not of who runs it. These tests run the fig14 / fig15 /
+//! ext_overlap workload shapes under `SchedBackend::Threads` and
+//! `SchedBackend::Events` and assert the chrome trace export, the
+//! communication matrix, and the wait-state diagnosis JSON agree byte for
+//! byte — the refactor's correctness contract (ISSUE 9).
+
+use ncd_bench::time_phase_traced;
+use ncd_core::{Comm, MpiConfig, WPeer};
+use ncd_datatype::Datatype;
+use ncd_petsc::{DistributedArray, ScatterBackend, StencilKind};
+use ncd_simnet::{
+    chrome_trace_json, comm_matrix_json, diagnose, diagnosis_json, ClusterCommMap, ClusterConfig,
+    SchedBackend, SimTime, TraceEvent,
+};
+
+/// Run `body` under one backend and collapse the observable artifacts to
+/// comparable byte strings.
+fn artifacts<F>(
+    cfg: ClusterConfig,
+    backend: SchedBackend,
+    body: F,
+) -> (SimTime, String, String, String)
+where
+    F: Fn(&mut Comm, usize) + Send + Sync,
+{
+    let (t, _, _, map, _, traces): (_, _, _, ClusterCommMap, _, Vec<Vec<TraceEvent>>) =
+        time_phase_traced(cfg.with_backend(backend), MpiConfig::optimized(), 2, body);
+    let trace = chrome_trace_json(&traces);
+    let matrix = comm_matrix_json(&map);
+    let diag = diagnosis_json(&diagnose(&traces));
+    (t, trace, matrix, diag)
+}
+
+fn assert_backends_agree<F>(name: &str, cfg: ClusterConfig, body: F)
+where
+    F: Fn(&mut Comm, usize) + Send + Sync + Clone,
+{
+    let (te, trace_e, matrix_e, diag_e) =
+        artifacts(cfg.clone(), SchedBackend::Events, body.clone());
+    let (tt, trace_t, matrix_t, diag_t) = artifacts(cfg, SchedBackend::Threads, body);
+    assert!(te > SimTime::ZERO, "{name}: workload did no simulated work");
+    assert!(
+        trace_e.matches("\"ph\"").count() > 10,
+        "{name}: trace export is vacuously small"
+    );
+    assert_eq!(te, tt, "{name}: makespan differs across backends");
+    assert_eq!(trace_e, trace_t, "{name}: chrome trace differs");
+    assert_eq!(matrix_e, matrix_t, "{name}: comm matrix differs");
+    assert_eq!(diag_e, diag_t, "{name}: diagnosis differs");
+}
+
+/// fig14's workload: allgatherv where rank 0 contributes a 32 KB outlier
+/// and everyone else a single double.
+#[test]
+fn fig14_allgatherv_is_backend_invariant() {
+    assert_backends_agree("fig14", ClusterConfig::uniform(16), |comm: &mut Comm, _| {
+        let mut counts = vec![8usize; comm.size()];
+        counts[0] = 4096 * 8;
+        let me = comm.rank();
+        let send = vec![me as u8; counts[me]];
+        let mut recv = vec![0u8; counts.iter().sum()];
+        comm.allgatherv(&send, &counts, &mut recv);
+    });
+}
+
+/// fig15's workload: nearest-neighbour alltoallw ring exchange on the
+/// heterogeneous paper testbed (the skew-sensitive case).
+#[test]
+fn fig15_alltoallw_is_backend_invariant() {
+    assert_backends_agree(
+        "fig15",
+        ClusterConfig::paper_testbed(8),
+        |comm: &mut Comm, _| {
+            let me = comm.rank();
+            let n = comm.size();
+            let succ = (me + 1) % n;
+            let pred = (me + n - 1) % n;
+            let matrix = Datatype::contiguous(100, &Datatype::double()).expect("matrix type");
+            let empty = Datatype::contiguous(0, &Datatype::double()).expect("empty");
+            let mut sends: Vec<WPeer> = (0..n).map(|_| WPeer::new(0, 0, empty.clone())).collect();
+            let mut recvs = sends.clone();
+            sends[succ] = WPeer::new(0, 1, matrix.clone());
+            recvs[pred] = WPeer::new(0, 1, matrix.clone());
+            sends[pred] = WPeer::new(800, 1, matrix.clone());
+            recvs[succ] = WPeer::new(800, 1, matrix.clone());
+            let sendbuf = vec![me as u8; 1600];
+            let mut recvbuf = vec![0u8; 1600];
+            comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+        },
+    );
+}
+
+/// ext_overlap's workload: split ghost exchange (begin / interior compute
+/// / end) on a 2-D star-stencil DA — exercises petsc::scatter's
+/// nonblocking path and compute interleaving.
+#[test]
+fn ext_overlap_scatter_is_backend_invariant() {
+    assert_backends_agree(
+        "ext_overlap",
+        ClusterConfig::paper_testbed(4),
+        |comm: &mut Comm, _| {
+            let da = DistributedArray::new(comm, &[48, 48], 1, StencilKind::Star, 1);
+            let mut g = da.create_global_vec();
+            for (off, p) in da.owned_points().enumerate() {
+                g.local_mut()[off] = (p[0] * 31 + p[1]) as f64;
+            }
+            let mut l = da.create_local_vec();
+            let h = da.global_to_local_begin(comm, &g, &mut l, ScatterBackend::HandTuned);
+            comm.rank_mut().compute_flops(1_000_000);
+            da.global_to_local_end(comm, h, &mut l);
+        },
+    );
+}

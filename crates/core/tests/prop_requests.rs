@@ -8,10 +8,16 @@
 //!    `isend` + `wait` — must put exactly the reference `pack_all` bytes on
 //!    the wire for arbitrary noncontiguous datatypes, and deliver them
 //!    bit-exactly through a typed receive.
+//! 3. **Scheduler independence**: simulated results are functions of the
+//!    simulation, not of who runs it — the FIFO property holds under both
+//!    the threaded and the event-driven backend, and randomized
+//!    alltoallw/scatterv schedules produce identical clocks and payloads
+//!    under the event scheduler no matter how its ready-queue ties are
+//!    broken (ISSUE 9).
 
-use ncd_core::{Comm, MpiConfig, Request};
+use ncd_core::{Comm, MpiConfig, Request, WPeer};
 use ncd_datatype::{pack_all, unpack_all, Datatype};
-use ncd_simnet::{Cluster, ClusterConfig, Tag};
+use ncd_simnet::{Cluster, ClusterConfig, SchedBackend, SimTime, Tag};
 use proptest::prelude::*;
 
 proptest! {
@@ -24,9 +30,16 @@ proptest! {
         delays in proptest::collection::vec(0u64..2_000_000, 12),
         post_keys in proptest::collection::vec(0u32..1_000_000, 24),
         use_waitany in any::<bool>(),
+        use_threads in any::<bool>(),
     ) {
         let tags = [Tag(5), Tag(6)];
-        let out = Cluster::new(ClusterConfig::uniform(n_senders + 1)).run(move |rank| {
+        let backend = if use_threads {
+            SchedBackend::Threads
+        } else {
+            SchedBackend::Events
+        };
+        let cfg = ClusterConfig::uniform(n_senders + 1).with_backend(backend);
+        let out = Cluster::new(cfg).run(move |rank| {
             let mut comm = Comm::new(rank, MpiConfig::optimized());
             let me = comm.rank();
             if me > 0 {
@@ -144,5 +157,66 @@ proptest! {
         let (wire, unpacked) = out[1].clone().expect("receiver output");
         prop_assert_eq!(&wire, &reference, "wire bytes must equal pack_all");
         prop_assert_eq!(&unpacked, &expected, "typed recv must equal unpack_all");
+    }
+
+    #[test]
+    fn event_scheduler_results_are_tie_break_invariant(
+        nranks in 2usize..6,
+        vols in proptest::collection::vec(0usize..48, 36),
+        delays in proptest::collection::vec(0u64..1_000_000, 8),
+        root in 0usize..6,
+        tie_seeds in proptest::collection::vec(1u64..1_000_000_000, 2),
+    ) {
+        let root = root % nranks;
+        // A random sparse alltoallw schedule: vol[i][j] doubles from i to
+        // j (0 = a zero-byte slot, the skew-sensitive case), followed by
+        // a scatterv from a random root. Every rank derives the full
+        // volume matrix, so the schedule is globally consistent.
+        let vol = |i: usize, j: usize| vols[(i * nranks + j) % vols.len()];
+        let run = |tie_seed: Option<u64>| -> Vec<(SimTime, Vec<u8>, Vec<u8>)> {
+            let mut cfg = ClusterConfig::uniform(nranks)
+                .with_backend(SchedBackend::Events);
+            if let Some(s) = tie_seed {
+                cfg = cfg.with_tie_break_seed(s);
+            }
+            let delays = delays.clone();
+            Cluster::new(cfg).run(move |rank| {
+                let mut comm = Comm::new(rank, MpiConfig::optimized());
+                let me = comm.rank();
+                let n = comm.size();
+                comm.rank_mut().compute_flops(delays[me % delays.len()]);
+                let double = Datatype::double();
+                let mut sends = Vec::with_capacity(n);
+                let mut recvs = Vec::with_capacity(n);
+                let (mut soff, mut roff) = (0usize, 0usize);
+                for peer in 0..n {
+                    let dt = Datatype::contiguous(vol(me, peer), &double)
+                        .expect("send type");
+                    sends.push(WPeer::new(soff, 1, dt));
+                    soff += vol(me, peer) * 8;
+                    let dt = Datatype::contiguous(vol(peer, me), &double)
+                        .expect("recv type");
+                    recvs.push(WPeer::new(roff, 1, dt));
+                    roff += vol(peer, me) * 8;
+                }
+                let sendbuf: Vec<u8> = (0..soff).map(|i| (me * 37 + i) as u8).collect();
+                let mut recvbuf = vec![0u8; roff];
+                comm.alltoallw(&sendbuf, &sends, &mut recvbuf, &recvs);
+                let parts: Option<Vec<Vec<u8>>> = (me == root).then(|| {
+                    (0..n).map(|d| vec![d as u8; vol(root, d) + 1]).collect()
+                });
+                let part = comm.scatterv(parts.as_deref(), root);
+                (comm.rank_ref().now(), recvbuf, part)
+            })
+        };
+        let reference = run(None);
+        for &seed in &tie_seeds {
+            let perturbed = run(Some(seed));
+            prop_assert_eq!(
+                &reference,
+                &perturbed,
+                "tie-break seed {} changed simulated results", seed
+            );
+        }
     }
 }

@@ -5,7 +5,9 @@
 //! evaluated on a 64-node InfiniBand cluster (32 Intel EM64T nodes + 32
 //! Opteron nodes, two processes per node). That hardware is not available
 //! here, so this crate provides the substitution: a cluster **simulated in a
-//! single OS process**, where every MPI-style *rank* is a thread and every
+//! single OS process**, where every MPI-style *rank* is a cooperatively
+//! scheduled resumable task (see [`sched`]; a threads-as-ranks backend is
+//! retained behind [`SchedBackend`] for differential testing) and every
 //! message travels through an in-memory channel.
 //!
 //! Correctness is real — ranks exchange real bytes and algorithms run
@@ -53,6 +55,7 @@ pub mod metrics;
 pub mod profile;
 pub mod recorder;
 pub mod runtime;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -90,7 +93,7 @@ pub use recorder::{
     trigger, Anomaly, RankRecorder, RecCode, Recorded, DECISION_SLOTS, DIAGNOSIS_SLOTS,
     DRIFT_SLOTS,
 };
-pub use runtime::{Cluster, ClusterConfig, Rank, SpeedProfile};
+pub use runtime::{Cluster, ClusterConfig, Rank, SchedBackend, SpeedProfile};
 pub use stats::{CostKind, Stats};
 pub use time::{CostModel, SimTime};
 pub use trace::{render_timeline, render_timeline_fit, EventKind, TraceEvent, TIMELINE_GUTTER};

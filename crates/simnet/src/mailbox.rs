@@ -6,6 +6,14 @@
 //! before a matching receive is posted are parked in an *unexpected queue*
 //! and matched in FIFO order per (source, tag), exactly as an MPI
 //! implementation's unexpected-message queue behaves.
+//!
+//! Blocking is a property of the runtime, not of this module: under the
+//! threaded backend [`Mailbox::recv_match`] blocks the rank's OS thread on
+//! the channel, while the event scheduler only ever uses the non-blocking
+//! half ([`Mailbox::try_match`] / [`Mailbox::probe`] / [`Mailbox::peek`])
+//! and parks the rank's task on a miss (see [`crate::sched`]). Both drain
+//! the channel into the same unexpected queue, so matching order — and
+//! therefore every simulated result — is identical.
 
 use std::collections::VecDeque;
 

@@ -1,0 +1,994 @@
+//! The event-driven rank scheduler: ranks as cooperatively scheduled
+//! resumable tasks over the simulated clock.
+//!
+//! Threads-as-ranks pays one OS thread — kernel stack, scheduler slot,
+//! condvar wakeups on every message — per simulated rank, which caps
+//! clusters at a few dozen ranks and taxes every benchmark with real
+//! scheduling noise that has nothing to do with simulated time. This
+//! module replaces that substrate: each rank runs on a userspace
+//! *fiber* (a heap-allocated stack plus a ~20-instruction context
+//! switch), and a single scheduler thread drives all of them.
+//!
+//! ## The event loop
+//!
+//! The scheduler keeps a ready queue ordered by `(simulated time at
+//! park, rank id)` and always resumes the minimum entry — the rank
+//! furthest behind in simulated time. A resumed rank runs *until it
+//! parks itself*: every blocking mailbox operation funnels through
+//! `EventHandle::park_blocked` (blocking receive: sleep until a
+//! matching envelope can exist) or `EventHandle::park_polling`
+//! (failed non-blocking probe/test: yield once so spin loops stay
+//! live), both of which record what the rank is waiting for and switch
+//! back to the scheduler.
+//!
+//! Senders never block (channels are unbounded); instead every channel
+//! deposit also enqueues a `(dst, src, tag, context)` event with the
+//! scheduler (`EventHandle::notify_deposit`). Between resumes the
+//! scheduler drains these events and moves every parked rank whose
+//! match pattern covers a deposit back onto the ready queue. Ranks
+//! parked `Polling` are additionally promoted wholesale whenever the
+//! ready queue runs dry, so `while !comm.test(..) { compute }` loops
+//! make progress without a matching deposit.
+//!
+//! ## Determinism
+//!
+//! The loop consults nothing but simulated time, rank ids and the
+//! deposit order produced by the ranks themselves, so a cluster run is
+//! a deterministic function of the program — unlike threads-as-ranks,
+//! where the OS interleaving leaks into physical message order (it
+//! never leaked into *simulated* results because matching is by
+//! explicit source and arrival timestamps are computed by the sender;
+//! the event scheduler keeps exactly that contract, which is why golden
+//! traces are bitwise identical across both backends). For tie-break
+//! robustness testing, `drive` accepts a seed that shuffles which of
+//! several ready ranks *with equal simulated time* runs first; results
+//! must not depend on it.
+//!
+//! ## Stalls
+//!
+//! Threads-as-ranks hangs forever on a communication deadlock. The
+//! event scheduler can see one: no rank is ready, no deposit is
+//! pending, and promotion of the polling set twice produced the exact
+//! same picture. It then *poisons* the run — every parked rank's next
+//! park panics (unwinding its fiber so stacks and results drop
+//! cleanly) — and reports the first panic in rank order, mirroring the
+//! join-order panic propagation of the threaded backend.
+
+use std::any::Any;
+use std::collections::{BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mailbox::{Tag, ANY_TAG};
+use crate::time::SimTime;
+
+/// Smallest fiber stack the scheduler will allocate; requests below it
+/// are rounded up. Deep user recursion needs
+/// [`crate::runtime::ClusterConfig::with_stack_bytes`].
+pub const MIN_STACK_BYTES: usize = 64 * 1024;
+
+/// How often an identical polling picture must recur (with the ready
+/// queue empty and no deposits in between) before the run is declared
+/// stalled. Two would suffice; three adds margin for degenerate
+/// zero-cost models where progress does not advance the clock.
+const STALL_ROUNDS: u32 = 3;
+
+/// Cap on poison resumes per task while draining a failed run, so a
+/// rank that swallows the poison panic cannot wedge the scheduler; a
+/// task still live after this many attempts leaks its stack.
+const MAX_DRAIN_RESUMES: u32 = 16;
+
+// ---------------------------------------------------------------------------
+// Park/unpark protocol shared between ranks and the scheduler
+// ---------------------------------------------------------------------------
+
+/// What a parked rank is waiting for — the receive-side match pattern,
+/// mirroring [`crate::mailbox::NetMsg`] matching exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct MatchPat {
+    src: Option<usize>,
+    tag: Tag,
+    context: u32,
+}
+
+impl MatchPat {
+    fn matches(&self, src: usize, tag: Tag, context: u32) -> bool {
+        self.context == context
+            && self.src.is_none_or(|s| s == src)
+            && (self.tag == ANY_TAG || self.tag == tag)
+    }
+}
+
+/// Scheduler-visible state of one rank.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// Running, on the ready queue, or not yet started.
+    Runnable,
+    /// Parked in a blocking receive: wake only on a matching deposit
+    /// (or poison).
+    Blocked { pat: MatchPat, at: SimTime },
+    /// Parked after a failed non-blocking probe/test: wake on a
+    /// matching deposit, or wholesale when the ready queue runs dry.
+    Polling { pat: MatchPat, at: SimTime },
+}
+
+/// One channel deposit, mirrored to the scheduler so it can wake the
+/// destination if it is parked on a covering pattern.
+#[derive(Clone, Copy, Debug)]
+struct Deposit {
+    dst: usize,
+    src: usize,
+    tag: Tag,
+    context: u32,
+}
+
+struct CtlInner {
+    slots: Vec<Slot>,
+    deposits: VecDeque<Deposit>,
+    /// Monotone count of processed deposits (part of the stall
+    /// signature: identical polling pictures only count as no progress
+    /// if nothing was deposited in between).
+    deposits_seen: u64,
+    /// When set, every park attempt panics with this message instead of
+    /// suspending — how the scheduler unwinds ranks after a peer died
+    /// or the run deadlocked.
+    poison: Option<&'static str>,
+}
+
+/// Shared scheduler state: one per [`drive`] invocation, visible to
+/// every rank of that cluster through its [`EventHandle`].
+pub(crate) struct EventCtl {
+    inner: Mutex<CtlInner>,
+}
+
+impl EventCtl {
+    pub(crate) fn new(n_ranks: usize) -> Self {
+        EventCtl {
+            inner: Mutex::new(CtlInner {
+                slots: vec![Slot::Runnable; n_ranks],
+                deposits: VecDeque::new(),
+                deposits_seen: 0,
+                poison: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CtlInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A rank's side of the park/unpark protocol, held by
+/// [`crate::runtime::Rank`] under the event backend (`None` under
+/// threads-as-ranks).
+#[derive(Clone)]
+pub(crate) struct EventHandle {
+    ctl: Arc<EventCtl>,
+    shared: Arc<TaskShared>,
+    rank: usize,
+}
+
+impl EventHandle {
+    pub(crate) fn new(ctl: Arc<EventCtl>, shared: Arc<TaskShared>, rank: usize) -> Self {
+        EventHandle { ctl, shared, rank }
+    }
+
+    /// Park in a blocking receive until a deposit matching
+    /// `(src, tag, context)` is made (the caller re-checks its mailbox
+    /// on return and parks again on a false wake).
+    pub(crate) fn park_blocked(&self, src: Option<usize>, tag: Tag, context: u32, at: SimTime) {
+        self.park(Slot::Blocked {
+            pat: MatchPat { src, tag, context },
+            at,
+        });
+    }
+
+    /// Yield after a failed non-blocking match, waking on a matching
+    /// deposit or when no other rank is ready — exactly once, so
+    /// `while !probe { .. }` spin loops interleave with peers instead
+    /// of monopolizing the scheduler.
+    pub(crate) fn park_polling(&self, src: Option<usize>, tag: Tag, context: u32, at: SimTime) {
+        self.park(Slot::Polling {
+            pat: MatchPat { src, tag, context },
+            at,
+        });
+    }
+
+    fn park(&self, slot: Slot) {
+        {
+            let mut inner = self.ctl.lock();
+            if let Some(msg) = inner.poison {
+                drop(inner);
+                panic!("{msg}");
+            }
+            inner.slots[self.rank] = slot;
+        }
+        // The lock is released before the context switch: the scheduler
+        // reacquires it on its side, and a fiber must never hold a
+        // mutex across a suspension.
+        self.shared.suspend();
+        let inner = self.ctl.lock();
+        if let Some(msg) = inner.poison {
+            drop(inner);
+            panic!("{msg}");
+        }
+    }
+
+    /// Mirror a channel deposit to the scheduler (called by the sender
+    /// right after the channel send; self-sends are filtered by the
+    /// caller — a running rank cannot be parked).
+    pub(crate) fn notify_deposit(&self, dst: usize, src: usize, tag: Tag, context: u32) {
+        self.ctl.lock().deposits.push_back(Deposit {
+            dst,
+            src,
+            tag,
+            context,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler loop
+// ---------------------------------------------------------------------------
+
+/// Why a driven run did not complete cleanly.
+pub(crate) struct RankPanic {
+    /// Lowest-numbered rank whose task panicked (matching the threaded
+    /// backend, which joins and propagates in rank order).
+    pub rank: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Run every task to completion under the deterministic event loop.
+///
+/// `tie_seed` perturbs which of several ready ranks with *equal*
+/// simulated park time runs first — `None` breaks ties by rank id.
+/// Simulated results must be independent of it (property-tested at the
+/// workspace level).
+pub(crate) fn drive(
+    ctl: &EventCtl,
+    tasks: &mut [Task],
+    tie_seed: Option<u64>,
+) -> Result<(), RankPanic> {
+    let n = tasks.len();
+    let mut ready: BTreeSet<(SimTime, usize)> = (0..n).map(|r| (SimTime::ZERO, r)).collect();
+    let mut finished = vec![false; n];
+    let mut n_finished = 0usize;
+    let mut panics: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+    let mut tie_rng = tie_seed.map(StdRng::seed_from_u64);
+    // (deposits_seen, [(rank, park time)]) at the last dry-queue
+    // promotion, plus how often that exact picture has recurred.
+    let mut poll_sig: Option<(u64, Vec<(usize, SimTime)>)> = None;
+    let mut poll_repeats = 0u32;
+
+    loop {
+        // Deliver deposit events: wake parked ranks whose pattern
+        // covers a new envelope.
+        {
+            let mut inner = ctl.lock();
+            while let Some(d) = inner.deposits.pop_front() {
+                inner.deposits_seen += 1;
+                let wake = match inner.slots[d.dst] {
+                    Slot::Blocked { pat, at } | Slot::Polling { pat, at }
+                        if pat.matches(d.src, d.tag, d.context) =>
+                    {
+                        Some(at)
+                    }
+                    _ => None,
+                };
+                if let Some(at) = wake {
+                    inner.slots[d.dst] = Slot::Runnable;
+                    ready.insert((at, d.dst));
+                }
+            }
+        }
+
+        let next = pop_min(&mut ready, &mut tie_rng);
+        let r = match next {
+            Some(r) => r,
+            None => {
+                // Ready queue dry: promote the polling set so spin
+                // loops keep running, or conclude the run.
+                let (pollers, seen) = {
+                    let inner = ctl.lock();
+                    let pollers: Vec<(usize, SimTime)> = inner
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| match s {
+                            Slot::Polling { at, .. } => Some((i, *at)),
+                            _ => None,
+                        })
+                        .collect();
+                    (pollers, inner.deposits_seen)
+                };
+                if !pollers.is_empty() {
+                    let sig = (seen, pollers.clone());
+                    if poll_sig.as_ref() == Some(&sig) {
+                        poll_repeats += 1;
+                        if poll_repeats >= STALL_ROUNDS {
+                            return stall(ctl, tasks, &finished, panics);
+                        }
+                    } else {
+                        poll_sig = Some(sig);
+                        poll_repeats = 0;
+                    }
+                    let mut inner = ctl.lock();
+                    for &(i, at) in &pollers {
+                        inner.slots[i] = Slot::Runnable;
+                        ready.insert((at, i));
+                    }
+                    continue;
+                }
+                if n_finished == n {
+                    break;
+                }
+                // Only Blocked ranks remain and nothing can wake them.
+                return stall(ctl, tasks, &finished, panics);
+            }
+        };
+
+        ctl.lock().slots[r] = Slot::Runnable;
+        tasks[r].resume();
+        if tasks[r].is_done() {
+            finished[r] = true;
+            n_finished += 1;
+            if let Some(p) = tasks[r].take_panic() {
+                panics.push((r, p));
+            }
+        }
+    }
+
+    match min_rank_panic(panics) {
+        Some(p) => Err(p),
+        None => Ok(()),
+    }
+}
+
+/// The run can make no further progress. Poison and unwind every live
+/// rank, then propagate the most meaningful panic: a rank's own panic
+/// if one happened (the stall is its consequence), else the induced
+/// deadlock report of the lowest parked rank.
+fn stall(
+    ctl: &EventCtl,
+    tasks: &mut [Task],
+    finished: &[bool],
+    mut panics: Vec<(usize, Box<dyn Any + Send>)>,
+) -> Result<(), RankPanic> {
+    let had_panic = !panics.is_empty();
+    let msg = if had_panic || finished.iter().any(|&f| f) {
+        // A peer already exited; the parked ranks wait on it in vain —
+        // the same condition the mailbox reports under threads.
+        "peer rank disconnected while a receive was pending"
+    } else {
+        "simulated deadlock: every rank is parked and no message can arrive"
+    };
+    ctl.lock().poison = Some(msg);
+    let mut induced: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+    for (r, task) in tasks.iter_mut().enumerate() {
+        let mut tries = 0;
+        while !task.is_done() && tries < MAX_DRAIN_RESUMES {
+            task.resume();
+            tries += 1;
+        }
+        if task.is_done() {
+            if let Some(p) = task.take_panic() {
+                induced.push((r, p));
+            }
+        }
+    }
+    if !had_panic {
+        panics = induced;
+    }
+    Err(min_rank_panic(panics).unwrap_or_else(|| RankPanic {
+        rank: 0,
+        payload: Box::new(msg.to_string()),
+    }))
+}
+
+fn min_rank_panic(panics: Vec<(usize, Box<dyn Any + Send>)>) -> Option<RankPanic> {
+    panics
+        .into_iter()
+        .min_by_key(|(r, _)| *r)
+        .map(|(rank, payload)| RankPanic { rank, payload })
+}
+
+/// Pop the minimum `(park time, rank)` entry; with a tie RNG, pick
+/// uniformly among all entries sharing the minimum park time.
+fn pop_min(ready: &mut BTreeSet<(SimTime, usize)>, rng: &mut Option<StdRng>) -> Option<usize> {
+    let &(t0, first) = ready.iter().next()?;
+    let pick = match rng {
+        None => (t0, first),
+        Some(rng) => {
+            let ties: Vec<(SimTime, usize)> =
+                ready.range((t0, 0)..=(t0, usize::MAX)).copied().collect();
+            ties[rng.gen_range(0..ties.len())]
+        }
+    };
+    ready.remove(&pick);
+    Some(pick.1)
+}
+
+// ---------------------------------------------------------------------------
+// Resumable tasks
+// ---------------------------------------------------------------------------
+//
+// On x86_64 unix a task is a stackful fiber: a heap stack plus a hand-
+// written SysV context switch (no dependencies — the workspace vendors
+// no libc, so ucontext/mmap are out of reach). Elsewhere a portable
+// fallback maps each task to a parked OS thread with a condvar baton;
+// the *scheduling policy* (and therefore every simulated result) is
+// identical, only the suspend/resume primitive differs.
+
+#[cfg(all(target_arch = "x86_64", unix))]
+pub(crate) use fiber::{Task, TaskShared};
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod fiber {
+    use super::*;
+    use std::arch::{asm, global_asm};
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+    // The context switch saves the SysV callee-saved state (rbp, rbx,
+    // r12-r15, x87 control word, mxcsr) on the current stack, stores
+    // rsp through `save`, installs `target` as rsp and restores the
+    // same state from it. Frame layout, from the saved rsp upward:
+    //   [0] fcw  [4] mxcsr  [8] r15  [16] r14  [24] r13  [32] r12
+    //   [40] rbx  [48] rbp  [56] return address
+    // A fresh fiber's frame "returns" into `ncd_fiber_entry`, which
+    // moves the entry argument (parked in r12) into rdi and calls the
+    // shim (parked in r13).
+    global_asm!(
+        ".text",
+        ".balign 16",
+        ".globl ncd_fiber_switch",
+        ".hidden ncd_fiber_switch",
+        ".type ncd_fiber_switch,@function",
+        "ncd_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "sub rsp, 8",
+        "stmxcsr [rsp+4]",
+        "fnstcw [rsp]",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "fldcw [rsp]",
+        "ldmxcsr [rsp+4]",
+        "add rsp, 8",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".size ncd_fiber_switch,.-ncd_fiber_switch",
+        ".balign 16",
+        ".globl ncd_fiber_entry",
+        ".hidden ncd_fiber_entry",
+        ".type ncd_fiber_entry,@function",
+        "ncd_fiber_entry:",
+        "mov rdi, r12",
+        "call r13",
+        "ud2",
+        ".size ncd_fiber_entry,.-ncd_fiber_entry",
+    );
+
+    unsafe extern "C" {
+        fn ncd_fiber_switch(save: *mut *mut u8, target: *mut u8);
+        fn ncd_fiber_entry();
+    }
+
+    /// Written at the lowest stack address; a fiber that overflows its
+    /// stack tramples it (best-effort detection — there is no guard
+    /// page without mmap).
+    const STACK_CANARY: u64 = 0x5EED_F1BE_DEAD_57AC;
+
+    struct Stack {
+        base: *mut u8,
+        layout: std::alloc::Layout,
+    }
+
+    impl Stack {
+        fn new(bytes: usize) -> Self {
+            let bytes = bytes.max(MIN_STACK_BYTES);
+            let layout = std::alloc::Layout::from_size_align(bytes, 16).expect("stack layout");
+            // SAFETY: non-zero size; uninitialized memory is fine for a
+            // stack. Lazily committed by the OS, so a 1 MiB default
+            // costs address space, not resident pages.
+            let base = unsafe { std::alloc::alloc(layout) };
+            assert!(!base.is_null(), "fiber stack allocation failed");
+            unsafe { (base as *mut u64).write(STACK_CANARY) };
+            Stack { base, layout }
+        }
+
+        /// 16-aligned top-of-stack (stacks grow down).
+        fn top(&self) -> *mut u8 {
+            let top = self.base as usize + self.layout.size();
+            (top & !0xF) as *mut u8
+        }
+
+        fn canary_intact(&self) -> bool {
+            unsafe { (self.base as *const u64).read() == STACK_CANARY }
+        }
+    }
+
+    impl Drop for Stack {
+        fn drop(&mut self) {
+            unsafe { std::alloc::dealloc(self.base, self.layout) };
+        }
+    }
+
+    /// State shared between a task and the scheduler: the two saved
+    /// stack pointers of the switch pair, the completion flag, and the
+    /// captured panic payload.
+    pub(crate) struct TaskShared {
+        fiber_sp: AtomicPtr<u8>,
+        sched_sp: AtomicPtr<u8>,
+        done: AtomicBool,
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    impl TaskShared {
+        #[allow(clippy::new_without_default)]
+        pub(crate) fn new() -> Self {
+            TaskShared {
+                fiber_sp: AtomicPtr::new(std::ptr::null_mut()),
+                sched_sp: AtomicPtr::new(std::ptr::null_mut()),
+                done: AtomicBool::new(false),
+                panic: Mutex::new(None),
+            }
+        }
+
+        /// Switch from the task back to the scheduler (called from
+        /// *inside* the fiber via [`EventHandle::park_blocked`] /
+        /// [`EventHandle::park_polling`]).
+        pub(crate) fn suspend(&self) {
+            // SAFETY: only ever called on the fiber whose shared state
+            // this is, while the scheduler that resumed it waits at
+            // `sched_sp`; both pointers are exchanged exclusively
+            // through this pair of switches on one OS thread.
+            unsafe {
+                ncd_fiber_switch(
+                    self.fiber_sp.as_ptr(),
+                    self.sched_sp.load(Ordering::Acquire),
+                )
+            };
+        }
+    }
+
+    /// What a fresh fiber starts with: the erased rank body plus the
+    /// shared cell to report completion through.
+    struct FiberEntry {
+        body: Box<dyn FnOnce() + Send + 'static>,
+        shared: Arc<TaskShared>,
+    }
+
+    unsafe extern "C" fn fiber_shim(arg: *mut FiberEntry) -> ! {
+        // SAFETY: `arg` is the Box leaked by `Task::spawn`, entered
+        // exactly once.
+        let entry = unsafe { Box::from_raw(arg) };
+        let FiberEntry { body, shared } = *entry;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+            *shared.panic.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
+        }
+        shared.done.store(true, Ordering::Release);
+        // Hand control back forever; a finished task is never resumed
+        // (asserted in `resume`), the loop is belt-and-braces.
+        loop {
+            shared.suspend();
+        }
+    }
+
+    /// A rank as a resumable fiber.
+    pub(crate) struct Task {
+        shared: Arc<TaskShared>,
+        stack: Stack,
+    }
+
+    impl Task {
+        /// Prepare a suspended fiber that will run `body` on its first
+        /// resume.
+        ///
+        /// # Safety
+        /// `body`'s borrows are erased to `'static`. The caller must
+        /// keep everything `body` captures alive until the task is
+        /// done or the task is leaked without further resumes —
+        /// [`drive`] guarantees the former by draining every task
+        /// before returning.
+        pub(crate) unsafe fn spawn(
+            shared: Arc<TaskShared>,
+            body: Box<dyn FnOnce() + Send + '_>,
+            stack_bytes: usize,
+        ) -> Task {
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            let stack = Stack::new(stack_bytes);
+            let entry = Box::into_raw(Box::new(FiberEntry {
+                body,
+                shared: shared.clone(),
+            }));
+            let sp = unsafe { init_stack(stack.top(), entry) };
+            shared.fiber_sp.store(sp, Ordering::Release);
+            Task { shared, stack }
+        }
+
+        /// Run the task until it parks or finishes.
+        pub(crate) fn resume(&mut self) {
+            assert!(!self.is_done(), "resumed a finished task");
+            // SAFETY: `fiber_sp` holds the valid suspended context
+            // written either by `init_stack` or by the fiber's own
+            // last `suspend`; the switch pair runs on this thread only.
+            unsafe {
+                ncd_fiber_switch(
+                    self.shared.sched_sp.as_ptr(),
+                    self.shared.fiber_sp.load(Ordering::Acquire),
+                )
+            };
+        }
+
+        pub(crate) fn is_done(&self) -> bool {
+            self.shared.done.load(Ordering::Acquire)
+        }
+
+        pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+            self.shared
+                .panic
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+        }
+    }
+
+    impl Drop for Task {
+        fn drop(&mut self) {
+            if self.is_done() && !self.stack.canary_intact() && !std::thread::panicking() {
+                panic!(
+                    "fiber stack overflow detected (canary trampled); \
+                     raise ClusterConfig::with_stack_bytes"
+                );
+            }
+            // An unfinished task's stack still holds live frames whose
+            // destructors cannot run; freeing the memory is safe (the
+            // scheduler never resumes it again), the frames' heap
+            // allocations leak. `drive` drains tasks precisely so this
+            // branch stays cold.
+        }
+    }
+
+    /// Build the initial switch frame (see the layout comment on the
+    /// asm above) so the first resume "returns" into the trampoline.
+    unsafe fn init_stack(top: *mut u8, entry: *mut FiberEntry) -> *mut u8 {
+        let shim: unsafe extern "C" fn(*mut FiberEntry) -> ! = fiber_shim;
+        let trampoline: unsafe extern "C" fn() = ncd_fiber_entry;
+        // Capture the caller's floating-point control state so fibers
+        // inherit the same rounding/precision environment.
+        let mut mxcsr: u32 = 0;
+        let mut fcw: u16 = 0;
+        unsafe {
+            asm!("stmxcsr [{p}]", p = in(reg) &mut mxcsr);
+            asm!("fnstcw [{p}]", p = in(reg) &mut fcw);
+        }
+        unsafe {
+            let sp = top.sub(64);
+            (sp as *mut u16).write(fcw);
+            (sp.add(4) as *mut u32).write(mxcsr);
+            (sp.add(8) as *mut u64).write(0); // r15
+            (sp.add(16) as *mut u64).write(0); // r14
+            (sp.add(24) as *mut u64).write(shim as usize as u64); // r13
+            (sp.add(32) as *mut u64).write(entry as u64); // r12
+            (sp.add(40) as *mut u64).write(0); // rbx
+            (sp.add(48) as *mut u64).write(0); // rbp
+            (sp.add(56) as *mut u64).write(trampoline as usize as u64); // ret
+            sp
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+pub(crate) use handoff::{Task, TaskShared};
+
+/// Portable fallback: each task is an OS thread, but — unlike
+/// threads-as-ranks — exactly one of {scheduler, some task} is ever
+/// runnable, handing a condvar baton back and forth. Scheduling policy
+/// and simulated results are identical to the fiber backend; only the
+/// suspend/resume cost differs.
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+mod handoff {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Condvar;
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Turn {
+        Task,
+        Scheduler,
+    }
+
+    pub(crate) struct TaskShared {
+        turn: Mutex<Turn>,
+        cv: Condvar,
+        done: AtomicBool,
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    impl TaskShared {
+        #[allow(clippy::new_without_default)]
+        pub(crate) fn new() -> Self {
+            TaskShared {
+                turn: Mutex::new(Turn::Scheduler),
+                cv: Condvar::new(),
+                done: AtomicBool::new(false),
+                panic: Mutex::new(None),
+            }
+        }
+
+        fn pass_to(&self, to: Turn) {
+            let mut turn = self.turn.lock().unwrap_or_else(|e| e.into_inner());
+            *turn = to;
+            self.cv.notify_all();
+        }
+
+        fn wait_for(&self, me: Turn) {
+            let mut turn = self.turn.lock().unwrap_or_else(|e| e.into_inner());
+            while *turn != me {
+                turn = self.cv.wait(turn).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub(crate) fn suspend(&self) {
+            self.pass_to(Turn::Scheduler);
+            self.wait_for(Turn::Task);
+        }
+    }
+
+    pub(crate) struct Task {
+        shared: Arc<TaskShared>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl Task {
+        /// See the fiber backend for the safety contract; the baton
+        /// protocol guarantees the body only runs while the scheduler
+        /// is parked inside `resume`.
+        pub(crate) unsafe fn spawn(
+            shared: Arc<TaskShared>,
+            body: Box<dyn FnOnce() + Send + '_>,
+            stack_bytes: usize,
+        ) -> Task {
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            let inner = shared.clone();
+            let thread = std::thread::Builder::new()
+                .stack_size(stack_bytes.max(MIN_STACK_BYTES))
+                .spawn(move || {
+                    inner.wait_for(Turn::Task);
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                        *inner.panic.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
+                    }
+                    inner.done.store(true, Ordering::Release);
+                    inner.pass_to(Turn::Scheduler);
+                })
+                .expect("spawn rank task thread");
+            Task {
+                shared,
+                thread: Some(thread),
+            }
+        }
+
+        pub(crate) fn resume(&mut self) {
+            assert!(!self.is_done(), "resumed a finished task");
+            self.shared.pass_to(Turn::Task);
+            self.shared.wait_for(Turn::Scheduler);
+        }
+
+        pub(crate) fn is_done(&self) -> bool {
+            self.shared.done.load(Ordering::Acquire)
+        }
+
+        pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+            self.shared
+                .panic
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+        }
+    }
+
+    impl Drop for Task {
+        fn drop(&mut self) {
+            if self.is_done() {
+                if let Some(t) = self.thread.take() {
+                    let _ = t.join();
+                }
+            }
+            // An unfinished task's thread stays parked on the baton
+            // forever and is detached — same leak semantics as an
+            // unfinished fiber stack.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_counted(
+        shared: &Arc<TaskShared>,
+        log: Arc<Mutex<Vec<usize>>>,
+        id: usize,
+        yields: usize,
+        ctl: Arc<EventCtl>,
+    ) -> Task {
+        let handle = EventHandle::new(ctl, shared.clone(), id);
+        let body = Box::new(move || {
+            for _ in 0..yields {
+                log.lock().unwrap().push(id);
+                handle.park_polling(None, ANY_TAG, 0, SimTime::ZERO);
+            }
+            log.lock().unwrap().push(id);
+        });
+        unsafe { Task::spawn(shared.clone(), body, MIN_STACK_BYTES) }
+    }
+
+    #[test]
+    fn task_suspends_and_resumes_to_completion() {
+        let ctl = Arc::new(EventCtl::new(8));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let shared = Arc::new(TaskShared::new());
+        let mut task = spawn_counted(&shared, log.clone(), 7, 3, ctl);
+        let mut resumes = 0;
+        while !task.is_done() {
+            task.resume();
+            resumes += 1;
+        }
+        assert_eq!(*log.lock().unwrap(), vec![7, 7, 7, 7]);
+        assert_eq!(resumes, 4, "three parks + final return");
+        assert!(task.take_panic().is_none());
+    }
+
+    #[test]
+    fn drive_interleaves_pollers_deterministically() {
+        let n = 4;
+        let ctl = Arc::new(EventCtl::new(n));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut tasks = Vec::new();
+        for id in 0..n {
+            let shared = Arc::new(TaskShared::new());
+            tasks.push(spawn_counted(&shared, log.clone(), id, 2, ctl.clone()));
+        }
+        drive(&ctl, &mut tasks, None).unwrap_or_else(|p| {
+            std::panic::resume_unwind(p.payload);
+        });
+        // All parks happen at SimTime::ZERO, so order is by rank id,
+        // round-robin across the promote-the-pollers cycles.
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn panic_in_task_is_captured_and_attributed() {
+        let ctl = Arc::new(EventCtl::new(2));
+        let mut tasks = Vec::new();
+        for id in 0..2 {
+            let shared = Arc::new(TaskShared::new());
+            let body: Box<dyn FnOnce() + Send> = if id == 1 {
+                Box::new(|| panic!("task 1 exploded"))
+            } else {
+                Box::new(|| {})
+            };
+            tasks.push(unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) });
+        }
+        let err = drive(&ctl, &mut tasks, None).expect_err("panic surfaces");
+        assert_eq!(err.rank, 1);
+        let msg = err.payload.downcast_ref::<&str>().copied().unwrap();
+        assert_eq!(msg, "task 1 exploded");
+    }
+
+    #[test]
+    fn blocked_forever_is_reported_as_deadlock() {
+        let ctl = Arc::new(EventCtl::new(1));
+        let shared = Arc::new(TaskShared::new());
+        let handle = EventHandle::new(ctl.clone(), shared.clone(), 0);
+        let body = Box::new(move || {
+            handle.park_blocked(Some(0), Tag(1), 0, SimTime::ZERO);
+        });
+        let mut tasks = vec![unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) }];
+        let err = drive(&ctl, &mut tasks, None).expect_err("deadlock");
+        assert_eq!(err.rank, 0);
+        let msg = err.payload.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(tasks[0].is_done(), "poisoned rank unwound");
+    }
+
+    #[test]
+    fn deposit_wakes_matching_blocked_task() {
+        let ctl = Arc::new(EventCtl::new(2));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut tasks = Vec::new();
+        {
+            let shared = Arc::new(TaskShared::new());
+            let handle = EventHandle::new(ctl.clone(), shared.clone(), 0);
+            let log = log.clone();
+            let body = Box::new(move || {
+                handle.park_blocked(Some(1), Tag(9), 0, SimTime(5));
+                log.lock().unwrap().push("woken");
+            });
+            tasks.push(unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) });
+        }
+        {
+            let shared = Arc::new(TaskShared::new());
+            let handle = EventHandle::new(ctl.clone(), shared.clone(), 1);
+            let log = log.clone();
+            let body = Box::new(move || {
+                log.lock().unwrap().push("sent");
+                handle.notify_deposit(0, 1, Tag(9), 0);
+            });
+            tasks.push(unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) });
+        }
+        drive(&ctl, &mut tasks, None).unwrap_or_else(|p| {
+            std::panic::resume_unwind(p.payload);
+        });
+        assert_eq!(*log.lock().unwrap(), vec!["sent", "woken"]);
+    }
+
+    #[test]
+    fn thousand_tasks_are_cheap() {
+        let n = 1000;
+        let ctl = Arc::new(EventCtl::new(n));
+        let total = Arc::new(Mutex::new(0u64));
+        let mut tasks = Vec::new();
+        for id in 0..n {
+            let shared = Arc::new(TaskShared::new());
+            let handle = EventHandle::new(ctl.clone(), shared.clone(), id);
+            let total = total.clone();
+            let body = Box::new(move || {
+                handle.park_polling(None, ANY_TAG, 0, SimTime(id as u64));
+                *total.lock().unwrap() += id as u64;
+            });
+            tasks.push(unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) });
+        }
+        drive(&ctl, &mut tasks, None).unwrap_or_else(|p| {
+            std::panic::resume_unwind(p.payload);
+        });
+        assert_eq!(*total.lock().unwrap(), (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn tie_seed_shuffles_equal_time_order_only() {
+        // With distinct park times the seed must not matter.
+        let run = |seed: Option<u64>| {
+            let n = 5;
+            let ctl = Arc::new(EventCtl::new(n));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut tasks = Vec::new();
+            for id in 0..n {
+                let shared = Arc::new(TaskShared::new());
+                let handle = EventHandle::new(ctl.clone(), shared.clone(), id);
+                let log = log.clone();
+                let body = Box::new(move || {
+                    // Park once at a distinct time; resume order must
+                    // be by park time regardless of the seed.
+                    handle.park_polling(None, ANY_TAG, 0, SimTime((n - id) as u64));
+                    log.lock().unwrap().push(id);
+                });
+                tasks.push(unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) });
+            }
+            drive(&ctl, &mut tasks, seed).unwrap_or_else(|p| {
+                std::panic::resume_unwind(p.payload);
+            });
+            let v = log.lock().unwrap().clone();
+            v
+        };
+        assert_eq!(run(None), vec![4, 3, 2, 1, 0]);
+        assert_eq!(run(Some(1)), vec![4, 3, 2, 1, 0]);
+        assert_eq!(run(Some(99)), vec![4, 3, 2, 1, 0]);
+    }
+}
