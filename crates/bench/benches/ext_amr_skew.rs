@@ -19,8 +19,8 @@
 //! `--baseline check`.
 
 use ncd_bench::{
-    improvement_pct, relabel, report, report_with_diagnosis, report_with_observability, BenchCli,
-    Series,
+    amr_diag_loop, amr_diag_workload, improvement_pct, relabel, report, report_with_diagnosis,
+    report_with_observability, whatif_phase, BenchCli, Series, AMR_DIAG_OUTLIER,
 };
 use ncd_core::{
     decisions_from_trace, detect_misselections, remediation_hints, render_hints, Comm, MpiConfig,
@@ -98,7 +98,7 @@ fn run(nranks: usize, depth: u32, cfg: MpiConfig) -> (SimTime, MetricsRegistry, 
 }
 
 fn main() {
-    let cli = BenchCli::parse();
+    let mut cli = BenchCli::parse();
     let smoke = cli.smoke;
     let (depth_ranks, depths) = if smoke {
         (16usize, 0..=2u32)
@@ -166,6 +166,22 @@ fn main() {
     // with the mirrored findings in them.
     let (diag_series, diag_map, diag_traces) = diagnosis_phase(&cli, depth_ranks);
 
+    // (d) Counterfactual verification (`--whatif`): plan interventions
+    // from the diagnosis the phase above just produced, deterministically
+    // replay the same workload under each one, and report which claims
+    // survive measurement. The resulting byte-stable JSON rides into the
+    // observatory ledger as the run's `whatif.json` artifact.
+    if cli.whatif {
+        cli.whatif_artifact = whatif_phase(
+            "ext_amr_skew",
+            &ClusterConfig::paper_testbed(depth_ranks),
+            &MpiConfig::baseline(),
+            &diag_traces,
+            Some(&diag_map),
+            amr_diag_workload,
+        );
+    }
+
     // Observatory pass: both sweeps' series (relabelled so the two
     // round-robin/three-bin pairs stay distinct in the differential's
     // join) plus the diagnosis run's traffic matrix and traces — the
@@ -205,8 +221,7 @@ fn diagnosis_phase(
     cli: &BenchCli,
     nranks: usize,
 ) -> (Series, ClusterCommMap, Vec<Vec<TraceEvent>>) {
-    const DIAG_STEPS: usize = 4;
-    const OUTLIER: usize = 0;
+    const OUTLIER: usize = AMR_DIAG_OUTLIER;
     let cluster = ClusterConfig::paper_testbed(nranks);
     let cost = cluster.cost.clone();
     let cfg = MpiConfig::baseline();
@@ -215,24 +230,13 @@ fn diagnosis_phase(
         rank.enable_tracing();
         rank.enable_comm_map();
         let mut comm = Comm::new(rank, mpi.clone());
-        let me = comm.rank();
-        let n = comm.size();
         comm.barrier();
         comm.rank_mut().reset_clock();
         let _ = comm.rank_mut().take_comm_map(); // drop warmup traffic
-        let mut counts = vec![64usize; n];
-        counts[OUTLIER] = 64 * 1024;
-        let total: usize = counts.iter().sum();
-        for _ in 0..DIAG_STEPS {
-            if me == OUTLIER {
-                // The refinement hotspot: more cells, more compute,
-                // entering the collective late every step.
-                comm.rank_mut().compute_flops(20_000_000);
-            }
-            let send = vec![me as u8; counts[me]];
-            let mut recv = vec![0u8; total];
-            comm.allgatherv(&send, &counts, &mut recv);
-        }
+                                                 // The measured loop is shared with the what-if replay
+                                                 // (`amr_diag_workload`), so the counterfactual verifies exactly
+                                                 // the workload this phase diagnosed.
+        amr_diag_loop(&mut comm);
         let map = comm.rank_mut().take_comm_map();
         let trace = comm.rank_mut().take_trace();
         (trace, map)

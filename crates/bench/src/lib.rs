@@ -14,9 +14,13 @@ use ncd_simnet::{
 };
 
 pub mod baseline;
+pub mod workloads;
 
 pub use baseline::{
     baseline_mode, check_series, tolerance_pct, BaselineMode, EXIT_MISSING_BASELINE,
+};
+pub use workloads::{
+    amr_diag_counts, amr_diag_loop, amr_diag_workload, AMR_DIAG_OUTLIER, AMR_DIAG_STEPS,
 };
 
 /// Whether the bench was asked to run reduced problem sizes (`--smoke` on
@@ -48,6 +52,15 @@ pub struct BenchCli {
     /// Compare against a prior ledgered run (`--compare <run-id|latest|path>`
     /// / `NCD_COMPARE`). Implies `--ledger` for the current run.
     pub compare: Option<String>,
+    /// Run the counterfactual what-if profiler after the diagnosis phase
+    /// (`--whatif` / `NCD_WHATIF=1`): plan interventions from the
+    /// findings, replay each deterministically, report verified gains.
+    pub whatif: bool,
+    /// The what-if phase's byte-stable JSON, stashed by [`whatif_phase`]
+    /// so [`BenchCli::observatory`] can ledger it as the `whatif.json`
+    /// artifact without changing its signature at every bench call site.
+    /// `None` leaves ledgered runs byte-identical to a no-whatif run.
+    pub whatif_artifact: Option<String>,
 }
 
 impl BenchCli {
@@ -65,6 +78,9 @@ impl BenchCli {
         if cli.compare.is_none() {
             cli.compare = std::env::var("NCD_COMPARE").ok().filter(|s| !s.is_empty());
         }
+        if !cli.whatif {
+            cli.whatif = std::env::var("NCD_WHATIF").as_deref() == Ok("1");
+        }
         cli
     }
 
@@ -72,7 +88,7 @@ impl BenchCli {
     /// tests. Flags mirror [`parse`](Self::parse): `--smoke`,
     /// `--report json` / `--report=json`, `--baseline write|check` /
     /// `--baseline=<mode>`, `--tolerance <pct>` / `--tolerance=<pct>`,
-    /// `--ledger`, `--compare <spec>` / `--compare=<spec>`.
+    /// `--ledger`, `--compare <spec>` / `--compare=<spec>`, `--whatif`.
     pub fn from_args(args: &[String]) -> BenchCli {
         let mut report_json = false;
         let mut tolerance = 10.0;
@@ -122,6 +138,8 @@ impl BenchCli {
             tolerance_pct: tolerance,
             ledger,
             compare,
+            whatif: args.iter().any(|a| a == "--whatif"),
+            whatif_artifact: None,
         }
     }
 
@@ -163,7 +181,15 @@ impl BenchCli {
             .as_ref()
             .map(|spec| resolve_compare_dir(&root, name, spec));
         let manifest = report_to_ledger(
-            name, self.smoke, knobs, series, metrics, comm_map, history, traces,
+            name,
+            self.smoke,
+            knobs,
+            series,
+            metrics,
+            comm_map,
+            history,
+            traces,
+            self.whatif_artifact.as_deref(),
         )
         .unwrap_or_else(|e| {
             eprintln!("cannot write the run ledger for {name}: {e}");
@@ -346,6 +372,62 @@ pub fn datatype_report(reg: &MetricsRegistry) -> Option<String> {
         out.push_str(&format!(
             "{e:<16}{blocks:>8}{sparse:>8}{dense:>8}{seek:>12}{seek_per_block:>10.1}{lookahead_per_block:>12.1}{bytes:>12}\n"
         ));
+    }
+    Some(out)
+}
+
+/// `-log_view`-style summary of the event scheduler's own work during a
+/// run (see [`ncd_simnet::SchedStats`]): context switches, park mix,
+/// wake sources, ready-queue pressure, and the fiber-stack high-water
+/// mark. One header row plus one value row, followed by the occupied
+/// buckets of the ready-depth log₂ histogram. Returns `None` for an
+/// empty survey (no tasks driven).
+pub fn sched_report(stats: &ncd_simnet::SchedStats) -> Option<String> {
+    if stats.tasks == 0 {
+        return None;
+    }
+    let mut out = format!("\n=== event scheduler ({}) ===\n", stats.backend);
+    out.push_str(&format!(
+        "{:>8}{:>10}{:>11}{:>11}{:>10}{:>9}{:>10}{:>12}{:>12}\n",
+        "tasks",
+        "resumes",
+        "parks-blk",
+        "parks-poll",
+        "wakes",
+        "promos",
+        "promoted",
+        "mean-depth",
+        "max-stack-B"
+    ));
+    out.push_str(&format!(
+        "{:>8}{:>10}{:>11}{:>11}{:>10}{:>9}{:>10}{:>12.2}{:>12}\n",
+        stats.tasks,
+        stats.resumes,
+        stats.parks_blocked,
+        stats.parks_polling,
+        stats.deposit_wakes,
+        stats.poll_promotions,
+        stats.promoted_tasks,
+        stats.mean_depth(),
+        stats.max_stack_bytes
+    ));
+    let buckets: Vec<String> = stats
+        .ready_depth_log2
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(i, count)| {
+            let lo = 1u64 << i;
+            let hi = (1u64 << (i + 1)) - 1;
+            if lo == hi {
+                format!("{lo}:{count}")
+            } else {
+                format!("{lo}-{hi}:{count}")
+            }
+        })
+        .collect();
+    if !buckets.is_empty() {
+        out.push_str(&format!("ready-queue depth: {}\n", buckets.join("  ")));
     }
     Some(out)
 }
@@ -767,6 +849,10 @@ pub fn series_json(name: &str, smoke: bool, series: &[Series]) -> String {
 /// audit, and the wait-state diagnosis. The run id is a deterministic
 /// content hash, so re-ledgering an unchanged run is idempotent and an id
 /// change is itself a behaviour-change signal.
+///
+/// `whatif` is the causal profile's byte-stable JSON when the bench ran
+/// the what-if phase (see [`whatif_phase`]); `None` keeps the artifact
+/// set — and therefore the run id — identical to a run without it.
 #[allow(clippy::too_many_arguments)]
 pub fn report_to_ledger(
     name: &str,
@@ -777,6 +863,7 @@ pub fn report_to_ledger(
     comm_map: Option<&ClusterCommMap>,
     history: Option<&History>,
     traces: Option<&[Vec<TraceEvent>]>,
+    whatif: Option<&str>,
 ) -> std::io::Result<RunManifest> {
     let mut artifacts: Vec<(String, String)> =
         vec![("series.json".to_string(), series_json(name, smoke, series))];
@@ -815,6 +902,9 @@ pub fn report_to_ledger(
             ncd_simnet::diagnosis_json(&ncd_simnet::diagnose(traces)),
         ));
     }
+    if let Some(json) = whatif {
+        artifacts.push(("whatif.json".to_string(), json.to_string()));
+    }
     let root = ncd_simnet::ledger_root();
     let mode = if smoke { "smoke" } else { "full" };
     let manifest = ncd_simnet::write_run(&root, name, mode, knobs, &artifacts)?;
@@ -848,6 +938,58 @@ fn resolve_compare_dir(
     } else {
         Err(format!("no ledgered run at {}", dir.display()))
     }
+}
+
+/// Tie-break-seed perturbations the what-if phase replays each intervened
+/// configuration under. The event scheduler's contract says the result
+/// must not change, so any spread across these marks the measurement (not
+/// the simulation) as fragile.
+pub const WHATIF_SEEDS: &[u64] = &[7, 99];
+
+/// Run the counterfactual what-if profiler over a diagnosis run's traces:
+/// plan targeted interventions from the findings and the decision audit
+/// ([`ncd_core::plan_experiments`]), deterministically replay each one on
+/// the event backend ([`ncd_core::causal_profile`]), print the causal
+/// profile and the findings with their measured `verified_gain`, and
+/// write the byte-stable JSON to `target/analysis/<name>.whatif.json`.
+///
+/// Returns the JSON for ledgering — benches stash it in
+/// [`BenchCli::whatif_artifact`] before calling
+/// [`BenchCli::observatory`]. `None` when the planner found nothing to
+/// test. `workload` must be the same workload the traces came from, or
+/// the replayed gains verify a different run than the one diagnosed.
+pub fn whatif_phase<F>(
+    name: &str,
+    cluster: &ClusterConfig,
+    mpi: &MpiConfig,
+    traces: &[Vec<TraceEvent>],
+    comm_map: Option<&ClusterCommMap>,
+    workload: F,
+) -> Option<String>
+where
+    F: Fn(&mut Comm) + Send + Sync,
+{
+    let mut diag = ncd_simnet::diagnose(traces);
+    let decisions = ncd_core::decisions_from_trace(&traces[0]);
+    let audit = ncd_core::detect_misselections(&decisions, comm_map, &cluster.cost, mpi);
+    let plan = ncd_core::plan_experiments(&diag, &decisions, &audit, 3);
+    if plan.is_empty() {
+        println!("\nwhat-if: no findings or flags to test for {name}");
+        return None;
+    }
+    let profile = ncd_core::causal_profile(cluster, mpi, &plan, WHATIF_SEEDS, &workload);
+    profile.apply_verified_gains(&mut diag);
+    print!("{}", ncd_core::whatif_report(&profile));
+    print!("\n{}", diag.render(5));
+    let json = ncd_core::whatif_json(&profile);
+    let dir = std::path::Path::new("target").join("analysis");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.whatif.json"));
+        if std::fs::write(&path, &json).is_ok() {
+            println!("what-if profile written: {}", path.display());
+        }
+    }
+    Some(json)
 }
 
 /// Aggregate per-rank stats into one cluster-wide breakdown.
@@ -1003,6 +1145,18 @@ fn report_impl(
         if std::fs::create_dir_all(&dir).is_ok() {
             let _ = ncd_simnet::write_diagnosis_json(dir.join(format!("{name}.diagnosis.json")), d);
         }
+    }
+
+    // The scheduler's introspection survey of the most recent
+    // event-driven run — how hard the event loop itself worked to
+    // produce the numbers above. Purely informational: it reflects the
+    // last run before this report, and nothing under the threads
+    // backend.
+    if let Some(table) = ncd_simnet::last_sched_stats()
+        .as_ref()
+        .and_then(sched_report)
+    {
+        print!("{table}");
     }
 
     // CSV alongside (best effort; benches may run in read-only setups).
@@ -1413,6 +1567,38 @@ mod tests {
     }
 
     #[test]
+    fn sched_report_formats_the_survey() {
+        let mut stats = ncd_simnet::SchedStats {
+            tasks: 4,
+            backend: "fiber",
+            resumes: 12,
+            parks_blocked: 1,
+            parks_polling: 8,
+            deposit_wakes: 1,
+            poll_promotions: 2,
+            promoted_tasks: 8,
+            depth_sum: 30,
+            max_stack_bytes: 18_432,
+            ..Default::default()
+        };
+        stats.ready_depth_log2[0] = 3;
+        stats.ready_depth_log2[1] = 6;
+        stats.ready_depth_log2[2] = 3;
+        let table = sched_report(&stats).expect("non-empty survey");
+        assert!(table.contains("=== event scheduler (fiber) ==="), "{table}");
+        assert!(
+            table.contains("ready-queue depth: 1:3  2-3:6  4-7:3"),
+            "{table}"
+        );
+        assert!(table.contains("2.50"), "mean depth 30/12:\n{table}");
+        assert!(table.contains("18432"), "{table}");
+        assert!(
+            sched_report(&ncd_simnet::SchedStats::default()).is_none(),
+            "an empty survey renders nothing"
+        );
+    }
+
+    #[test]
     fn bench_cli_parses_every_flag_form() {
         let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
         let cli = BenchCli::from_args(&to_args(&[
@@ -1427,6 +1613,7 @@ mod tests {
             "--ledger",
             "--compare",
             "latest",
+            "--whatif",
         ]));
         assert_eq!(
             cli,
@@ -1437,6 +1624,8 @@ mod tests {
                 tolerance_pct: 5.0,
                 ledger: true,
                 compare: Some("latest".to_string()),
+                whatif: true,
+                whatif_artifact: None,
             }
         );
         let eqs = BenchCli::from_args(&to_args(&[
@@ -1455,6 +1644,8 @@ mod tests {
                 tolerance_pct: 2.5,
                 ledger: false,
                 compare: Some("0123456789abcdef".to_string()),
+                whatif: false,
+                whatif_artifact: None,
             }
         );
         assert!(
@@ -1471,6 +1662,8 @@ mod tests {
                 tolerance_pct: 10.0,
                 ledger: false,
                 compare: None,
+                whatif: false,
+                whatif_artifact: None,
             }
         );
         assert!(!none.wants_observatory());
@@ -1504,6 +1697,10 @@ mod tests {
                 Some(&map),
                 Some(&history),
                 Some(&traces),
+                Some(&ncd_core::whatif_json(&ncd_core::CausalProfile {
+                    baseline_ns: 1000,
+                    outcomes: Vec::new(),
+                })),
             )
             .expect("ledger write")
         };
@@ -1523,6 +1720,7 @@ mod tests {
             "analysis.json",
             "decisions.json",
             "diagnosis.json",
+            "whatif.json",
         ] {
             let text = run
                 .artifact(artifact)

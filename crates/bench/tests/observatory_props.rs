@@ -52,6 +52,7 @@ fn ledger_and_reload(
         Some(&map),
         Some(&history),
         Some(&traces),
+        None,
     )
     .expect("ledger the run");
     let dir = ledger_root().join(bench).join(&manifest.run_id);

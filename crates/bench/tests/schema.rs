@@ -48,6 +48,10 @@ fn every_byte_stable_export_leads_with_the_shared_schema_version() {
         Some(&map),
         Some(&history),
         Some(&traces),
+        Some(&ncd_core::whatif_json(&ncd_core::CausalProfile {
+            baseline_ns: 1,
+            outcomes: Vec::new(),
+        })),
     )
     .expect("ledger the probe run");
 
@@ -71,8 +75,8 @@ fn every_byte_stable_export_leads_with_the_shared_schema_version() {
     }
     assert_eq!(
         checked,
-        8,
-        "expected manifest + 7 artifacts under {}",
+        9,
+        "expected manifest + 8 artifacts under {}",
         dir.display()
     );
 

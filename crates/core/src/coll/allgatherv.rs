@@ -40,6 +40,19 @@ impl AllgathervAlgorithm {
             AllgathervAlgorithm::Dissemination => "dissemination",
         }
     }
+
+    /// Inverse of [`label`](Self::label): parse an algorithm from the name
+    /// the decision audit records (e.g. a misselection's `suggested`
+    /// field), so a what-if experiment can pin exactly what the audit
+    /// proposed.
+    pub fn from_label(label: &str) -> Option<AllgathervAlgorithm> {
+        match label {
+            "ring" => Some(AllgathervAlgorithm::Ring),
+            "recursive_doubling" => Some(AllgathervAlgorithm::RecursiveDoubling),
+            "dissemination" => Some(AllgathervAlgorithm::Dissemination),
+            _ => None,
+        }
+    }
 }
 
 fn is_pow2(n: usize) -> bool {
@@ -67,7 +80,11 @@ impl Comm<'_> {
         };
         let ns = passes as f64 * counts.len() as f64 * 2.0;
         self.rank_mut().charge_cpu(CostKind::Comm, ns);
-        let algo = self.allgatherv_choose(counts);
+        // A pinned algorithm (what-if decision-flip intervention) bypasses
+        // the policy; the audit still records the evidence, with the
+        // reason telling the analysis layer the choice was forced.
+        let pin = self.config().allgatherv_pin;
+        let algo = pin.unwrap_or_else(|| self.allgatherv_choose(counts));
         // Audit the selection: one AlgorithmDecision per auto-selected
         // call, carrying the evidence (total, outlier ratio, pow2) and
         // the policy branch taken. Recording charges no simulated time.
@@ -77,22 +94,26 @@ impl Comm<'_> {
             let (shape, ratio) =
                 detect_outliers_with_ratio(counts, cfg.outlier_fraction, cfg.outlier_ratio);
             let pow2 = is_pow2(self.size());
-            let reason = match (cfg.flavor, algo) {
-                (MpiFlavor::Baseline, AllgathervAlgorithm::Ring) => "total >= long threshold",
-                (MpiFlavor::Baseline, AllgathervAlgorithm::RecursiveDoubling) => {
-                    "small total, pow2 ranks"
-                }
-                (MpiFlavor::Baseline, AllgathervAlgorithm::Dissemination) => {
-                    "small total, non-pow2 ranks"
-                }
-                (MpiFlavor::Optimized, AllgathervAlgorithm::Ring) => {
-                    "uniform large total: ring bandwidth path"
-                }
-                (MpiFlavor::Optimized, _) => {
-                    if shape == VolumeShape::Outliers {
-                        "outliers: binomial movement"
-                    } else {
-                        "uniform small total: binomial latency path"
+            let reason = if pin.is_some() {
+                "pinned"
+            } else {
+                match (cfg.flavor, algo) {
+                    (MpiFlavor::Baseline, AllgathervAlgorithm::Ring) => "total >= long threshold",
+                    (MpiFlavor::Baseline, AllgathervAlgorithm::RecursiveDoubling) => {
+                        "small total, pow2 ranks"
+                    }
+                    (MpiFlavor::Baseline, AllgathervAlgorithm::Dissemination) => {
+                        "small total, non-pow2 ranks"
+                    }
+                    (MpiFlavor::Optimized, AllgathervAlgorithm::Ring) => {
+                        "uniform large total: ring bandwidth path"
+                    }
+                    (MpiFlavor::Optimized, _) => {
+                        if shape == VolumeShape::Outliers {
+                            "outliers: binomial movement"
+                        } else {
+                            "uniform small total: binomial latency path"
+                        }
                     }
                 }
             };

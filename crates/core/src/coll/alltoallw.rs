@@ -66,6 +66,16 @@ impl AlltoallwSchedule {
             AlltoallwSchedule::Binned => "binned",
         }
     }
+
+    /// Inverse of [`label`](Self::label), for pinning the schedule a
+    /// decision audit suggested (see `MpiConfig::alltoallw_pin`).
+    pub fn from_label(label: &str) -> Option<AlltoallwSchedule> {
+        match label {
+            "round_robin" => Some(AlltoallwSchedule::RoundRobin),
+            "binned" => Some(AlltoallwSchedule::Binned),
+            _ => None,
+        }
+    }
 }
 
 impl Comm<'_> {
@@ -83,10 +93,13 @@ impl Comm<'_> {
         recvbuf: &mut [u8],
         recvs: &[WPeer],
     ) {
-        let schedule = match self.config().flavor {
+        // A pinned schedule (what-if decision-flip intervention) overrides
+        // the flavor's default; the audit records the forced choice.
+        let pin = self.config().alltoallw_pin;
+        let schedule = pin.unwrap_or(match self.config().flavor {
             MpiFlavor::Baseline => AlltoallwSchedule::RoundRobin,
             MpiFlavor::Optimized => AlltoallwSchedule::Binned,
-        };
+        });
         // Audit the selection: the schedule is fixed by the flavor, but
         // the decision record still carries the measured evidence (the
         // outgoing per-peer volume set's outlier ratio) so the analysis
@@ -98,9 +111,13 @@ impl Comm<'_> {
             let ratio = outlier_ratio_of(&vols, self.config().outlier_fraction);
             let n = sends.len();
             let pow2 = n != 0 && n & (n - 1) == 0;
-            let reason = match self.config().flavor {
-                MpiFlavor::Baseline => "baseline flavor: lock-step round robin",
-                MpiFlavor::Optimized => "optimized flavor: zero-exempt three-bin schedule",
+            let reason = if pin.is_some() {
+                "pinned"
+            } else {
+                match self.config().flavor {
+                    MpiFlavor::Baseline => "baseline flavor: lock-step round robin",
+                    MpiFlavor::Optimized => "optimized flavor: zero-exempt three-bin schedule",
+                }
             };
             self.rank_mut().observe_algo_decision(
                 "alltoallw",

@@ -4,6 +4,8 @@
 
 use ncd_datatype::{EngineKind, EngineParams};
 
+use crate::coll::{AllgathervAlgorithm, AlltoallwSchedule};
+
 /// Which implementation personality a communicator runs with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MpiFlavor {
@@ -44,6 +46,17 @@ pub struct MpiConfig {
     /// Alltoallw bin boundary: messages up to this many bytes are "small"
     /// and processed first.
     pub small_msg_threshold: usize,
+    /// When set, [`crate::Comm::allgatherv`] skips its selection policy and
+    /// runs this algorithm unconditionally — the decision-flip intervention
+    /// of the what-if profiler (`core::whatif`). The audit records the
+    /// choice with reason `"pinned"`. Pinning
+    /// [`AllgathervAlgorithm::RecursiveDoubling`] requires a power-of-two
+    /// communicator.
+    pub allgatherv_pin: Option<AllgathervAlgorithm>,
+    /// When set, [`crate::Comm::alltoallw`] runs this schedule instead of
+    /// the flavor's default (same intervention mechanism as
+    /// [`MpiConfig::allgatherv_pin`]).
+    pub alltoallw_pin: Option<AlltoallwSchedule>,
 }
 
 impl MpiConfig {
@@ -55,6 +68,8 @@ impl MpiConfig {
             outlier_fraction: 0.9,
             outlier_ratio: 8.0,
             small_msg_threshold: 1024,
+            allgatherv_pin: None,
+            alltoallw_pin: None,
         }
     }
 

@@ -204,6 +204,7 @@ mod tests {
                 severity: SimTime::from_ns(900),
                 max_severity: SimTime::from_ns(400),
                 last_end: SimTime::from_ns(950),
+                verified_gain: None,
             }],
             blame,
             per_pattern: Vec::new(),

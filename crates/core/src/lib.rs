@@ -37,6 +37,7 @@ pub mod diagnose;
 pub mod drift;
 pub mod request;
 pub mod select;
+pub mod whatif;
 
 pub use coll::{AllgathervAlgorithm, AlltoallwSchedule, NeighborExchange, WPeer};
 pub use comm::{bytes_to_f64s, f64s_to_bytes, Comm, CommGroup};
@@ -60,6 +61,10 @@ pub use drift::{
 pub use request::{Completion, Request};
 pub use select::{
     detect_outliers, detect_outliers_with_ratio, k_select, outlier_ratio_of, VolumeShape,
+};
+pub use whatif::{
+    causal_profile, plan_experiments, whatif_json, whatif_report, write_whatif_json, Action,
+    CausalProfile, Experiment, Outcome,
 };
 
 // Re-export the layers below for convenience of downstream crates.

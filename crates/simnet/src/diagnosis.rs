@@ -143,6 +143,14 @@ pub struct Finding {
     pub max_severity: SimTime,
     /// Latest receive end in the group (timestamp for mirrored records).
     pub last_end: SimTime,
+    /// Causally verified gain in nanoseconds, filled in by the what-if
+    /// profiler (`core::whatif`) after replaying the workload with this
+    /// finding's cost removed: baseline makespan minus intervention
+    /// makespan (negative = the intervention made things worse). `None`
+    /// until a replay has measured it; [`diagnosis_json`] only emits the
+    /// field when present, so un-profiled exports are byte-identical to
+    /// earlier schema-1 artifacts.
+    pub verified_gain: Option<i64>,
 }
 
 /// The full diagnosis of one run's traces; see [`diagnose`].
@@ -337,6 +345,7 @@ pub fn diagnose(traces: &[Vec<TraceEvent>]) -> Diagnosis {
                 severity,
                 max_severity,
                 last_end,
+                verified_gain: None,
             },
         )
         .collect();
@@ -461,9 +470,13 @@ impl Diagnosis {
             let _ = writeln!(out, "top findings:");
             for (i, f) in self.findings.iter().take(top_k).enumerate() {
                 let op = f.op.as_deref().unwrap_or("-");
+                let verified = match f.verified_gain {
+                    Some(gain) => format!("  verified {gain} ns"),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "  #{:<2} {:<22} op {:<26} blamed {:>3}  waiters {:>3}  instances {:>4}  severity {}",
+                    "  #{:<2} {:<22} op {:<26} blamed {:>3}  waiters {:>3}  instances {:>4}  severity {}{}",
                     i + 1,
                     f.pattern.label(),
                     op,
@@ -471,6 +484,7 @@ impl Diagnosis {
                     f.waiters,
                     f.instances,
                     f.severity,
+                    verified,
                 );
             }
             if self.findings.len() > top_k {
@@ -553,7 +567,7 @@ pub fn diagnosis_json(d: &Diagnosis) -> String {
         };
         let _ = write!(
             out,
-            "{{\"pattern\":\"{}\",\"op\":{op},\"blamed\":{},\"waiters\":{},\"instances\":{},\"severity_ns\":{},\"max_ns\":{}}}",
+            "{{\"pattern\":\"{}\",\"op\":{op},\"blamed\":{},\"waiters\":{},\"instances\":{},\"severity_ns\":{},\"max_ns\":{}",
             f.pattern.label(),
             f.blamed,
             f.waiters,
@@ -561,6 +575,10 @@ pub fn diagnosis_json(d: &Diagnosis) -> String {
             f.severity.as_ns(),
             f.max_severity.as_ns(),
         );
+        if let Some(gain) = f.verified_gain {
+            let _ = write!(out, ",\"verified_gain_ns\":{gain}");
+        }
+        out.push('}');
     }
     out.push_str("],\"blame\":[");
     for (i, (src, dst, ns, count)) in d.blame.nonzero_pairs().into_iter().enumerate() {

@@ -1,0 +1,232 @@
+//! Counterfactual cost injection: scale factors over the cost model.
+//!
+//! The what-if profiler (see `core::whatif`) answers "what would the run
+//! have cost if rank 3 packed twice as fast?" by *replaying* the workload
+//! under a modified cost model rather than extrapolating from a trace.
+//! [`CostKnobs`] is that modification: per-dimension scale factors
+//! ([`KnobDim`]: pack, wire, latency, compute), globally and/or per rank,
+//! attached to a [`crate::ClusterConfig`] as an optional overlay.
+//!
+//! Two invariants make the overlay safe to thread through every charging
+//! path of [`crate::Rank`]:
+//!
+//! - **Zero overhead when unset.** A cluster built without knobs stores
+//!   `None` and every charge site pays one `match` on it — the same
+//!   is-enabled discipline the metrics registry uses.
+//! - **Bitwise neutrality at 1.0.** Factors multiply the cost model's
+//!   `f64` nanoseconds *before* quantization to [`crate::SimTime`], and
+//!   `ns * 1.0 == ns` exactly in IEEE 754, so all-neutral knobs reproduce
+//!   every golden trace bit for bit (pinned by the knobs neutrality
+//!   tests).
+
+/// One scalable cost dimension of the simulation.
+///
+/// These are the subsystems the diagnosis layer blames: datatype packing
+/// (and context re-search), wire serialization bandwidth, per-message
+/// network latency, and application compute. A factor below 1.0 makes the
+/// dimension faster ("pack 2× faster" = 0.5), above 1.0 slower, and 0.0
+/// removes it entirely ("zero the outlier's wire time").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KnobDim {
+    /// Datatype-engine pack/copy time and context re-search
+    /// ([`crate::CostKind::Pack`] and [`crate::CostKind::Search`]).
+    Pack,
+    /// Wire serialization time (`wire_ns`), on both the blocking send
+    /// path and the NIC reservation timeline.
+    Wire,
+    /// Per-message network latency (`latency_ns`); self-sends never pay
+    /// it and so are never scaled.
+    Latency,
+    /// Application compute ([`crate::CostKind::Compute`]).
+    Compute,
+}
+
+impl KnobDim {
+    /// Stable lowercase name, used in experiment descriptions and the
+    /// byte-stable `whatif_json` export.
+    pub fn label(self) -> &'static str {
+        match self {
+            KnobDim::Pack => "pack",
+            KnobDim::Wire => "wire",
+            KnobDim::Latency => "latency",
+            KnobDim::Compute => "compute",
+        }
+    }
+
+    /// All dimensions, in index order (matching the factor arrays below).
+    pub const ALL: [KnobDim; 4] = [
+        KnobDim::Pack,
+        KnobDim::Wire,
+        KnobDim::Latency,
+        KnobDim::Compute,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            KnobDim::Pack => 0,
+            KnobDim::Wire => 1,
+            KnobDim::Latency => 2,
+            KnobDim::Compute => 3,
+        }
+    }
+}
+
+const NEUTRAL_FACTORS: [f64; 4] = [1.0; 4];
+
+/// A set of counterfactual scale factors: one per [`KnobDim`] globally,
+/// plus optional per-rank overrides (a rank's factor is its override when
+/// one exists, else the global). Built with the [`CostKnobs::scale`] /
+/// [`CostKnobs::scale_rank`] chain and resolved once per rank at cluster
+/// construction ([`CostKnobs::resolve`]), so the hot charging paths never
+/// search the override table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostKnobs {
+    global: [f64; 4],
+    /// `(rank, factors)` overrides, kept sorted by rank.
+    per_rank: Vec<(usize, [f64; 4])>,
+}
+
+impl CostKnobs {
+    /// All factors 1.0 — replays the run unchanged.
+    pub fn neutral() -> CostKnobs {
+        CostKnobs {
+            global: NEUTRAL_FACTORS,
+            per_rank: Vec::new(),
+        }
+    }
+
+    /// Whether every factor (global and per-rank) is exactly 1.0.
+    pub fn is_neutral(&self) -> bool {
+        self.global == NEUTRAL_FACTORS && self.per_rank.iter().all(|(_, f)| *f == NEUTRAL_FACTORS)
+    }
+
+    /// Scale `dim` by `factor` on every rank.
+    pub fn scale(mut self, dim: KnobDim, factor: f64) -> CostKnobs {
+        assert!(factor >= 0.0, "cost factors must be nonnegative");
+        self.global[dim.index()] = factor;
+        self
+    }
+
+    /// Scale `dim` by `factor` on `rank` only (overrides the global
+    /// factor for that dimension on that rank).
+    pub fn scale_rank(mut self, rank: usize, dim: KnobDim, factor: f64) -> CostKnobs {
+        assert!(factor >= 0.0, "cost factors must be nonnegative");
+        match self.per_rank.binary_search_by_key(&rank, |(r, _)| *r) {
+            Ok(i) => self.per_rank[i].1[dim.index()] = factor,
+            Err(i) => {
+                let mut f = self.global;
+                f[dim.index()] = factor;
+                self.per_rank.insert(i, (rank, f));
+            }
+        }
+        self
+    }
+
+    /// The effective factors for `rank`, flattened for the hot path.
+    pub fn resolve(&self, rank: usize) -> ResolvedKnobs {
+        let f = self
+            .per_rank
+            .binary_search_by_key(&rank, |(r, _)| *r)
+            .map(|i| self.per_rank[i].1)
+            .unwrap_or(self.global);
+        ResolvedKnobs {
+            pack: f[0],
+            wire: f[1],
+            latency: f[2],
+            compute: f[3],
+        }
+    }
+
+    /// Human-readable summary of the non-neutral factors, e.g.
+    /// `"pack x0.5 @rank3, wire x0 (global)"`. Empty string when neutral.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        for dim in KnobDim::ALL {
+            let f = self.global[dim.index()];
+            if f != 1.0 {
+                parts.push(format!("{} x{} (global)", dim.label(), f));
+            }
+        }
+        for (rank, factors) in &self.per_rank {
+            for dim in KnobDim::ALL {
+                let f = factors[dim.index()];
+                if f != self.global[dim.index()] {
+                    parts.push(format!("{} x{} @rank{rank}", dim.label(), f));
+                }
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+/// Per-rank flattened factors, one multiply per charge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResolvedKnobs {
+    pub pack: f64,
+    pub wire: f64,
+    pub latency: f64,
+    pub compute: f64,
+}
+
+impl ResolvedKnobs {
+    /// Identity factors.
+    pub const NEUTRAL: ResolvedKnobs = ResolvedKnobs {
+        pack: 1.0,
+        wire: 1.0,
+        latency: 1.0,
+        compute: 1.0,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_resolves_to_ones_everywhere() {
+        let k = CostKnobs::neutral();
+        assert!(k.is_neutral());
+        assert_eq!(k.resolve(0), ResolvedKnobs::NEUTRAL);
+        assert_eq!(k.resolve(99), ResolvedKnobs::NEUTRAL);
+        assert_eq!(k.describe(), "");
+    }
+
+    #[test]
+    fn global_and_per_rank_factors_compose() {
+        let k = CostKnobs::neutral()
+            .scale(KnobDim::Wire, 2.0)
+            .scale_rank(3, KnobDim::Pack, 0.5);
+        assert!(!k.is_neutral());
+        // Non-overridden rank sees the global wire factor only.
+        assert_eq!(
+            k.resolve(0),
+            ResolvedKnobs {
+                wire: 2.0,
+                ..ResolvedKnobs::NEUTRAL
+            }
+        );
+        // The overridden rank inherits the global factors it didn't set.
+        assert_eq!(
+            k.resolve(3),
+            ResolvedKnobs {
+                pack: 0.5,
+                wire: 2.0,
+                ..ResolvedKnobs::NEUTRAL
+            }
+        );
+        let d = k.describe();
+        assert!(d.contains("wire x2 (global)"), "{d}");
+        assert!(d.contains("pack x0.5 @rank3"), "{d}");
+    }
+
+    #[test]
+    fn later_per_rank_edits_update_in_place() {
+        let k = CostKnobs::neutral()
+            .scale_rank(1, KnobDim::Compute, 0.5)
+            .scale_rank(1, KnobDim::Compute, 0.25);
+        assert_eq!(k.resolve(1).compute, 0.25);
+        // A per-rank override set back to 1.0 still counts as neutral.
+        let n = CostKnobs::neutral().scale_rank(2, KnobDim::Wire, 1.0);
+        assert!(n.is_neutral());
+    }
+}

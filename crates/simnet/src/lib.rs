@@ -49,6 +49,7 @@ pub mod commmap;
 pub mod diagnosis;
 pub mod export;
 pub mod history;
+pub mod knobs;
 pub mod ledger;
 pub mod mailbox;
 pub mod metrics;
@@ -81,6 +82,7 @@ pub use history::{
     history_json, history_report, merge_histories, pattern_hash_rank, sparkline,
     write_history_json, EpochPoint, History, RankEpochRecord, RankHistory,
 };
+pub use knobs::{CostKnobs, KnobDim, ResolvedKnobs};
 pub use ledger::{
     latest_run_id, ledger_root, manifest_json, parse_json, parse_manifest, read_run,
     resolve_run_dir, write_run, Json, LedgerRun, RunManifest,
@@ -94,6 +96,7 @@ pub use recorder::{
     DRIFT_SLOTS,
 };
 pub use runtime::{Cluster, ClusterConfig, Rank, SchedBackend, SpeedProfile};
+pub use sched::{last_sched_stats, SchedStats, TaskBackend, DEPTH_BUCKETS, MIN_STACK_BYTES};
 pub use stats::{CostKind, Stats};
 pub use time::{CostModel, SimTime};
 pub use trace::{render_timeline, render_timeline_fit, EventKind, TraceEvent, TIMELINE_GUTTER};

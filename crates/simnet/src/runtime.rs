@@ -25,11 +25,12 @@ use rand::{Rng, SeedableRng};
 
 use crate::commmap::RankCommMap;
 use crate::history::RankHistory;
+use crate::knobs::{CostKnobs, ResolvedKnobs};
 use crate::mailbox::{Mailbox, NetMsg, Tag};
 use crate::metrics::MetricsRegistry;
 use crate::profile::Profiler;
 use crate::recorder::{self, Anomaly, RankRecorder, RecCode};
-use crate::sched::{self, EventCtl, EventHandle, Task, TaskShared};
+use crate::sched::{self, EventCtl, EventHandle, Task, TaskBackend, TaskShared};
 use crate::stats::{CostKind, Stats};
 use crate::time::{CostModel, SimTime};
 use crate::trace::{EventKind, TraceEvent};
@@ -120,6 +121,17 @@ pub struct ClusterConfig {
     /// id. Simulated results must not depend on it — the knob exists so
     /// property tests can prove that.
     pub sched_tie_seed: Option<u64>,
+    /// Counterfactual cost overlay (see [`crate::knobs`]): per-rank /
+    /// per-dimension scale factors applied to the cost model's charges.
+    /// `None` (the default) charges the model unmodified with zero
+    /// overhead; all-1.0 knobs are bitwise identical to `None`.
+    pub knobs: Option<CostKnobs>,
+    /// Suspend/resume primitive for rank tasks under the event backend
+    /// (see [`TaskBackend`]). `None` resolves to the target default at
+    /// run time; constructors seed it from `NCD_SCHED_TASKS` so a whole
+    /// suite can be flipped onto the portable backend without code
+    /// changes.
+    pub task_backend: Option<TaskBackend>,
 }
 
 /// Default flight-recorder window per rank.
@@ -142,6 +154,8 @@ impl ClusterConfig {
             backend: SchedBackend::from_env().unwrap_or(SchedBackend::Events),
             stack_bytes: DEFAULT_STACK_BYTES,
             sched_tie_seed: None,
+            knobs: None,
+            task_backend: TaskBackend::from_env(),
         }
     }
 
@@ -163,6 +177,8 @@ impl ClusterConfig {
             backend: SchedBackend::from_env().unwrap_or(SchedBackend::Events),
             stack_bytes: DEFAULT_STACK_BYTES,
             sched_tie_seed: None,
+            knobs: None,
+            task_backend: TaskBackend::from_env(),
         }
     }
 
@@ -198,6 +214,20 @@ impl ClusterConfig {
     /// [`ClusterConfig::sched_tie_seed`]).
     pub fn with_tie_break_seed(mut self, seed: u64) -> Self {
         self.sched_tie_seed = Some(seed);
+        self
+    }
+
+    /// Overlay counterfactual cost scale factors (see [`crate::knobs`]).
+    pub fn with_cost_knobs(mut self, knobs: CostKnobs) -> Self {
+        self.knobs = Some(knobs);
+        self
+    }
+
+    /// Pin the task suspend/resume primitive of the event backend,
+    /// ignoring `NCD_SCHED_TASKS` (differential tests pit the asm
+    /// fiber switch against the portable baton this way).
+    pub fn with_task_backend(mut self, backend: TaskBackend) -> Self {
+        self.task_backend = Some(backend);
         self
     }
 }
@@ -288,6 +318,7 @@ impl Cluster {
             commmap: RankCommMap::new(rank_id, n),
             history: RankHistory::new(rank_id, n),
             sched,
+            knobs: cfg.knobs.as_ref().map(|k| k.resolve(rank_id)),
         }
     }
 
@@ -302,10 +333,14 @@ impl Cluster {
         let n = self.cfg.n_ranks;
         let (txs, rxs, recorders) = self.wire_up();
         let ctl = Arc::new(EventCtl::new(n));
+        let task_backend = self
+            .cfg
+            .task_backend
+            .unwrap_or_else(TaskBackend::default_for_target);
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let mut tasks: Vec<Task> = Vec::with_capacity(n);
         for (rank_id, rx) in rxs.into_iter().enumerate() {
-            let shared = Arc::new(TaskShared::new());
+            let shared = Arc::new(TaskShared::new(task_backend));
             let handle = EventHandle::new(ctl.clone(), shared.clone(), rank_id);
             let cfg = &self.cfg;
             let f = &f;
@@ -429,6 +464,9 @@ pub struct Rank {
     /// Park/unpark handle under the event backend (`None` under
     /// threads-as-ranks, where blocking falls through to the channel).
     sched: Option<EventHandle>,
+    /// Counterfactual cost factors for this rank, resolved once from
+    /// [`ClusterConfig::knobs`]. `None` = charge the model unmodified.
+    knobs: Option<ResolvedKnobs>,
 }
 
 impl Rank {
@@ -903,8 +941,46 @@ impl Rank {
         }
     }
 
+    /// The counterfactual factor for a CPU charge of `kind`: pack/search
+    /// and compute are scalable [`crate::KnobDim`]s; everything else
+    /// (comm overheads) charges unmodified. One branch when knobs are
+    /// unset — the zero-overhead-when-disabled guard.
+    #[inline]
+    fn knob_cpu_factor(&self, kind: CostKind) -> f64 {
+        match &self.knobs {
+            None => 1.0,
+            Some(k) => match kind {
+                CostKind::Pack | CostKind::Search => k.pack,
+                CostKind::Compute => k.compute,
+                _ => 1.0,
+            },
+        }
+    }
+
+    /// Wire serialization time for `bytes`, under the counterfactual wire
+    /// factor when knobs are set. Scaling happens on the `f64` model cost
+    /// *before* quantization, so a 1.0 factor is bitwise neutral.
+    #[inline]
+    fn wire_ns_scaled(&self, bytes: usize) -> f64 {
+        let ns = self.cost.wire_ns(bytes);
+        match &self.knobs {
+            None => ns,
+            Some(k) => ns * k.wire,
+        }
+    }
+
+    /// Per-message latency under the counterfactual latency factor.
+    #[inline]
+    fn latency_ns_scaled(&self) -> f64 {
+        match &self.knobs {
+            None => self.cost.latency_ns,
+            Some(k) => self.cost.latency_ns * k.latency,
+        }
+    }
+
     /// Charge `ns` of *CPU* time (scaled by this rank's speed) to `kind`.
     pub fn charge_cpu(&mut self, kind: CostKind, ns: f64) {
+        let ns = ns * self.knob_cpu_factor(kind);
         let span = SimTime::from_ns_f64(ns / self.speed);
         self.now += span;
         self.charge_span(kind, span);
@@ -959,14 +1035,14 @@ impl Rank {
         let bytes = data.len();
         let overhead = self.cost.send_overhead_ns + self.jitter_ns();
         self.charge_cpu(CostKind::Comm, overhead);
-        self.charge_fixed(CostKind::Comm, self.cost.wire_ns(bytes));
+        self.charge_fixed(CostKind::Comm, self.wire_ns_scaled(bytes));
         // A blocking send serializes on the CPU timeline; keep the NIC
         // timeline consistent for any nonblocking sends that follow.
         self.nic_free = self.nic_free.max(self.now);
         let arrival = if dst == self.rank {
             self.now // self-sends skip the wire
         } else {
-            self.now + SimTime::from_ns_f64(self.cost.latency_ns)
+            self.now + SimTime::from_ns_f64(self.latency_ns_scaled())
         };
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
@@ -1200,7 +1276,7 @@ impl Rank {
     /// current CPU time.
     pub fn nic_reserve(&mut self, bytes: usize) -> SimTime {
         let start = self.nic_free.max(self.now);
-        self.nic_free = start + SimTime::from_ns_f64(self.cost.wire_ns(bytes));
+        self.nic_free = start + SimTime::from_ns_f64(self.wire_ns_scaled(bytes));
         self.nic_free
     }
 
@@ -1222,7 +1298,7 @@ impl Rank {
         let arrival = if dst == self.rank {
             done // self-sends skip the wire latency
         } else {
-            done + SimTime::from_ns_f64(self.cost.latency_ns)
+            done + SimTime::from_ns_f64(self.latency_ns_scaled())
         };
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
@@ -1416,6 +1492,8 @@ mod tests {
             backend: SchedBackend::Events,
             stack_bytes: DEFAULT_STACK_BYTES,
             sched_tie_seed: None,
+            knobs: None,
+            task_backend: None,
         };
         let out = Cluster::new(cfg).run(|r| {
             r.compute_flops(1000);
@@ -1797,6 +1875,29 @@ mod tests {
             })
         };
         assert_eq!(run(SchedBackend::Events), run(SchedBackend::Threads));
+    }
+
+    /// The portable handoff task backend and the asm fiber backend must
+    /// produce bitwise-identical simulated results — the differential
+    /// contract one layer below [`SchedBackend`]: same event-loop
+    /// policy, different suspend/resume primitive.
+    #[cfg(all(target_arch = "x86_64", unix))]
+    #[test]
+    fn fiber_and_handoff_task_backends_agree() {
+        let run = |tb: TaskBackend| {
+            Cluster::new(ClusterConfig::paper_testbed(6).with_task_backend(tb)).run(|r| {
+                let right = (r.rank() + 1) % r.size();
+                let left = (r.rank() + r.size() - 1) % r.size();
+                for i in 0..8u32 {
+                    r.compute_flops(10_000 * (r.rank() as u64 + 1));
+                    r.send_bytes(right, Tag(i), vec![i as u8; 256 * (r.rank() + 1)]);
+                    let (d, src) = r.recv_bytes(Some(left), Tag(i));
+                    assert_eq!((d[0], src), (i as u8, left));
+                }
+                (r.now(), r.stats().wait, r.stats().comm, r.stats().compute)
+            })
+        };
+        assert_eq!(run(TaskBackend::Fiber), run(TaskBackend::Handoff));
     }
 
     /// Two ranks blocked on receives nobody will send: the event

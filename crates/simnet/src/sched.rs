@@ -57,6 +57,7 @@
 use std::any::Any;
 use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
@@ -136,6 +137,10 @@ struct CtlInner {
     /// suspending — how the scheduler unwinds ranks after a peer died
     /// or the run deadlocked.
     poison: Option<&'static str>,
+    /// Introspection: blocking parks taken ([`EventHandle::park_blocked`]).
+    parks_blocked: u64,
+    /// Introspection: polling parks taken ([`EventHandle::park_polling`]).
+    parks_polling: u64,
 }
 
 /// Shared scheduler state: one per [`drive`] invocation, visible to
@@ -152,6 +157,8 @@ impl EventCtl {
                 deposits: VecDeque::new(),
                 deposits_seen: 0,
                 poison: None,
+                parks_blocked: 0,
+                parks_polling: 0,
             }),
         }
     }
@@ -204,6 +211,11 @@ impl EventHandle {
                 drop(inner);
                 panic!("{msg}");
             }
+            match slot {
+                Slot::Blocked { .. } => inner.parks_blocked += 1,
+                Slot::Polling { .. } => inner.parks_polling += 1,
+                Slot::Runnable => {}
+            }
             inner.slots[self.rank] = slot;
         }
         // The lock is released before the context switch: the scheduler
@@ -231,6 +243,130 @@ impl EventHandle {
 }
 
 // ---------------------------------------------------------------------------
+// Task backends and scheduler introspection
+// ---------------------------------------------------------------------------
+
+/// Which suspend/resume primitive carries the ranks of an event-driven
+/// run. The *scheduling policy* — and therefore every simulated
+/// result — is identical across backends; only the context-switch
+/// mechanism and its cost differ (differentially tested at the
+/// workspace level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskBackend {
+    /// Stackful userspace fibers over a hand-written SysV context
+    /// switch — x86_64 unix only, and the default there.
+    Fiber,
+    /// Portable condvar-baton handoff: one parked OS thread per task,
+    /// exactly one of {scheduler, some task} ever runnable. The only
+    /// backend off x86_64 unix; selectable everywhere so the asm
+    /// switch can be differentially tested against it.
+    Handoff,
+}
+
+impl TaskBackend {
+    /// The fastest backend this target supports.
+    pub fn default_for_target() -> TaskBackend {
+        if cfg!(all(target_arch = "x86_64", unix)) {
+            TaskBackend::Fiber
+        } else {
+            TaskBackend::Handoff
+        }
+    }
+
+    /// Override from `NCD_SCHED_TASKS` (`fiber` | `handoff`),
+    /// mirroring `NCD_SCHED` one layer up; `None` when unset or
+    /// unrecognized.
+    pub fn from_env() -> Option<TaskBackend> {
+        match std::env::var("NCD_SCHED_TASKS").as_deref() {
+            Ok("fiber") => Some(TaskBackend::Fiber),
+            Ok("handoff") => Some(TaskBackend::Handoff),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskBackend::Fiber => "fiber",
+            TaskBackend::Handoff => "handoff",
+        }
+    }
+}
+
+/// Buckets in the [`SchedStats::ready_depth_log2`] histogram; the last
+/// bucket absorbs every depth `>= 2^(DEPTH_BUCKETS-1)`.
+pub const DEPTH_BUCKETS: usize = 16;
+
+/// Counters and distributions from one [`drive`] invocation — the
+/// scheduler observing itself, so a bench can report how hard the
+/// event loop worked (switch counts, queue pressure, stack use)
+/// alongside the simulated results it produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SchedStats {
+    /// Ranks driven.
+    pub tasks: usize,
+    /// Label of the task backend that carried them
+    /// (`"fiber"` / `"handoff"`).
+    pub backend: &'static str,
+    /// Context switches into a task (clean scheduling decisions; the
+    /// poison resumes of a failed run's drain are not counted).
+    pub resumes: u64,
+    /// Blocking parks taken ([`EventHandle::park_blocked`]).
+    pub parks_blocked: u64,
+    /// Polling parks taken ([`EventHandle::park_polling`]).
+    pub parks_polling: u64,
+    /// Parked ranks woken by a matching deposit.
+    pub deposit_wakes: u64,
+    /// Dry-queue promotions of the whole polling set.
+    pub poll_promotions: u64,
+    /// Tasks moved back to ready across all those promotions.
+    pub promoted_tasks: u64,
+    /// log₂ histogram of ready-queue depth, sampled at every resume
+    /// *before* the pop: bucket `i` counts decisions taken with
+    /// `2^i <= depth < 2^(i+1)`, so the buckets sum to `resumes`.
+    pub ready_depth_log2: [u64; DEPTH_BUCKETS],
+    /// Sum of the sampled depths (`mean_depth` = this / `resumes`).
+    pub depth_sum: u64,
+    /// High-water mark of fiber stack bytes in use at a park, across
+    /// all tasks and parks. 0 under the handoff backend — OS thread
+    /// stacks are opaque.
+    pub max_stack_bytes: usize,
+}
+
+impl SchedStats {
+    fn observe_depth(&mut self, depth: usize) {
+        debug_assert!(depth > 0, "depth sampled before a successful pop");
+        self.depth_sum += depth as u64;
+        let bucket = (usize::BITS - 1 - depth.leading_zeros()) as usize;
+        self.ready_depth_log2[bucket.min(DEPTH_BUCKETS - 1)] += 1;
+    }
+
+    /// Mean ready-queue depth over all scheduling decisions.
+    pub fn mean_depth(&self) -> f64 {
+        if self.resumes == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.resumes as f64
+        }
+    }
+}
+
+/// Stats of the most recent [`drive`] in this process, published for
+/// [`last_sched_stats`] whether the run succeeded or stalled.
+static LAST_SCHED_STATS: Mutex<Option<SchedStats>> = Mutex::new(None);
+
+/// Introspection snapshot of the most recent event-driven run
+/// (process-global; `None` before the first such run). Benches read
+/// this right after a cluster run to report scheduler behaviour —
+/// concurrent runs race on it, so it is a reporting aid, not an API
+/// for correctness logic.
+pub fn last_sched_stats() -> Option<SchedStats> {
+    LAST_SCHED_STATS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+// ---------------------------------------------------------------------------
 // The scheduler loop
 // ---------------------------------------------------------------------------
 
@@ -252,6 +388,38 @@ pub(crate) fn drive(
     ctl: &EventCtl,
     tasks: &mut [Task],
     tie_seed: Option<u64>,
+) -> Result<(), RankPanic> {
+    let (result, stats) = drive_with_stats(ctl, tasks, tie_seed);
+    *LAST_SCHED_STATS.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
+    result
+}
+
+/// [`drive`], also returning the introspection survey of the run
+/// directly (the global [`last_sched_stats`] snapshot can be raced by
+/// concurrent runs; this cannot).
+pub(crate) fn drive_with_stats(
+    ctl: &EventCtl,
+    tasks: &mut [Task],
+    tie_seed: Option<u64>,
+) -> (Result<(), RankPanic>, SchedStats) {
+    let mut stats = SchedStats {
+        tasks: tasks.len(),
+        backend: tasks.first().map_or("", |t| t.backend().label()),
+        ..SchedStats::default()
+    };
+    let result = drive_loop(ctl, tasks, tie_seed, &mut stats);
+    let inner = ctl.lock();
+    stats.parks_blocked = inner.parks_blocked;
+    stats.parks_polling = inner.parks_polling;
+    drop(inner);
+    (result, stats)
+}
+
+fn drive_loop(
+    ctl: &EventCtl,
+    tasks: &mut [Task],
+    tie_seed: Option<u64>,
+    stats: &mut SchedStats,
 ) -> Result<(), RankPanic> {
     let n = tasks.len();
     let mut ready: BTreeSet<(SimTime, usize)> = (0..n).map(|r| (SimTime::ZERO, r)).collect();
@@ -282,10 +450,12 @@ pub(crate) fn drive(
                 if let Some(at) = wake {
                     inner.slots[d.dst] = Slot::Runnable;
                     ready.insert((at, d.dst));
+                    stats.deposit_wakes += 1;
                 }
             }
         }
 
+        let depth = ready.len();
         let next = pop_min(&mut ready, &mut tie_rng);
         let r = match next {
             Some(r) => r,
@@ -316,6 +486,8 @@ pub(crate) fn drive(
                         poll_sig = Some(sig);
                         poll_repeats = 0;
                     }
+                    stats.poll_promotions += 1;
+                    stats.promoted_tasks += pollers.len() as u64;
                     let mut inner = ctl.lock();
                     for &(i, at) in &pollers {
                         inner.slots[i] = Slot::Runnable;
@@ -332,7 +504,10 @@ pub(crate) fn drive(
         };
 
         ctl.lock().slots[r] = Slot::Runnable;
+        stats.resumes += 1;
+        stats.observe_depth(depth);
         tasks[r].resume();
+        stats.max_stack_bytes = stats.max_stack_bytes.max(tasks[r].stack_in_use());
         if tasks[r].is_done() {
             finished[r] = true;
             n_finished += 1;
@@ -416,21 +591,179 @@ fn pop_min(ready: &mut BTreeSet<(SimTime, usize)>, rng: &mut Option<StdRng>) -> 
 // Resumable tasks
 // ---------------------------------------------------------------------------
 //
-// On x86_64 unix a task is a stackful fiber: a heap stack plus a hand-
-// written SysV context switch (no dependencies — the workspace vendors
-// no libc, so ucontext/mmap are out of reach). Elsewhere a portable
-// fallback maps each task to a parked OS thread with a condvar baton;
-// the *scheduling policy* (and therefore every simulated result) is
-// identical, only the suspend/resume primitive differs.
+// On x86_64 unix a task is by default a stackful fiber: a heap stack
+// plus a hand-written SysV context switch (no dependencies — the
+// workspace vendors no libc, so ucontext/mmap are out of reach). The
+// portable fallback maps each task to a parked OS thread with a
+// condvar baton; the *scheduling policy* (and therefore every
+// simulated result) is identical, only the suspend/resume primitive
+// differs. Both backends compile wherever they can (the baton
+// everywhere, the fiber on x86_64 unix only) and the [`TaskBackend`]
+// baked into a task's [`TaskShared`] picks per spawn, so the asm
+// switch stays differentially testable against the portable one on
+// the same machine.
 
-#[cfg(all(target_arch = "x86_64", unix))]
-pub(crate) use fiber::{Task, TaskShared};
+/// State shared between a task and the scheduler: completion flag,
+/// captured panic payload, and the backend-specific switch state.
+pub(crate) struct TaskShared {
+    done: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    imp: SharedImpl,
+}
+
+enum SharedImpl {
+    #[cfg(all(target_arch = "x86_64", unix))]
+    Fiber(fiber::Ctx),
+    Handoff(handoff::Baton),
+}
+
+impl TaskShared {
+    pub(crate) fn new(backend: TaskBackend) -> Self {
+        let imp = match backend {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            TaskBackend::Fiber => SharedImpl::Fiber(fiber::Ctx::new()),
+            #[cfg(not(all(target_arch = "x86_64", unix)))]
+            TaskBackend::Fiber => {
+                panic!("the fiber task backend requires x86_64 unix; use TaskBackend::Handoff")
+            }
+            TaskBackend::Handoff => SharedImpl::Handoff(handoff::Baton::new()),
+        };
+        TaskShared {
+            done: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            imp,
+        }
+    }
+
+    /// Switch from the task back to the scheduler (called from
+    /// *inside* the task via [`EventHandle::park_blocked`] /
+    /// [`EventHandle::park_polling`]).
+    pub(crate) fn suspend(&self) {
+        match &self.imp {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            SharedImpl::Fiber(ctx) => ctx.suspend(),
+            SharedImpl::Handoff(baton) => baton.suspend(),
+        }
+    }
+
+    /// Record the body's outcome and mark the task finished (called by
+    /// both backends' shims, exactly once).
+    fn finish(&self, result: std::thread::Result<()>) {
+        if let Err(payload) = result {
+            *self.panic.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
+        }
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    #[cfg(all(target_arch = "x86_64", unix))]
+    fn ctx(&self) -> &fiber::Ctx {
+        match &self.imp {
+            SharedImpl::Fiber(ctx) => ctx,
+            SharedImpl::Handoff(_) => unreachable!("fiber task over a handoff shared"),
+        }
+    }
+
+    fn baton(&self) -> &handoff::Baton {
+        match &self.imp {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            SharedImpl::Fiber(_) => unreachable!("handoff task over a fiber shared"),
+            SharedImpl::Handoff(baton) => baton,
+        }
+    }
+}
+
+/// A rank as a resumable task on the backend its [`TaskShared`] was
+/// built for.
+pub(crate) enum Task {
+    #[cfg(all(target_arch = "x86_64", unix))]
+    Fiber(fiber::Task),
+    Handoff(handoff::Task),
+}
+
+impl Task {
+    /// Prepare a suspended task that will run `body` on its first
+    /// resume, on the backend `shared` was built for.
+    ///
+    /// # Safety
+    /// `body`'s borrows are erased to `'static`. The caller must keep
+    /// everything `body` captures alive until the task is done or the
+    /// task is leaked without further resumes — [`drive`] guarantees
+    /// the former by draining every task before returning.
+    pub(crate) unsafe fn spawn(
+        shared: Arc<TaskShared>,
+        body: Box<dyn FnOnce() + Send + '_>,
+        stack_bytes: usize,
+    ) -> Task {
+        let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+        match shared.imp {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            SharedImpl::Fiber(_) => {
+                Task::Fiber(unsafe { fiber::Task::spawn(shared, body, stack_bytes) })
+            }
+            SharedImpl::Handoff(_) => {
+                Task::Handoff(handoff::Task::spawn(shared, body, stack_bytes))
+            }
+        }
+    }
+
+    /// Run the task until it parks or finishes.
+    pub(crate) fn resume(&mut self) {
+        match self {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            Task::Fiber(t) => t.resume(),
+            Task::Handoff(t) => t.resume(),
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.shared().is_done()
+    }
+
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.shared()
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    /// Bytes of stack in use at the task's last park — the fiber's
+    /// top-of-stack minus its saved stack pointer; 0 for the handoff
+    /// backend, whose OS thread stacks are opaque.
+    pub(crate) fn stack_in_use(&self) -> usize {
+        match self {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            Task::Fiber(t) => t.stack_in_use(),
+            Task::Handoff(_) => 0,
+        }
+    }
+
+    pub(crate) fn backend(&self) -> TaskBackend {
+        match self {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            Task::Fiber(_) => TaskBackend::Fiber,
+            Task::Handoff(_) => TaskBackend::Handoff,
+        }
+    }
+
+    fn shared(&self) -> &TaskShared {
+        match self {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            Task::Fiber(t) => t.shared(),
+            Task::Handoff(t) => t.shared(),
+        }
+    }
+}
 
 #[cfg(all(target_arch = "x86_64", unix))]
 mod fiber {
     use super::*;
     use std::arch::{asm, global_asm};
-    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::atomic::AtomicPtr;
 
     // The context switch saves the SysV callee-saved state (rbp, rbx,
     // r12-r15, x87 control word, mxcsr) on the current stack, stores
@@ -526,31 +859,25 @@ mod fiber {
         }
     }
 
-    /// State shared between a task and the scheduler: the two saved
-    /// stack pointers of the switch pair, the completion flag, and the
-    /// captured panic payload.
-    pub(crate) struct TaskShared {
+    /// The switch-pair state of one fiber: the two saved stack
+    /// pointers (completion flag and panic payload live in the
+    /// backend-agnostic [`TaskShared`]).
+    pub(super) struct Ctx {
         fiber_sp: AtomicPtr<u8>,
         sched_sp: AtomicPtr<u8>,
-        done: AtomicBool,
-        panic: Mutex<Option<Box<dyn Any + Send>>>,
     }
 
-    impl TaskShared {
-        #[allow(clippy::new_without_default)]
-        pub(crate) fn new() -> Self {
-            TaskShared {
+    impl Ctx {
+        pub(super) fn new() -> Self {
+            Ctx {
                 fiber_sp: AtomicPtr::new(std::ptr::null_mut()),
                 sched_sp: AtomicPtr::new(std::ptr::null_mut()),
-                done: AtomicBool::new(false),
-                panic: Mutex::new(None),
             }
         }
 
         /// Switch from the task back to the scheduler (called from
-        /// *inside* the fiber via [`EventHandle::park_blocked`] /
-        /// [`EventHandle::park_polling`]).
-        pub(crate) fn suspend(&self) {
+        /// *inside* the fiber via [`TaskShared::suspend`]).
+        pub(super) fn suspend(&self) {
             // SAFETY: only ever called on the fiber whose shared state
             // this is, while the scheduler that resumed it waits at
             // `sched_sp`; both pointers are exchanged exclusively
@@ -576,10 +903,7 @@ mod fiber {
         // exactly once.
         let entry = unsafe { Box::from_raw(arg) };
         let FiberEntry { body, shared } = *entry;
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
-            *shared.panic.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
-        }
-        shared.done.store(true, Ordering::Release);
+        shared.finish(catch_unwind(AssertUnwindSafe(body)));
         // Hand control back forever; a finished task is never resumed
         // (asserted in `resume`), the loop is belt-and-braces.
         loop {
@@ -595,60 +919,53 @@ mod fiber {
 
     impl Task {
         /// Prepare a suspended fiber that will run `body` on its first
-        /// resume.
-        ///
-        /// # Safety
-        /// `body`'s borrows are erased to `'static`. The caller must
-        /// keep everything `body` captures alive until the task is
-        /// done or the task is leaked without further resumes —
-        /// [`drive`] guarantees the former by draining every task
-        /// before returning.
-        pub(crate) unsafe fn spawn(
+        /// resume (see [`super::Task::spawn`] for the safety
+        /// contract; `shared.imp` must be the fiber variant).
+        pub(super) unsafe fn spawn(
             shared: Arc<TaskShared>,
-            body: Box<dyn FnOnce() + Send + '_>,
+            body: Box<dyn FnOnce() + Send + 'static>,
             stack_bytes: usize,
         ) -> Task {
-            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
             let stack = Stack::new(stack_bytes);
             let entry = Box::into_raw(Box::new(FiberEntry {
                 body,
                 shared: shared.clone(),
             }));
             let sp = unsafe { init_stack(stack.top(), entry) };
-            shared.fiber_sp.store(sp, Ordering::Release);
+            shared.ctx().fiber_sp.store(sp, Ordering::Release);
             Task { shared, stack }
         }
 
         /// Run the task until it parks or finishes.
-        pub(crate) fn resume(&mut self) {
-            assert!(!self.is_done(), "resumed a finished task");
+        pub(super) fn resume(&mut self) {
+            assert!(!self.shared.is_done(), "resumed a finished task");
+            let ctx = self.shared.ctx();
             // SAFETY: `fiber_sp` holds the valid suspended context
             // written either by `init_stack` or by the fiber's own
             // last `suspend`; the switch pair runs on this thread only.
             unsafe {
-                ncd_fiber_switch(
-                    self.shared.sched_sp.as_ptr(),
-                    self.shared.fiber_sp.load(Ordering::Acquire),
-                )
+                ncd_fiber_switch(ctx.sched_sp.as_ptr(), ctx.fiber_sp.load(Ordering::Acquire))
             };
         }
 
-        pub(crate) fn is_done(&self) -> bool {
-            self.shared.done.load(Ordering::Acquire)
+        /// Stack bytes in use at the last park: 16-aligned top minus
+        /// the stack pointer the fiber saved when it suspended.
+        pub(super) fn stack_in_use(&self) -> usize {
+            let sp = self.shared.ctx().fiber_sp.load(Ordering::Acquire) as usize;
+            if sp == 0 {
+                return 0;
+            }
+            (self.stack.top() as usize).saturating_sub(sp)
         }
 
-        pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
-            self.shared
-                .panic
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .take()
+        pub(super) fn shared(&self) -> &TaskShared {
+            &self.shared
         }
     }
 
     impl Drop for Task {
         fn drop(&mut self) {
-            if self.is_done() && !self.stack.canary_intact() && !std::thread::panicking() {
+            if self.shared.is_done() && !self.stack.canary_intact() && !std::thread::panicking() {
                 panic!(
                     "fiber stack overflow detected (canary trampled); \
                      raise ClusterConfig::with_stack_bytes"
@@ -691,18 +1008,13 @@ mod fiber {
     }
 }
 
-#[cfg(not(all(target_arch = "x86_64", unix)))]
-pub(crate) use handoff::{Task, TaskShared};
-
 /// Portable fallback: each task is an OS thread, but — unlike
 /// threads-as-ranks — exactly one of {scheduler, some task} is ever
 /// runnable, handing a condvar baton back and forth. Scheduling policy
 /// and simulated results are identical to the fiber backend; only the
 /// suspend/resume cost differs.
-#[cfg(not(all(target_arch = "x86_64", unix)))]
 mod handoff {
     use super::*;
-    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Condvar;
 
     #[derive(Clone, Copy, PartialEq)]
@@ -711,21 +1023,19 @@ mod handoff {
         Scheduler,
     }
 
-    pub(crate) struct TaskShared {
+    /// The baton: whose turn it is to run, plus the condvar the other
+    /// side parks on (completion flag and panic payload live in the
+    /// backend-agnostic [`TaskShared`]).
+    pub(super) struct Baton {
         turn: Mutex<Turn>,
         cv: Condvar,
-        done: AtomicBool,
-        panic: Mutex<Option<Box<dyn Any + Send>>>,
     }
 
-    impl TaskShared {
-        #[allow(clippy::new_without_default)]
-        pub(crate) fn new() -> Self {
-            TaskShared {
+    impl Baton {
+        pub(super) fn new() -> Self {
+            Baton {
                 turn: Mutex::new(Turn::Scheduler),
                 cv: Condvar::new(),
-                done: AtomicBool::new(false),
-                panic: Mutex::new(None),
             }
         }
 
@@ -742,7 +1052,7 @@ mod handoff {
             }
         }
 
-        pub(crate) fn suspend(&self) {
+        pub(super) fn suspend(&self) {
             self.pass_to(Turn::Scheduler);
             self.wait_for(Turn::Task);
         }
@@ -754,25 +1064,21 @@ mod handoff {
     }
 
     impl Task {
-        /// See the fiber backend for the safety contract; the baton
-        /// protocol guarantees the body only runs while the scheduler
-        /// is parked inside `resume`.
-        pub(crate) unsafe fn spawn(
+        /// The baton protocol guarantees the (already `'static`-erased)
+        /// body only runs while the scheduler is parked inside
+        /// `resume`; `shared.imp` must be the handoff variant.
+        pub(super) fn spawn(
             shared: Arc<TaskShared>,
-            body: Box<dyn FnOnce() + Send + '_>,
+            body: Box<dyn FnOnce() + Send + 'static>,
             stack_bytes: usize,
         ) -> Task {
-            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
             let inner = shared.clone();
             let thread = std::thread::Builder::new()
                 .stack_size(stack_bytes.max(MIN_STACK_BYTES))
                 .spawn(move || {
-                    inner.wait_for(Turn::Task);
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
-                        *inner.panic.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
-                    }
-                    inner.done.store(true, Ordering::Release);
-                    inner.pass_to(Turn::Scheduler);
+                    inner.baton().wait_for(Turn::Task);
+                    inner.finish(catch_unwind(AssertUnwindSafe(body)));
+                    inner.baton().pass_to(Turn::Scheduler);
                 })
                 .expect("spawn rank task thread");
             Task {
@@ -781,28 +1087,20 @@ mod handoff {
             }
         }
 
-        pub(crate) fn resume(&mut self) {
-            assert!(!self.is_done(), "resumed a finished task");
-            self.shared.pass_to(Turn::Task);
-            self.shared.wait_for(Turn::Scheduler);
+        pub(super) fn resume(&mut self) {
+            assert!(!self.shared.is_done(), "resumed a finished task");
+            self.shared.baton().pass_to(Turn::Task);
+            self.shared.baton().wait_for(Turn::Scheduler);
         }
 
-        pub(crate) fn is_done(&self) -> bool {
-            self.shared.done.load(Ordering::Acquire)
-        }
-
-        pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
-            self.shared
-                .panic
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .take()
+        pub(super) fn shared(&self) -> &TaskShared {
+            &self.shared
         }
     }
 
     impl Drop for Task {
         fn drop(&mut self) {
-            if self.is_done() {
+            if self.shared.is_done() {
                 if let Some(t) = self.thread.take() {
                     let _ = t.join();
                 }
@@ -817,6 +1115,10 @@ mod handoff {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn new_shared() -> Arc<TaskShared> {
+        Arc::new(TaskShared::new(TaskBackend::default_for_target()))
+    }
 
     fn spawn_counted(
         shared: &Arc<TaskShared>,
@@ -840,7 +1142,7 @@ mod tests {
     fn task_suspends_and_resumes_to_completion() {
         let ctl = Arc::new(EventCtl::new(8));
         let log = Arc::new(Mutex::new(Vec::new()));
-        let shared = Arc::new(TaskShared::new());
+        let shared = new_shared();
         let mut task = spawn_counted(&shared, log.clone(), 7, 3, ctl);
         let mut resumes = 0;
         while !task.is_done() {
@@ -852,25 +1154,87 @@ mod tests {
         assert!(task.take_panic().is_none());
     }
 
-    #[test]
-    fn drive_interleaves_pollers_deterministically() {
+    /// Four ranks, two polling parks each, driven to completion;
+    /// returns the execution log and the run's introspection survey.
+    fn interleave_run(backend: TaskBackend) -> (Vec<usize>, SchedStats) {
         let n = 4;
         let ctl = Arc::new(EventCtl::new(n));
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut tasks = Vec::new();
         for id in 0..n {
-            let shared = Arc::new(TaskShared::new());
+            let shared = Arc::new(TaskShared::new(backend));
             tasks.push(spawn_counted(&shared, log.clone(), id, 2, ctl.clone()));
         }
-        drive(&ctl, &mut tasks, None).unwrap_or_else(|p| {
+        let (result, stats) = drive_with_stats(&ctl, &mut tasks, None);
+        result.unwrap_or_else(|p| {
             std::panic::resume_unwind(p.payload);
         });
+        let v = log.lock().unwrap().clone();
+        (v, stats)
+    }
+
+    #[test]
+    fn drive_interleaves_pollers_deterministically() {
         // All parks happen at SimTime::ZERO, so order is by rank id,
         // round-robin across the promote-the-pollers cycles.
+        let (log, _) = interleave_run(TaskBackend::default_for_target());
+        assert_eq!(log, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn handoff_tasks_schedule_identically_to_the_default_backend() {
+        // The portable baton backend must produce the same execution
+        // order and the same scheduling survey as the target default
+        // (on x86_64 unix that pits it against the asm fiber switch).
+        let (d_log, d_stats) = interleave_run(TaskBackend::default_for_target());
+        let (h_log, h_stats) = interleave_run(TaskBackend::Handoff);
+        assert_eq!(h_stats.backend, "handoff");
+        assert_eq!(d_log, h_log);
+        // Everything but the backend label and the (fiber-only) stack
+        // high-water must agree.
+        let strip = |s: &SchedStats| SchedStats {
+            backend: "",
+            max_stack_bytes: 0,
+            ..s.clone()
+        };
+        assert_eq!(strip(&d_stats), strip(&h_stats));
+    }
+
+    #[test]
+    fn sched_stats_survey_the_interleave_run() {
+        let (_, stats) = interleave_run(TaskBackend::default_for_target());
+        assert_eq!(stats.tasks, 4);
+        assert_eq!(stats.backend, TaskBackend::default_for_target().label());
+        // Three resumes per task: two parks plus the final return.
+        assert_eq!(stats.resumes, 12);
+        assert_eq!(stats.parks_polling, 8);
+        assert_eq!(stats.parks_blocked, 0);
+        assert_eq!(stats.deposit_wakes, 0);
+        // The queue runs dry after each round of parks.
+        assert_eq!(stats.poll_promotions, 2);
+        assert_eq!(stats.promoted_tasks, 8);
+        // Each round drains depths 4, 3, 2, 1.
+        assert_eq!(stats.depth_sum, 30);
+        assert!((stats.mean_depth() - 2.5).abs() < 1e-12);
+        let mut hist = [0u64; DEPTH_BUCKETS];
+        hist[0] = 3; // depth 1
+        hist[1] = 6; // depths 2 and 3
+        hist[2] = 3; // depth 4
+        assert_eq!(stats.ready_depth_log2, hist);
         assert_eq!(
-            *log.lock().unwrap(),
-            vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]
+            stats.ready_depth_log2.iter().sum::<u64>(),
+            stats.resumes,
+            "histogram buckets must sum to the resume count"
         );
+        if cfg!(all(target_arch = "x86_64", unix)) {
+            assert!(
+                stats.max_stack_bytes > 0 && stats.max_stack_bytes < MIN_STACK_BYTES,
+                "fiber parks must record a plausible stack high-water, got {}",
+                stats.max_stack_bytes
+            );
+        } else {
+            assert_eq!(stats.max_stack_bytes, 0, "OS thread stacks are opaque");
+        }
     }
 
     #[test]
@@ -878,7 +1242,7 @@ mod tests {
         let ctl = Arc::new(EventCtl::new(2));
         let mut tasks = Vec::new();
         for id in 0..2 {
-            let shared = Arc::new(TaskShared::new());
+            let shared = new_shared();
             let body: Box<dyn FnOnce() + Send> = if id == 1 {
                 Box::new(|| panic!("task 1 exploded"))
             } else {
@@ -895,7 +1259,7 @@ mod tests {
     #[test]
     fn blocked_forever_is_reported_as_deadlock() {
         let ctl = Arc::new(EventCtl::new(1));
-        let shared = Arc::new(TaskShared::new());
+        let shared = new_shared();
         let handle = EventHandle::new(ctl.clone(), shared.clone(), 0);
         let body = Box::new(move || {
             handle.park_blocked(Some(0), Tag(1), 0, SimTime::ZERO);
@@ -914,7 +1278,7 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut tasks = Vec::new();
         {
-            let shared = Arc::new(TaskShared::new());
+            let shared = new_shared();
             let handle = EventHandle::new(ctl.clone(), shared.clone(), 0);
             let log = log.clone();
             let body = Box::new(move || {
@@ -924,7 +1288,7 @@ mod tests {
             tasks.push(unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) });
         }
         {
-            let shared = Arc::new(TaskShared::new());
+            let shared = new_shared();
             let handle = EventHandle::new(ctl.clone(), shared.clone(), 1);
             let log = log.clone();
             let body = Box::new(move || {
@@ -933,10 +1297,14 @@ mod tests {
             });
             tasks.push(unsafe { Task::spawn(shared, body, MIN_STACK_BYTES) });
         }
-        drive(&ctl, &mut tasks, None).unwrap_or_else(|p| {
+        let (result, stats) = drive_with_stats(&ctl, &mut tasks, None);
+        result.unwrap_or_else(|p| {
             std::panic::resume_unwind(p.payload);
         });
         assert_eq!(*log.lock().unwrap(), vec!["sent", "woken"]);
+        assert_eq!(stats.deposit_wakes, 1);
+        assert_eq!(stats.parks_blocked, 1);
+        assert_eq!(stats.parks_polling, 0);
     }
 
     #[test]
@@ -946,7 +1314,7 @@ mod tests {
         let total = Arc::new(Mutex::new(0u64));
         let mut tasks = Vec::new();
         for id in 0..n {
-            let shared = Arc::new(TaskShared::new());
+            let shared = new_shared();
             let handle = EventHandle::new(ctl.clone(), shared.clone(), id);
             let total = total.clone();
             let body = Box::new(move || {
@@ -970,7 +1338,7 @@ mod tests {
             let log = Arc::new(Mutex::new(Vec::new()));
             let mut tasks = Vec::new();
             for id in 0..n {
-                let shared = Arc::new(TaskShared::new());
+                let shared = new_shared();
                 let handle = EventHandle::new(ctl.clone(), shared.clone(), id);
                 let log = log.clone();
                 let body = Box::new(move || {

@@ -55,6 +55,7 @@ fn ledger_once(flavor: &str, cfg: MpiConfig) -> RunRecord {
         Some(&map),
         Some(&history),
         Some(&traces),
+        None,
     )
     .expect("write the run ledger");
     let dir = ledger_root().join("compare_runs").join(&manifest.run_id);
